@@ -1,0 +1,28 @@
+"""Figure 5: synchronization cost of the TeraGrid cluster vs node count.
+
+Paper series: cost grows monotonically over 6..112 nodes, ~0.58 ms near
+100 nodes. The benchmark times the model evaluation (it is called once
+per candidate threshold inside the HPROF sweep, so it must be cheap).
+"""
+
+from __future__ import annotations
+
+from repro.cluster import SyncCostModel
+
+
+def test_fig05_sync_cost_series(benchmark):
+    model = SyncCostModel()
+    nodes = [6, 16, 48, 80, 112]
+
+    def evaluate():
+        return [model(n) for n in nodes]
+
+    costs = benchmark(evaluate)
+
+    print("\nFigure 5: Synchronization Cost of the TeraGrid Cluster")
+    print(f"{'nodes':>8}{'cost (us)':>12}")
+    for n, c in zip(nodes, costs):
+        print(f"{n:>8}{c * 1e6:>12.0f}")
+
+    assert all(b > a for a, b in zip(costs, costs[1:])), "must grow with N"
+    assert 0.4e-3 < model(100) < 0.8e-3, "paper anchor: ~0.58 ms at 100 nodes"

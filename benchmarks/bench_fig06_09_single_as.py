@@ -1,0 +1,101 @@
+"""Figures 6-9: the single-AS (flat OSPF) evaluation.
+
+- Fig 6: application simulation time per mapping approach,
+- Fig 7: achieved MLL (including the untuned TOP/PROF),
+- Fig 8: load imbalance,
+- Fig 9: parallel efficiency.
+
+Paper shapes asserted (Section 4.3): hierarchical MLL >> flat; HPROF's
+simulation time below PROF2 below TOP2; profile-based imbalance below
+topology-based; HPROF's parallel efficiency the best, well above TOP2.
+
+The `benchmark` fixture times the *mapping evaluation* step (scoring one
+mapping against the recorded run) — the operation a user iterates on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import Approach
+from repro.engine.costmodel import predict_from_trace
+from repro.experiments import format_figure
+
+
+def _print(results, metric):
+    print()
+    print(format_figure(results, metric))
+
+
+def test_fig06_simulation_time(benchmark, single_as_scalapack, single_as_gridnpb):
+    results = [single_as_scalapack, single_as_gridnpb]
+    benchmark(lambda: [r.metric(Approach.HPROF, "sim_time_s") for r in results])
+    _print(results, "sim_time_s")
+    for r in results:
+        t = {row.approach: row.sim_time_s for row in r.rows}
+        assert t[Approach.HPROF] < t[Approach.TOP2], "HPROF must beat TOP2"
+        assert t[Approach.HPROF] <= t[Approach.PROF2] * 1.02, "HPROF <= PROF2"
+        assert t[Approach.PROF2] < t[Approach.TOP2], "PROF2 must beat TOP2 (Fig 6)"
+
+
+def test_fig07_achieved_mll(benchmark, single_as_scalapack, single_as_gridnpb):
+    results = [single_as_scalapack, single_as_gridnpb]
+    benchmark(lambda: [r.metric(Approach.HPROF, "achieved_mll_ms") for r in results])
+    _print(results, "achieved_mll_ms")
+    for r in results:
+        mll = {row.approach: row.achieved_mll_ms for row in r.rows}
+        flat = [mll[a] for a in (Approach.TOP, Approach.TOP2, Approach.PROF, Approach.PROF2)]
+        # Hierarchical approaches lift the MLL above every flat approach
+        # (the paper's tiny-TOP/PROF-MLL story; at 20k routers the gap is
+        # 0.1 ms vs 3 ms — at small scale the direction is what survives).
+        assert mll[Approach.HPROF] >= max(flat)
+        assert mll[Approach.HTOP] >= 0.9 * max(flat)
+        # And at least one flat mapping sits at half the HPROF MLL or less.
+        assert min(flat) <= 0.5 * mll[Approach.HPROF]
+
+
+def test_fig08_load_imbalance(benchmark, single_as_scalapack, single_as_gridnpb):
+    results = [single_as_scalapack, single_as_gridnpb]
+    benchmark(lambda: [r.metric(Approach.HPROF, "load_imbalance") for r in results])
+    _print(results, "load_imbalance")
+    for r in results:
+        imb = {row.approach: row.measured_imbalance for row in r.rows}
+        assert imb[Approach.PROF2] < imb[Approach.TOP2], "profiles improve balance"
+        assert imb[Approach.HPROF] < imb[Approach.HTOP], "HPROF beats HTOP (Fig 8)"
+
+
+def test_fig09_parallel_efficiency(benchmark, single_as_scalapack, single_as_gridnpb):
+    results = [single_as_scalapack, single_as_gridnpb]
+    benchmark(lambda: [r.metric(Approach.HPROF, "parallel_efficiency") for r in results])
+    _print(results, "parallel_efficiency")
+    for r in results:
+        pe = {row.approach: row.parallel_eff for row in r.rows}
+        assert pe[Approach.HPROF] > pe[Approach.TOP2], "HPROF PE above TOP2 (Fig 9)"
+        assert pe[Approach.HPROF] == max(pe.values()), "HPROF PE is the best"
+
+
+def test_mapping_evaluation_cost(benchmark, single_as_scalapack):
+    """Time one mapping evaluation against the recorded trace (the inner
+    loop of the figure pipeline)."""
+    result = single_as_scalapack
+    row = result.row(Approach.HPROF)
+    # Reconstruct the evaluation inputs from the stored prediction.
+    events = row.prediction.events_per_lp
+    rng = np.random.default_rng(0)
+    times = np.sort(rng.uniform(0, result.duration_s, 50_000))
+    nodes = rng.integers(0, len(row.mapping.assignment), 50_000)
+    from repro.experiments.runner import cluster_for_scale
+    from repro.experiments import default_scale
+
+    cluster = cluster_for_scale(default_scale())
+    benchmark(
+        predict_from_trace,
+        times,
+        nodes,
+        row.mapping.assignment,
+        result.num_engines,
+        row.mapping.achieved_mll_s,
+        result.duration_s,
+        cluster,
+    )
+    assert events.sum() > 0

@@ -1,0 +1,60 @@
+"""Shared experiment cache for the figure benchmarks.
+
+Each (network, application) experiment is expensive (a full packet-level
+simulation run); all figure benchmarks of one network kind share it.
+Scale is selected with ``REPRO_SCALE`` (default ``small``).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Approach
+from repro.experiments import default_scale, run_experiment
+
+_cache: dict = {}
+
+#: Figures 7/11 include TOP and PROF (whose tiny MLL is the motivation for
+#: the hierarchical approaches), so every cached run maps all six.
+ALL_APPROACHES = [
+    Approach.HPROF,
+    Approach.PROF2,
+    Approach.HTOP,
+    Approach.TOP2,
+    Approach.PROF,
+    Approach.TOP,
+]
+
+
+def cached_experiment(network_kind: str, app_kind: str, seed: int = 0):
+    key = (network_kind, app_kind, seed, default_scale().name)
+    if key not in _cache:
+        _cache[key] = run_experiment(
+            network_kind, app_kind, approaches=list(ALL_APPROACHES), seed=seed
+        )
+    return _cache[key]
+
+
+@pytest.fixture(scope="session")
+def scale():
+    return default_scale()
+
+
+@pytest.fixture(scope="session")
+def single_as_scalapack():
+    return cached_experiment("single-as", "scalapack")
+
+
+@pytest.fixture(scope="session")
+def single_as_gridnpb():
+    return cached_experiment("single-as", "gridnpb")
+
+
+@pytest.fixture(scope="session")
+def multi_as_scalapack():
+    return cached_experiment("multi-as", "scalapack")
+
+
+@pytest.fixture(scope="session")
+def multi_as_gridnpb():
+    return cached_experiment("multi-as", "gridnpb")

@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""BGP beacon study: dynamic routing behavior (the paper's §7 proposal).
+
+The paper proposes validating its automatic BGP configuration by
+simulating the RIPE/PSG *beacon* methodology — a prefix announced and
+withdrawn on a schedule, observed from the rest of the network — and by
+comparing static route tables between configurations. Both are run here
+on a maBrite topology.
+
+Run:  python examples/bgp_beacon_study.py
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import numpy as np
+
+from repro.routing.bgp import BeaconExperiment, compare_ribs, configure_bgp
+from repro.topology import ASTier, generate_multi_as_network
+
+
+def main() -> None:
+    net = generate_multi_as_network(num_ases=30, routers_per_as=8, num_hosts=40, seed=21)
+    engine = configure_bgp(net)
+    tiers = Counter(d.tier.value for d in net.as_domains.values())
+    print(f"topology: {len(net.as_domains)} ASes {dict(tiers)}, "
+          f"BGP converged in {engine.iterations} iterations")
+
+    # Pick a stub AS as the beacon (beacons are leaf prefixes in practice).
+    stubs = [a for a, d in net.as_domains.items() if d.tier is ASTier.STUB]
+    beacon_as = stubs[0] if stubs else max(net.as_domains)
+    print(f"beacon prefix: AS {beacon_as} "
+          f"({net.as_domains[beacon_as].tier.value}, "
+          f"providers={sorted(net.as_domains[beacon_as].providers)})")
+
+    beacon = BeaconExperiment(engine, beacon_as)
+    print(f"\n{'event':<10}{'iterations':>12}{'affected ASes':>15}{'reachable':>11}")
+    for action in ("withdraw", "announce", "withdraw", "announce"):
+        rec = getattr(beacon, action)()
+        print(f"{rec.action:<10}{rec.iterations:>12}"
+              f"{len(rec.affected_ases):>15}{len(rec.reachable_from):>11}")
+
+    # Static validation: the same topology reconfigured must produce the
+    # same tables; a *different* relationship draw must not.
+    engine_same = configure_bgp(net)
+    sim_same = compare_ribs(engine, engine_same)
+    net_other = generate_multi_as_network(num_ases=30, routers_per_as=8,
+                                          num_hosts=40, seed=99)
+    engine_other = configure_bgp(net_other)
+    sim_other = compare_ribs(engine, engine_other)
+
+    print("\nstatic route-table similarity (paper §7 validation):")
+    print(f"  same config reconverged: coverage={sim_same['coverage']:.2f} "
+          f"path agreement={sim_same['path_agreement']:.2f}")
+    print(f"  different topology seed: coverage={sim_other['coverage']:.2f} "
+          f"path agreement={sim_other['path_agreement']:.2f}")
+
+    assert sim_same["path_agreement"] == 1.0
+    print("\nDynamic convergence is bounded by the AS hierarchy depth, and the "
+          "configuration is\ndeterministic — both properties the paper's "
+          "validation plan would check against real traces.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,93 @@
+#!/usr/bin/env python
+"""Feed a *measured* AS topology into the BGP configuration procedure.
+
+The paper's Section 7: "use the AS level topology of the real Internet
+and feed it into our BGP configuration procedure, allowing direct
+comparison of routing in the Internet and our generated configuration."
+This example runs that pipeline on the bundled CAIDA-format sample
+dataset (swap in a real as-rel file for actual Internet validation):
+
+1. parse inferred provider/customer/peer records,
+2. infer the tier structure from the relationships,
+3. build the router-level network and auto-configure BGP,
+4. report routing realism (reachability, valley-freeness, path lengths)
+   side by side with a maBrite-generated topology of the same size.
+
+Run:  python examples/measured_topology_validation.py [as-rel-file]
+"""
+
+from __future__ import annotations
+
+import sys
+from collections import Counter
+
+import numpy as np
+
+from repro.routing.bgp import configure_bgp, is_valley_free
+from repro.topology import (
+    build_multi_as_network,
+    generate_multi_as_network,
+    load_as_relationships,
+    parse_as_relationships,
+)
+from repro.topology.sample_data import SAMPLE_AS_RELATIONSHIPS
+
+
+def routing_report(net, bgp, label):
+    n = len(net.as_domains)
+    reach = bgp.reachability_matrix()
+    full = sum(1 for s in reach.values() if len(s) == n)
+
+    def rel(a, b):
+        return net.as_domains[a].relationship_to(b)
+
+    lengths = []
+    violations = 0
+    for a in net.as_domains:
+        for b in net.as_domains:
+            if a == b:
+                continue
+            path = bgp.as_path(a, b)
+            if path is None:
+                continue
+            lengths.append(len(path) - 1)
+            if not is_valley_free(tuple(path[1:]), b, rel):
+                violations += 1
+    print(f"{label}:")
+    print(f"  ASes: {n}, BGP iterations: {bgp.iterations}")
+    print(f"  full reachability: {full}/{n}")
+    print(f"  mean AS path length: {np.mean(lengths):.2f} "
+          f"(max {max(lengths)})")
+    print(f"  valley violations: {violations}")
+    return np.mean(lengths)
+
+
+def main() -> None:
+    if len(sys.argv) > 1:
+        topo, mapping = load_as_relationships(sys.argv[1])
+        print(f"loaded {len(mapping)} ASes from {sys.argv[1]}")
+    else:
+        topo, mapping = parse_as_relationships(SAMPLE_AS_RELATIONSHIPS)
+        print(f"using bundled sample dataset ({len(mapping)} ASes)")
+    tiers = Counter(t.value for t in topo.tiers.values())
+    print(f"inferred tiers: {dict(tiers)}\n")
+
+    measured_net = build_multi_as_network(topo, routers_per_as=6, num_hosts=30)
+    measured_bgp = configure_bgp(measured_net)
+    mean_measured = routing_report(measured_net, measured_bgp, "measured topology")
+
+    generated_net = generate_multi_as_network(
+        num_ases=topo.num_ases, routers_per_as=6, num_hosts=30, seed=4
+    )
+    generated_bgp = configure_bgp(generated_net)
+    mean_generated = routing_report(generated_net, generated_bgp, "\nmaBrite-generated")
+
+    print(
+        f"\npath-length agreement: measured {mean_measured:.2f} vs "
+        f"generated {mean_generated:.2f} AS hops — the static comparison "
+        "the paper proposes,\nready to run against a real as-rel snapshot."
+    )
+
+
+if __name__ == "__main__":
+    main()

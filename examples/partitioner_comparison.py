@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Compare the METIS-like multilevel partitioner against the baselines.
+
+The hierarchical load balance needs a fast, high-quality partitioner —
+this example pits the from-scratch multilevel k-way implementation
+against random, round-robin, BFS-block, ModelNet-style greedy k-cluster,
+and spectral partitioning on an Internet-like router graph, reporting
+edge cut, balance, achieved MLL, and wall-clock time.
+
+Run:  python examples/partitioner_comparison.py [num_routers]
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro.core import Approach, build_weighted_graph
+import numpy as np
+
+from repro.partition import (
+    bfs_block_partition,
+    coordinate_bisection,
+    greedy_k_cluster,
+    partition_kway,
+    random_partition,
+    round_robin_partition,
+    spectral_partition_kway,
+)
+from repro.topology import generate_flat_network
+
+K = 16
+
+
+def main() -> None:
+    num_routers = int(sys.argv[1]) if len(sys.argv) > 1 else 1000
+    net = generate_flat_network(num_routers=num_routers, num_hosts=num_routers // 3, seed=3)
+    graph = build_weighted_graph(net, Approach.TOP)
+    print(f"graph: {graph.num_vertices} vertices, {graph.num_edges} edges, k={K}\n")
+
+    positions = np.array([n.position for n in net.nodes])
+    partitioners = {
+        "random": lambda: random_partition(graph, K, seed=0),
+        "geographic": lambda: coordinate_bisection(graph, positions, K),
+        "round-robin": lambda: round_robin_partition(graph, K),
+        "bfs-blocks": lambda: bfs_block_partition(graph, K, seed=0),
+        "greedy-k-cluster": lambda: greedy_k_cluster(graph, K, seed=0),
+        "spectral": lambda: spectral_partition_kway(graph, K, seed=0),
+        "multilevel (ours)": lambda: partition_kway(graph, K, seed=0),
+    }
+
+    print(f"{'partitioner':<20}{'edge cut':>14}{'balance':>10}{'MLL (ms)':>10}{'time (s)':>10}")
+    print("-" * 64)
+    for name, fn in partitioners.items():
+        t0 = time.perf_counter()
+        res = fn()
+        dt = time.perf_counter() - t0
+        mll = res.min_cut_latency * 1e3
+        print(f"{name:<20}{res.edge_cut:>14.1f}{res.balance:>10.3f}{mll:>10.4f}{dt:>10.3f}")
+
+    print(
+        "\nThe multilevel partitioner should dominate on edge cut at comparable "
+        "balance —\nthe property the paper relies on when sweeping thousands of "
+        "collapse thresholds."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,182 @@
+"""Command-line interface: run the paper's experiments from a shell.
+
+Usage::
+
+    python -m repro experiment single-as scalapack [--scale small] [--seed 0]
+    python -m repro figures [--scale small] [--seed 0]
+    python -m repro sweep [--scale small] [--network single-as]
+    python -m repro synccost
+
+``figures`` runs all four (network, application) experiments and prints
+the paper's Figures 6-13 tables; ``sweep`` prints the Tmll sweep behind
+HPROF (ablation 1); ``synccost`` prints the Figure 5 model.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _add_scale(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--scale",
+        default=None,
+        choices=["small", "medium", "large", "paper"],
+        help="experiment scale (default: $REPRO_SCALE or 'small')",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def _resolve_scale(args):
+    from .experiments import SCALES, default_scale
+
+    return SCALES[args.scale] if args.scale else default_scale()
+
+
+def cmd_experiment(args) -> int:
+    from .experiments import format_bars, format_result, run_experiment
+
+    scale = _resolve_scale(args)
+    result = run_experiment(args.network, args.app, scale=scale, seed=args.seed)
+    print(format_result(result))
+    if args.bars:
+        for metric in ("sim_time_s", "achieved_mll_ms", "load_imbalance",
+                       "parallel_efficiency"):
+            print()
+            print(format_bars(result, metric))
+    if args.save:
+        from .serialization import save_result
+
+        save_result(result, args.save)
+        print(f"\nsaved to {args.save}")
+    return 0
+
+
+def cmd_figures(args) -> int:
+    from .experiments import format_figure, run_experiment
+
+    scale = _resolve_scale(args)
+    figure_ids = {
+        "single-as": {"sim_time_s": 6, "achieved_mll_ms": 7,
+                      "load_imbalance": 8, "parallel_efficiency": 9},
+        "multi-as": {"sim_time_s": 10, "achieved_mll_ms": 11,
+                     "load_imbalance": 12, "parallel_efficiency": 13},
+    }
+    for kind in ("single-as", "multi-as"):
+        results = [
+            run_experiment(kind, app, scale=scale, seed=args.seed)
+            for app in ("scalapack", "gridnpb")
+        ]
+        for metric, fig in figure_ids[kind].items():
+            print(f"--- Figure {fig} ---")
+            print(format_figure(results, metric))
+            print()
+    return 0
+
+
+def cmd_sweep(args) -> int:
+    from .core import Approach, build_weighted_graph, hierarchical_partition
+    from .core.mapping import run_profiling_simulation
+    from .experiments import build_network, install_workload
+    from .experiments.runner import cluster_for_scale
+
+    scale = _resolve_scale(args)
+    net, fib = build_network(args.network, scale, seed=args.seed)
+
+    def setup(sim, agent):
+        install_workload(
+            sim, agent, net, "scalapack", scale, args.seed,
+            duration_s=scale.profile_duration_s,
+        )
+
+    profile = run_profiling_simulation(net, fib, setup, scale.profile_duration_s)
+    graph = build_weighted_graph(net, Approach.HPROF, profile)
+    cluster = cluster_for_scale(scale)
+    result = hierarchical_partition(
+        graph,
+        scale.num_engines,
+        sync_cost_s=cluster.sync_cost_s(scale.num_engines),
+        seed=args.seed,
+    )
+    print(f"Tmll sweep on {args.network} ({graph.num_vertices} vertices, "
+          f"{scale.num_engines} engines)")
+    print(f"{'Tmll (ms)':>10}{'coarse n':>10}{'Es':>8}{'Ec':>8}{'E':>8}{'MLL (ms)':>10}")
+    for rec in result.sweep:
+        e = rec.evaluation
+        marker = "  <== best" if rec.tmll_s == result.tmll_s else ""
+        print(
+            f"{rec.tmll_s * 1e3:>10.2f}{rec.coarse_vertices:>10}"
+            f"{e.es:>8.3f}{e.ec:>8.3f}{e.efficiency:>8.3f}"
+            f"{e.mll_s * 1e3:>10.3f}{marker}"
+        )
+    return 0
+
+
+def cmd_claims(args) -> int:
+    from .experiments import evaluate_claims, format_claims, run_experiment
+
+    scale = _resolve_scale(args)
+    results = [
+        run_experiment(kind, app, scale=scale, seed=args.seed)
+        for kind in ("single-as", "multi-as")
+        for app in ("scalapack", "gridnpb")
+    ]
+    checks = evaluate_claims(results)
+    print(format_claims(checks))
+    return 0 if all(c.holds for c in checks) else 1
+
+
+def cmd_synccost(args) -> int:
+    from .cluster import SyncCostModel
+
+    model = SyncCostModel()
+    print("TeraGrid synchronization cost model (paper Figure 5)")
+    print(f"{'nodes':>8}{'cost (us)':>12}")
+    for n in (2, 6, 16, 48, 80, 90, 100, 112, 128):
+        print(f"{n:>8}{model(n) * 1e6:>12.0f}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Realistic Large-Scale Online Network "
+        "Simulation' (Liu & Chien, SC 2004)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_exp = sub.add_parser("experiment", help="run one experiment, print its metric table")
+    p_exp.add_argument("network", choices=["single-as", "multi-as"])
+    p_exp.add_argument("app", choices=["scalapack", "gridnpb"])
+    p_exp.add_argument("--save", metavar="PATH", default=None,
+                       help="write the result as JSON")
+    p_exp.add_argument("--bars", action="store_true",
+                       help="also render ASCII bar charts per metric")
+    _add_scale(p_exp)
+    p_exp.set_defaults(fn=cmd_experiment)
+
+    p_fig = sub.add_parser("figures", help="regenerate Figures 6-13")
+    _add_scale(p_fig)
+    p_fig.set_defaults(fn=cmd_figures)
+
+    p_sweep = sub.add_parser("sweep", help="print the HPROF Tmll sweep")
+    p_sweep.add_argument("--network", default="single-as", choices=["single-as", "multi-as"])
+    _add_scale(p_sweep)
+    p_sweep.set_defaults(fn=cmd_sweep)
+
+    p_claims = sub.add_parser(
+        "claims", help="evaluate the paper's headline claims (exit 1 on failure)"
+    )
+    _add_scale(p_claims)
+    p_claims.set_defaults(fn=cmd_claims)
+
+    p_sync = sub.add_parser("synccost", help="print the Figure 5 sync cost model")
+    p_sync.set_defaults(fn=cmd_synccost)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

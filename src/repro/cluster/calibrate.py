@@ -1,0 +1,95 @@
+"""Measure this machine's engine costs (how Figure 5 was made).
+
+The paper measured the TeraGrid cluster's barrier cost and event
+throughput and fed them into the partition evaluator. A real deployment
+of this library would do the same; these microbenchmarks measure the
+*local* engine — per-event execution cost on the sequential kernel and
+per-window barrier overhead of the conservative engine — and assemble a
+:class:`ClusterSpec` from them, so cost-model predictions can be grounded
+in the hardware at hand instead of the modeled 2004 cluster.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from ..engine.conservative import ConservativeEngine
+from ..engine.kernel import SimKernel
+from .syncmodel import ClusterSpec, SyncCostModel
+
+__all__ = [
+    "measure_event_cost",
+    "measure_barrier_cost",
+    "calibrated_cluster",
+]
+
+
+def measure_event_cost(num_events: int = 20_000, repeats: int = 3) -> float:
+    """Seconds per no-op event on the sequential kernel (median of runs)."""
+    if num_events < 1:
+        raise ValueError("num_events must be >= 1")
+    samples = []
+    for _ in range(max(1, repeats)):
+        kernel = SimKernel()
+        fn = _noop
+        for i in range(num_events):
+            kernel.schedule_at(i * 1e-6, fn, node=0)
+        t0 = time.perf_counter()
+        kernel.run()
+        samples.append((time.perf_counter() - t0) / num_events)
+    return float(np.median(samples))
+
+
+def measure_barrier_cost(
+    num_lps: int, num_windows: int = 2_000, repeats: int = 3
+) -> float:
+    """Seconds of engine overhead per empty synchronization window.
+
+    On a real cluster this is the MPI barrier; in the one-process engine
+    it is the per-window bookkeeping across ``num_lps`` queues — the same
+    role in the cost model.
+    """
+    if num_lps < 1:
+        raise ValueError("num_lps must be >= 1")
+    samples = []
+    assignment = np.arange(num_lps, dtype=np.int64)
+    for _ in range(max(1, repeats)):
+        engine = ConservativeEngine(assignment, num_lps, lookahead=1.0)
+        t0 = time.perf_counter()
+        engine.run(until=float(num_windows))
+        samples.append((time.perf_counter() - t0) / num_windows)
+    return float(np.median(samples))
+
+
+def calibrated_cluster(
+    name: str = "local",
+    num_engine_nodes: int = 8,
+    lp_counts: tuple[int, ...] = (2, 4, 8, 16),
+    remote_factor: float = 2.5,
+) -> ClusterSpec:
+    """Assemble a :class:`ClusterSpec` from local measurements.
+
+    ``remote_factor`` scales the event cost into the remote-event cost
+    (serialization + transport), mirroring the default spec's ratio.
+    """
+    event_cost = measure_event_cost()
+    points = {}
+    last = 0.0
+    for n in sorted(set(lp_counts)):
+        cost = measure_barrier_cost(n, num_windows=500, repeats=2)
+        # Enforce monotonicity (timer noise can invert adjacent points).
+        last = max(cost, last * 1.0000001)
+        points[n] = last
+    return ClusterSpec(
+        name=name,
+        num_engine_nodes=num_engine_nodes,
+        sync_cost=SyncCostModel(points=points),
+        event_cost_s=event_cost,
+        remote_event_cost_s=event_cost * remote_factor,
+    )
+
+
+def _noop() -> None:
+    pass

@@ -1,0 +1,110 @@
+"""Cluster synchronization-cost model (paper Figure 5).
+
+The paper measured the global synchronization cost of the TeraGrid
+Itanium-2/Myrinet cluster as a function of engine node count; the
+barrier executes once per MLL of simulated time, so this curve is the
+quantity the hierarchical partitioner trades off against parallelism
+(``Es = (MLL - C_N) / MLL``).
+
+We encode the published anchor — ~0.58 ms at ~100 nodes, growing
+monotonically over 6..112 nodes — as a measured-point table with
+piecewise-linear interpolation, and expose the cluster spec used by the
+experiments (90 engine nodes + 7 application nodes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["SyncCostModel", "TERAGRID_SYNC_POINTS", "teragrid_cluster", "ClusterSpec"]
+
+#: Modeled measurements of Figure 5 (node count -> barrier cost, seconds).
+#: Anchored to the paper's quoted 0.58 ms at ~100 nodes; near-linear growth
+#: with a fixed software overhead, the typical shape of tree barriers over
+#: Myrinet at these scales.
+TERAGRID_SYNC_POINTS: dict[int, float] = {
+    2: 70e-6,
+    6: 110e-6,
+    16: 160e-6,
+    48: 320e-6,
+    80: 480e-6,
+    100: 580e-6,
+    112: 640e-6,
+    128: 720e-6,
+}
+
+
+@dataclass(frozen=True)
+class SyncCostModel:
+    """Barrier cost ``C(N)`` from measured points.
+
+    Piecewise-linear between points; linear extrapolation beyond the last
+    segment; ``C(1) = 0`` (a single engine never synchronizes).
+    """
+
+    points: dict[int, float] = field(default_factory=lambda: dict(TERAGRID_SYNC_POINTS))
+
+    def __post_init__(self) -> None:
+        if len(self.points) < 2:
+            raise ValueError("need at least two measured points")
+        ns = sorted(self.points)
+        cs = [self.points[n] for n in ns]
+        if any(c <= 0 for c in cs):
+            raise ValueError("sync costs must be positive")
+        if any(b < a for a, b in zip(cs, cs[1:])):
+            raise ValueError("sync cost must be non-decreasing in node count")
+        object.__setattr__(self, "_ns", np.asarray(ns, dtype=np.float64))
+        object.__setattr__(self, "_cs", np.asarray(cs, dtype=np.float64))
+
+    def __call__(self, num_nodes: int) -> float:
+        """Synchronization cost in seconds for ``num_nodes`` engines."""
+        if num_nodes < 1:
+            raise ValueError("num_nodes must be >= 1")
+        if num_nodes == 1:
+            return 0.0
+        ns: np.ndarray = self._ns  # type: ignore[attr-defined]
+        cs: np.ndarray = self._cs  # type: ignore[attr-defined]
+        if num_nodes >= ns[-1]:
+            slope = (cs[-1] - cs[-2]) / (ns[-1] - ns[-2])
+            return float(cs[-1] + slope * (num_nodes - ns[-1]))
+        return float(np.interp(num_nodes, ns, cs))
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """A simulation cluster: engine nodes, app nodes, and cost parameters.
+
+    ``event_cost_s`` is the kernel's per-event CPU cost;
+    ``remote_event_cost_s`` the extra cost of shipping an event to another
+    engine node (serialization + MPI send; the receive side is folded in).
+    Defaults model a 1.3 GHz Itanium-2 running a packet-level kernel
+    (~100 k events/s/node).
+    """
+
+    name: str
+    num_engine_nodes: int
+    num_app_nodes: int = 0
+    sync_cost: SyncCostModel = field(default_factory=SyncCostModel)
+    event_cost_s: float = 10e-6
+    remote_event_cost_s: float = 25e-6
+
+    def sync_cost_s(self, num_nodes: int | None = None) -> float:
+        """Barrier cost for ``num_nodes`` engines (defaults to the spec's count)."""
+        return self.sync_cost(num_nodes if num_nodes is not None else self.num_engine_nodes)
+
+    @property
+    def max_event_rate_per_node(self) -> float:
+        """Events/second one engine node sustains (used for Tseq estimate)."""
+        return 1.0 / self.event_cost_s
+
+
+def teragrid_cluster(num_engine_nodes: int = 90) -> ClusterSpec:
+    """The paper's experimental platform: TeraGrid Itanium-2 cluster,
+    90 engine nodes + 7 application nodes out of 128."""
+    return ClusterSpec(
+        name="TeraGrid Itanium-2 (Myrinet 2000, MPICH-GM)",
+        num_engine_nodes=num_engine_nodes,
+        num_app_nodes=7,
+    )

@@ -1,0 +1,49 @@
+"""The paper's core contribution: load-balance approaches for parallel
+network simulation (TOP/TOP2/PROF/PROF2 and hierarchical HTOP/HPROF)."""
+
+from .approaches import Approach, build_weighted_graph
+from .evaluate import (
+    PartitionEvaluation,
+    balance_efficiency,
+    evaluate_partition,
+    sync_efficiency,
+)
+from .hierarchical import (
+    DEFAULT_TMLL_STEP_S,
+    HierarchicalResult,
+    SweepRecord,
+    hierarchical_partition,
+)
+from .mapping import MappingPipeline, NetworkMapping, run_profiling_simulation
+from .weights import (
+    REFERENCE_LATENCY_S,
+    latency_to_edge_weight,
+    place_vertex_weights,
+    prof_edge_weights,
+    prof_vertex_weights,
+    top_edge_weights,
+    top_vertex_weights,
+)
+
+__all__ = [
+    "Approach",
+    "build_weighted_graph",
+    "PartitionEvaluation",
+    "evaluate_partition",
+    "sync_efficiency",
+    "balance_efficiency",
+    "hierarchical_partition",
+    "HierarchicalResult",
+    "SweepRecord",
+    "DEFAULT_TMLL_STEP_S",
+    "MappingPipeline",
+    "NetworkMapping",
+    "run_profiling_simulation",
+    "latency_to_edge_weight",
+    "top_vertex_weights",
+    "prof_vertex_weights",
+    "place_vertex_weights",
+    "top_edge_weights",
+    "prof_edge_weights",
+    "REFERENCE_LATENCY_S",
+]

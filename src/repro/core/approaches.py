@@ -1,0 +1,99 @@
+"""The mapping approaches the paper evaluates (plus PLACE).
+
+========  ====================  ==========================  ============
+Approach  Vertex weights        Edge weights                Partitioner
+========  ====================  ==========================  ============
+TOP       link bandwidth        latency (base conversion)   flat k-way
+TOP2      link bandwidth        latency (tuned conversion)  flat k-way
+PLACE     bandwidth + app       latency (base conversion)   flat k-way
+          placement boost
+PROF      profiled events       latency * traffic (base)    flat k-way
+PROF2     profiled events       latency * traffic (tuned)   flat k-way
+HTOP      link bandwidth        latency (base)              hierarchical
+HPROF     profiled events       latency * traffic (base)    hierarchical
+========  ====================  ==========================  ============
+
+TOP/PROF/HTOP/HPROF and the tuned variants are the paper's Section 3;
+PLACE is the "topology and application placement" approach of the
+authors' earlier work (SC'03), included as the intermediate point between
+pure topology and full profiling.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Sequence
+
+from ..partition.graph import WeightedGraph
+from ..profilers.traffic import TrafficProfile
+from ..topology.models import Network
+from .weights import (
+    place_vertex_weights,
+    prof_edge_weights,
+    prof_vertex_weights,
+    top_edge_weights,
+    top_vertex_weights,
+)
+
+__all__ = ["Approach", "build_weighted_graph"]
+
+
+class Approach(enum.Enum):
+    """Load-balance approach identifiers (paper Sections 3.3-3.4)."""
+
+    TOP = "TOP"
+    TOP2 = "TOP2"
+    PLACE = "PLACE"
+    PROF = "PROF"
+    PROF2 = "PROF2"
+    HTOP = "HTOP"
+    HPROF = "HPROF"
+
+    @property
+    def uses_profile(self) -> bool:
+        """True for the PROF family (requires a traffic profile)."""
+        return self in (Approach.PROF, Approach.PROF2, Approach.HPROF)
+
+    @property
+    def uses_placement(self) -> bool:
+        """True for PLACE (requires the application placement)."""
+        return self is Approach.PLACE
+
+    @property
+    def hierarchical(self) -> bool:
+        """True for the collapse-and-sweep approaches (HTOP/HPROF)."""
+        return self in (Approach.HTOP, Approach.HPROF)
+
+    @property
+    def conversion_scheme(self) -> str:
+        """Latency->edge-weight conversion ('tuned' = the manual TOP2/PROF2
+        adjustment; hierarchical approaches don't need it — the collapse
+        guarantees the MLL)."""
+        return "tuned" if self in (Approach.TOP2, Approach.PROF2) else "base"
+
+
+def build_weighted_graph(
+    net: Network,
+    approach: Approach,
+    profile: TrafficProfile | None = None,
+    placement: Sequence[int] | None = None,
+) -> WeightedGraph:
+    """Annotate the network graph with the approach's weights.
+
+    ``profile`` is required by the PROF family; ``placement`` (the hosts
+    running live application processes) by PLACE.
+    """
+    if approach.uses_profile:
+        if profile is None:
+            raise ValueError(f"{approach.value} requires a traffic profile")
+        vwgt = prof_vertex_weights(net, profile)
+        ewgt = prof_edge_weights(net, profile, scheme=approach.conversion_scheme)
+    elif approach.uses_placement:
+        if placement is None:
+            raise ValueError("PLACE requires the application placement")
+        vwgt = place_vertex_weights(net, placement)
+        ewgt = top_edge_weights(net, scheme=approach.conversion_scheme)
+    else:
+        vwgt = top_vertex_weights(net)
+        ewgt = top_edge_weights(net, scheme=approach.conversion_scheme)
+    return net.to_graph(vertex_weight=vwgt, edge_weight=ewgt)

@@ -1,0 +1,149 @@
+"""Weight assignment for the load-balance approaches (paper Section 3.3).
+
+The network mapping problem becomes graph partitioning once the virtual
+network is annotated with weights:
+
+- **vertex weight** estimates the simulation load of the node: TOP uses
+  total in/out link bandwidth ("each virtual node is weighted with the
+  total bandwidth in and out of it"); PROF uses the profiled per-node
+  event counts.
+- **edge weight** makes cutting a link expensive: link latency is
+  converted so that *smaller latency yields larger weight* (cutting a
+  short link ruins the achievable MLL); PROF additionally adds the
+  profiled traffic volume of the link (cutting a busy link creates remote
+  events).
+
+The ``tuned`` conversion is the paper's TOP2/PROF2: a manual, topology-
+dependent re-scaling that penalizes small-latency edges much harder so
+the flat partitioner stops cutting them. The paper is explicit that this
+is "not a general solution"; the hierarchical approaches replace it.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..profilers.traffic import TrafficProfile
+from ..topology.models import Network
+
+__all__ = [
+    "latency_to_edge_weight",
+    "top_vertex_weights",
+    "prof_vertex_weights",
+    "place_vertex_weights",
+    "top_edge_weights",
+    "prof_edge_weights",
+    "REFERENCE_LATENCY_S",
+]
+
+#: Latency at which the converted edge weight equals 1 (1 ms).
+REFERENCE_LATENCY_S = 1e-3
+
+
+def latency_to_edge_weight(
+    latency_s: np.ndarray, scheme: str = "base"
+) -> np.ndarray:
+    """Convert link latencies to partitioning edge weights.
+
+    ``base``
+        ``w = ref / latency`` capped at 1e3: the original TOP/PROF
+        conversion, a gentle inverse relationship.
+    ``tuned``
+        ``w = (ref / latency)^3`` capped at 1e8: the TOP2/PROF2 manual
+        adjustment, making sub-threshold-latency edges effectively uncut-
+        table for moderate graphs (but still dilutable in the edge-cut sum
+        of very large graphs — the failure HPROF fixes).
+    """
+    latency_s = np.asarray(latency_s, dtype=np.float64)
+    if np.any(latency_s <= 0):
+        raise ValueError("latencies must be positive")
+    ratio = REFERENCE_LATENCY_S / latency_s
+    if scheme == "base":
+        return np.minimum(ratio, 1e3)
+    if scheme == "tuned":
+        return np.minimum(ratio * ratio * ratio, 1e8)
+    raise ValueError(f"unknown conversion scheme {scheme!r}")
+
+
+def top_vertex_weights(net: Network) -> np.ndarray:
+    """TOP load estimate: total incident bandwidth per node, mean-normalized."""
+    w = np.zeros(net.num_nodes)
+    for link in net.links:
+        w[link.u] += link.bandwidth_bps
+        w[link.v] += link.bandwidth_bps
+    mean = w.mean() if net.num_nodes else 1.0
+    return w / mean if mean > 0 else np.ones_like(w)
+
+
+def prof_vertex_weights(net: Network, profile: TrafficProfile) -> np.ndarray:
+    """PROF load estimate: profiled event count per node, mean-normalized.
+
+    A +1 floor keeps silent nodes partitionable (zero-weight vertices make
+    balance constraints degenerate).
+    """
+    events = np.asarray(profile.node_events, dtype=np.float64)
+    if events.shape[0] != net.num_nodes:
+        raise ValueError("profile does not match network size")
+    w = events + 1.0
+    return w / w.mean()
+
+
+def place_vertex_weights(
+    net: Network,
+    app_hosts: Sequence[int],
+    boost: float = 10.0,
+) -> np.ndarray:
+    """PLACE load estimate: topology plus static application placement.
+
+    The paper's earlier work (SC'03) explored a mapping that augments
+    topology information with *where the application processes are
+    placed*: hosts running live application endpoints (and their access
+    routers) are expected to see far more traffic than the bandwidth
+    weight alone suggests. Each app host and its attachment router get
+    their TOP weight multiplied by ``1 + boost``.
+    """
+    if boost < 0:
+        raise ValueError("boost must be non-negative")
+    w = top_vertex_weights(net).copy()
+    for host in app_hosts:
+        if not 0 <= host < net.num_nodes:
+            raise ValueError(f"unknown node {host}")
+        w[host] *= 1.0 + boost
+        for neighbor, _link in net.neighbors(host):
+            w[neighbor] *= 1.0 + boost
+    return w / w.mean()
+
+
+def top_edge_weights(net: Network, scheme: str = "base") -> np.ndarray:
+    """TOP edge weights: latency conversion only (one per link)."""
+    lat = np.fromiter((l.latency_s for l in net.links), dtype=np.float64, count=net.num_links)
+    return latency_to_edge_weight(lat, scheme)
+
+
+def prof_edge_weights(
+    net: Network,
+    profile: TrafficProfile,
+    scheme: str = "base",
+    traffic_gain: float = 1.0,
+) -> np.ndarray:
+    """PROF edge weights: latency conversion scaled by profiled traffic.
+
+    ``w = lat_term * (1 + traffic_gain * traffic_norm)``: the latency term
+    keeps small-latency edges expensive to cut (protecting the achievable
+    MLL exactly as in TOP), while measured link traffic multiplies the
+    cost so that, among comparable latencies, busy links stay inside
+    partitions (cutting them creates remote events). A blend that could
+    *dilute* the latency term would let the partitioner cut idle
+    small-latency edges — collapsing the MLL to the host access links.
+    """
+    if traffic_gain < 0:
+        raise ValueError("traffic_gain must be non-negative")
+    lat_term = top_edge_weights(net, scheme)
+    packets = np.asarray(profile.link_packets, dtype=np.float64)
+    if packets.shape[0] != net.num_links:
+        raise ValueError("profile does not match network link count")
+    traffic = packets + 1.0
+    traffic_norm = traffic / traffic.mean()
+    return lat_term * (1.0 + traffic_gain * traffic_norm)

@@ -1,0 +1,34 @@
+"""Discrete-event simulation engines and the cluster cost model.
+
+:class:`SimKernel` is the sequential reference engine (with event-trace
+recording); :class:`ConservativeEngine` is the barrier-synchronized
+parallel engine over a node->LP partition; :mod:`repro.engine.costmodel`
+converts either's per-window counters into modeled wall-clock time.
+"""
+
+from .conservative import ConservativeEngine, LookaheadViolation, WindowStats
+from .costmodel import (
+    WallclockPrediction,
+    bucket_event_counts,
+    predict_from_trace,
+    predict_wallclock,
+    remote_send_counts,
+    sequential_time_estimate,
+)
+from .events import Event, EventQueue
+from .kernel import SimKernel
+
+__all__ = [
+    "Event",
+    "EventQueue",
+    "SimKernel",
+    "ConservativeEngine",
+    "LookaheadViolation",
+    "WindowStats",
+    "bucket_event_counts",
+    "remote_send_counts",
+    "predict_wallclock",
+    "predict_from_trace",
+    "WallclockPrediction",
+    "sequential_time_estimate",
+]

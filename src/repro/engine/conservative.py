@@ -1,0 +1,237 @@
+"""Conservative barrier-synchronized parallel DES engine.
+
+This is the execution model of MaSSF's distributed engine (DaSSF-style):
+the simulated network is partitioned into logical processes (LPs); all LPs
+repeatedly execute the events of one *synchronization window* whose length
+equals the lookahead — the minimum latency of any cross-LP link (the
+achieved MLL) — then exchange cross-LP events at a barrier. An event an LP
+creates for another LP always lands at least one lookahead in the future,
+so delivering mail at the barrier preserves causality.
+
+All LPs share one OS process here (the substitution documented in
+DESIGN.md); the engine still maintains one event queue per LP, routes
+cross-LP traffic through mailboxes, enforces the lookahead constraint, and
+records the per-window per-LP event counts that the cluster cost model
+converts to wall-clock time. Its event ordering is equivalent to the
+sequential kernel's whenever cross-LP event times respect the lookahead
+(verified by tests).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from .events import Event, EventQueue
+
+__all__ = ["LookaheadViolation", "WindowStats", "ConservativeEngine"]
+
+
+class LookaheadViolation(RuntimeError):
+    """A cross-LP event was scheduled closer than the engine's lookahead."""
+
+
+@dataclass
+class WindowStats:
+    """Per-synchronization-window execution counters."""
+
+    window_index: int
+    start: float
+    end: float
+    #: events executed per LP in this window
+    events_per_lp: np.ndarray
+    #: cross-LP events *sent* per LP in this window
+    remote_sends_per_lp: np.ndarray
+
+    @property
+    def total_events(self) -> int:
+        """Events executed across all LPs in this window."""
+        return int(self.events_per_lp.sum())
+
+
+class ConservativeEngine:
+    """Barrier-window parallel executor over a node -> LP assignment.
+
+    Parameters
+    ----------
+    assignment:
+        ``assignment[node] = lp`` for every simulated node id. Events with
+        ``node == -1`` (engine-internal) run on LP 0.
+    num_lps:
+        Number of logical processes (simulation engine nodes).
+    lookahead:
+        Window length in simulated seconds; must not exceed the minimum
+        cross-LP link latency of the workload (the achieved MLL), which the
+        engine enforces at scheduling time.
+    strict:
+        Raise :class:`LookaheadViolation` on violations (default). With
+        ``strict=False`` violations are counted but tolerated (events are
+        delivered late at the next barrier — the accuracy erosion a real
+        optimistic/approximate engine would suffer).
+    """
+
+    def __init__(
+        self,
+        assignment: Sequence[int] | np.ndarray,
+        num_lps: int,
+        lookahead: float,
+        strict: bool = True,
+    ) -> None:
+        if lookahead <= 0:
+            raise ValueError("lookahead must be positive")
+        self.assignment = np.asarray(assignment, dtype=np.int64)
+        if self.assignment.size and (
+            self.assignment.min() < 0 or self.assignment.max() >= num_lps
+        ):
+            raise ValueError("assignment references an LP out of range")
+        self.num_lps = int(num_lps)
+        self.lookahead = float(lookahead)
+        self.strict = strict
+
+        self.now: float = 0.0  # barrier time (start of current window)
+        self._queues = [EventQueue() for _ in range(self.num_lps)]
+        self._mailboxes: list[list[Event]] = [[] for _ in range(self.num_lps)]
+        self._current_lp: int | None = None
+        self._window_end: float = 0.0
+        self.events_executed = 0
+        self.lookahead_violations = 0
+        self.window_stats: list[WindowStats] = []
+        self._events_this_window = np.zeros(self.num_lps, dtype=np.int64)
+        self._remote_this_window = np.zeros(self.num_lps, dtype=np.int64)
+
+    @property
+    def current_time(self) -> float:
+        """Simulated time within the executing LP (barrier time otherwise)."""
+        return self._lp_now if self._current_lp is not None else self.now
+
+    @property
+    def next_barrier_time(self) -> float:
+        """End of the current synchronization window (== now at a barrier).
+
+        External (live-traffic) events are admitted at this time: an event
+        scheduled at the window end is delivered at the barrier and
+        therefore can safely target any LP.
+        """
+        return self._window_end if self._current_lp is not None else self.now
+
+    # ------------------------------------------------------------------
+    def lp_of(self, node: int) -> int:
+        """The LP owning ``node`` (engine-internal events run on LP 0)."""
+        return 0 if node < 0 else int(self.assignment[node])
+
+    def schedule_at(self, time: float, fn: Callable[[], Any], node: int = -1) -> Event:
+        """Schedule ``fn`` at absolute ``time`` on the LP owning ``node``.
+
+        During window execution, scheduling onto a *different* LP checks
+        the lookahead: the event must not land before the current window
+        ends (it will be delivered at the barrier).
+        """
+        if time < self.now:
+            raise ValueError("cannot schedule into the past")
+        target_lp = self.lp_of(node)
+        ev = Event(time=time, seq=_next_seq(), fn=fn, node=node)
+        if self._current_lp is None or target_lp == self._current_lp:
+            self._queues[target_lp].push_event(ev)
+        else:
+            if time < self._window_end - 1e-15:
+                self.lookahead_violations += 1
+                if self.strict:
+                    raise LookaheadViolation(
+                        f"cross-LP event at t={time:.9f} lands inside the current "
+                        f"window ending at {self._window_end:.9f} "
+                        f"(lookahead {self.lookahead:.9f})"
+                    )
+            self._remote_this_window[self._current_lp] += 1
+            self._mailboxes[target_lp].append(ev)
+        return ev
+
+    def schedule(self, delay: float, fn: Callable[[], Any], node: int = -1) -> Event:
+        """Schedule relative to the executing LP's current time."""
+        base = self._lp_now if self._current_lp is not None else self.now
+        return self.schedule_at(base + delay, fn, node)
+
+    # ------------------------------------------------------------------
+    def _run_lp_window(self, lp: int, window_end: float) -> int:
+        queue = self._queues[lp]
+        executed = 0
+        while True:
+            t = queue.peek_time()
+            if t is None or t >= window_end:
+                break
+            ev = queue.pop()
+            assert ev is not None
+            self._lp_now = ev.time
+            ev.fn()
+            executed += 1
+        return executed
+
+    def run(self, until: float) -> int:
+        """Run barrier windows until simulated time ``until``.
+
+        Returns the number of events executed. Window stats accumulate in
+        :attr:`window_stats`.
+        """
+        executed_total = 0
+        window_index = len(self.window_stats)
+        # The epsilon absorbs float accumulation over many windows so a
+        # run to `until` never spawns a sliver final window.
+        while self.now < until - 1e-9 * self.lookahead:
+            window_end = min(self.now + self.lookahead, until)
+            self._window_end = window_end
+            self._events_this_window[:] = 0
+            self._remote_this_window[:] = 0
+            # "Parallel" phase: each LP processes its window independently.
+            for lp in range(self.num_lps):
+                self._current_lp = lp
+                n = self._run_lp_window(lp, window_end)
+                self._events_this_window[lp] = n
+                executed_total += n
+            self._current_lp = None
+            # Barrier: deliver cross-LP mail, advance global time.
+            for lp, mail in enumerate(self._mailboxes):
+                for ev in mail:
+                    self._queues[lp].push_event(ev)
+                mail.clear()
+            self.window_stats.append(
+                WindowStats(
+                    window_index=window_index,
+                    start=self.now,
+                    end=window_end,
+                    events_per_lp=self._events_this_window.copy(),
+                    remote_sends_per_lp=self._remote_this_window.copy(),
+                )
+            )
+            window_index += 1
+            self.now = window_end
+        self.events_executed += executed_total
+        return executed_total
+
+    # ------------------------------------------------------------------
+    @property
+    def pending(self) -> int:
+        """Live events across all LP queues and mailboxes."""
+        return sum(len(q) for q in self._queues) + sum(len(m) for m in self._mailboxes)
+
+    def events_per_lp_total(self) -> np.ndarray:
+        """Total events executed per LP over all windows so far."""
+        total = np.zeros(self.num_lps, dtype=np.int64)
+        for ws in self.window_stats:
+            total += ws.events_per_lp
+        return total
+
+    def remote_sends_total(self) -> np.ndarray:
+        """Total cross-LP events sent per LP over all windows so far."""
+        total = np.zeros(self.num_lps, dtype=np.int64)
+        for ws in self.window_stats:
+            total += ws.remote_sends_per_lp
+        return total
+
+    _lp_now: float = 0.0
+
+
+def _next_seq() -> int:
+    from .events import _seq
+
+    return next(_seq)

@@ -1,0 +1,76 @@
+"""Discrete event primitives: events and the pending-event queue.
+
+Events carry the simulated node they execute at — the engine's unit of
+spatial decomposition. Accounting per node is what lets the same run be
+re-evaluated under different partitions (node -> LP maps).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+__all__ = ["Event", "EventQueue"]
+
+_seq = itertools.count()
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.
+
+    Ordering is (time, seq): ties execute in scheduling order, which makes
+    runs deterministic. ``node`` is the simulated entity the event belongs
+    to (-1 for engine-internal events).
+    """
+
+    time: float
+    seq: int = field(compare=True)
+    fn: Callable[[], Any] = field(compare=False)
+    node: int = field(compare=False, default=-1)
+    cancelled: bool = field(compare=False, default=False)
+
+    def cancel(self) -> None:
+        """Lazily cancel; the queue discards the event on pop."""
+        self.cancelled = True
+
+
+class EventQueue:
+    """Binary-heap pending event set with lazy cancellation."""
+
+    __slots__ = ("_heap",)
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    def push(self, time: float, fn: Callable[[], Any], node: int = -1) -> Event:
+        """Create and enqueue an event; returns it (for cancellation)."""
+        ev = Event(time=time, seq=next(_seq), fn=fn, node=node)
+        heapq.heappush(self._heap, ev)
+        return ev
+
+    def push_event(self, ev: Event) -> None:
+        """Enqueue an existing event object (used for mailbox delivery)."""
+        heapq.heappush(self._heap, ev)
+
+    def peek_time(self) -> float | None:
+        """Timestamp of the earliest live event (None when empty)."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None
+
+    def pop(self) -> Event | None:
+        """Remove and return the earliest live event (None when empty)."""
+        while self._heap:
+            ev = heapq.heappop(self._heap)
+            if not ev.cancelled:
+                return ev
+        return None

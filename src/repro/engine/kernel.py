@@ -1,0 +1,107 @@
+"""Sequential discrete-event simulation kernel.
+
+The reference engine: executes the global event set in timestamp order.
+With ``record_trace=True`` it additionally records ``(time, node)`` for
+every executed event; the trace is what the cluster cost model buckets
+into synchronization windows per logical process, so a single simulation
+run can be evaluated under *every* candidate partition (the virtual
+network's behavior does not depend on the mapping).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+import numpy as np
+
+from .events import Event, EventQueue
+
+__all__ = ["SimKernel"]
+
+
+class SimKernel:
+    """Timestamp-ordered sequential event executor.
+
+    Parameters
+    ----------
+    record_trace:
+        Record (time, node) of every executed event for post-hoc
+        partition evaluation (:mod:`repro.engine.costmodel`).
+    """
+
+    def __init__(self, record_trace: bool = False) -> None:
+        self.now: float = 0.0
+        self.queue = EventQueue()
+        self.events_executed: int = 0
+        self.record_trace = record_trace
+        self._trace_times: list[float] = []
+        self._trace_nodes: list[int] = []
+
+    @property
+    def current_time(self) -> float:
+        """Simulated time of the executing (or last executed) event."""
+        return self.now
+
+    # ------------------------------------------------------------------
+    # Scheduling interface (shared with the conservative engine)
+    # ------------------------------------------------------------------
+    def schedule(self, delay: float, fn: Callable[[], Any], node: int = -1) -> Event:
+        """Schedule ``fn`` to run ``delay`` seconds from now at ``node``."""
+        if delay < 0:
+            raise ValueError("cannot schedule into the past")
+        return self.queue.push(self.now + delay, fn, node)
+
+    def schedule_at(self, time: float, fn: Callable[[], Any], node: int = -1) -> Event:
+        """Schedule ``fn`` at absolute simulated ``time`` at ``node``."""
+        if time < self.now:
+            raise ValueError("cannot schedule into the past")
+        return self.queue.push(time, fn, node)
+
+    # ------------------------------------------------------------------
+    def run(self, until: float | None = None, max_events: int | None = None) -> int:
+        """Execute events until the queue drains, ``until`` is reached, or
+        ``max_events`` have run. Returns the number executed this call.
+
+        Events stamped exactly at ``until`` are *not* executed, and
+        ``now`` advances to ``until`` (if given), so back-to-back windows
+        compose exactly.
+        """
+        executed = 0
+        while max_events is None or executed < max_events:
+            t = self.queue.peek_time()
+            if t is None or (until is not None and t >= until):
+                break
+            ev = self.queue.pop()
+            assert ev is not None
+            self.now = ev.time
+            ev.fn()
+            executed += 1
+            if self.record_trace:
+                self._trace_times.append(ev.time)
+                self._trace_nodes.append(ev.node)
+        if until is not None and self.now < until:
+            self.now = until
+        self.events_executed += executed
+        return executed
+
+    def step(self) -> bool:
+        """Execute a single event; False when the queue is empty."""
+        return self.run(max_events=1) == 1
+
+    @property
+    def pending(self) -> int:
+        """Number of events still queued."""
+        return len(self.queue)
+
+    # ------------------------------------------------------------------
+    def trace(self) -> tuple[np.ndarray, np.ndarray]:
+        """The recorded ``(times, nodes)`` arrays of executed events."""
+        return (
+            np.asarray(self._trace_times, dtype=np.float64),
+            np.asarray(self._trace_nodes, dtype=np.int64),
+        )
+
+    def clear_trace(self) -> None:
+        """Drop the recorded trace (frees memory between phases)."""
+        self._trace_times.clear()
+        self._trace_nodes.clear()

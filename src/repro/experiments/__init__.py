@@ -1,0 +1,48 @@
+"""Experiment pipelines reproducing the paper's evaluation (Figures 3-13)."""
+
+from .aggregate import MetricStats, aggregate_results, format_aggregate, run_seed_sweep
+from .claims import PAPER_CLAIMS, ClaimCheck, evaluate_claims, format_claims
+from .config import PAPER_SCALE, SCALES, ExperimentScale, default_scale
+from .parallel import predict_from_window_stats, run_parallel_workload
+from .report import FIGURE_METRICS, format_bars, format_figure, format_result
+from .runner import (
+    DEFAULT_APPROACHES,
+    ApproachRow,
+    ExperimentResult,
+    build_network,
+    evaluate_mappings,
+    run_experiment,
+    run_workload_simulation,
+)
+from .workloads import APP_KINDS, WorkloadHandles, install_workload
+
+__all__ = [
+    "ExperimentScale",
+    "SCALES",
+    "PAPER_SCALE",
+    "default_scale",
+    "run_experiment",
+    "build_network",
+    "run_workload_simulation",
+    "evaluate_mappings",
+    "ApproachRow",
+    "ExperimentResult",
+    "DEFAULT_APPROACHES",
+    "install_workload",
+    "WorkloadHandles",
+    "APP_KINDS",
+    "format_result",
+    "format_figure",
+    "FIGURE_METRICS",
+    "run_parallel_workload",
+    "predict_from_window_stats",
+    "format_bars",
+    "MetricStats",
+    "aggregate_results",
+    "run_seed_sweep",
+    "format_aggregate",
+    "ClaimCheck",
+    "evaluate_claims",
+    "format_claims",
+    "PAPER_CLAIMS",
+]

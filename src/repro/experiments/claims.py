@@ -1,0 +1,132 @@
+"""Programmatic checks of the paper's headline claims.
+
+Each claim is a named, directional comparison over experiment results;
+:func:`evaluate_claims` returns structured verdicts a user (or the claims
+benchmark, or the CLI) can render. This is the machine-checkable version
+of EXPERIMENTS.md's tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..core.approaches import Approach
+from .runner import ExperimentResult
+
+__all__ = ["ClaimCheck", "evaluate_claims", "format_claims", "PAPER_CLAIMS"]
+
+
+@dataclass(frozen=True)
+class ClaimCheck:
+    """Verdict for one claim on one experiment."""
+
+    claim_id: str
+    description: str
+    experiment: str
+    holds: bool
+    measured: float
+    paper_value: float | None
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        mark = "PASS" if self.holds else "FAIL"
+        return f"[{mark}] {self.claim_id} on {self.experiment}: {self.measured:+.1%}"
+
+
+def _reduction(result: ExperimentResult, metric: str, better: Approach, worse: Approach) -> float:
+    b = result.metric(better, metric)
+    w = result.metric(worse, metric)
+    return (w - b) / w if w else 0.0
+
+
+def _claim_time(result: ExperimentResult) -> tuple[bool, float]:
+    gain = _reduction(result, "sim_time_s", Approach.HPROF, Approach.TOP2)
+    return gain > 0.0, gain
+
+
+def _claim_imbalance(result: ExperimentResult) -> tuple[bool, float]:
+    gain = _reduction(result, "load_imbalance", Approach.HPROF, Approach.HTOP)
+    return gain > -0.10, gain  # HPROF no worse than HTOP (typically much better)
+
+
+def _claim_mll(result: ExperimentResult) -> tuple[bool, float]:
+    hier = result.metric(Approach.HPROF, "achieved_mll_ms")
+    flat = result.metric(Approach.TOP2, "achieved_mll_ms")
+    ratio = hier / flat if flat else float("inf")
+    return ratio >= 1.0, ratio - 1.0
+
+
+def _claim_pe(result: ExperimentResult) -> tuple[bool, float]:
+    hprof = result.metric(Approach.HPROF, "parallel_efficiency")
+    top2 = result.metric(Approach.TOP2, "parallel_efficiency")
+    gain = hprof / top2 - 1.0 if top2 else 0.0
+    return gain > 0.0, gain
+
+
+#: claim id -> (description, paper value, evaluator)
+PAPER_CLAIMS: dict[str, tuple[str, float | None, Callable]] = {
+    "time-reduction": (
+        "HPROF reduces simulation time vs TOP2 (paper: ~50%)",
+        0.50,
+        _claim_time,
+    ),
+    "imbalance-improvement": (
+        "HPROF improves load imbalance vs HTOP (paper: ~40%)",
+        0.40,
+        _claim_imbalance,
+    ),
+    "mll-dominance": (
+        "hierarchical MLL exceeds the flat tuned mapping's (paper: 5-10x)",
+        None,
+        _claim_mll,
+    ),
+    "efficiency-gain": (
+        "HPROF parallel efficiency above TOP2 (paper: +64%)",
+        0.64,
+        _claim_pe,
+    ),
+}
+
+
+def evaluate_claims(
+    results: list[ExperimentResult],
+    claim_ids: list[str] | None = None,
+) -> list[ClaimCheck]:
+    """Evaluate the selected claims on every result.
+
+    Requires each result to carry HPROF/HTOP/TOP2 rows (the default
+    approach set). Unknown claim ids raise ``KeyError``.
+    """
+    ids = claim_ids if claim_ids is not None else list(PAPER_CLAIMS)
+    checks: list[ClaimCheck] = []
+    for cid in ids:
+        description, paper_value, evaluator = PAPER_CLAIMS[cid]
+        for result in results:
+            holds, measured = evaluator(result)
+            checks.append(
+                ClaimCheck(
+                    claim_id=cid,
+                    description=description,
+                    experiment=f"{result.network_kind}/{result.app_kind}",
+                    holds=holds,
+                    measured=measured,
+                    paper_value=paper_value,
+                )
+            )
+    return checks
+
+
+def format_claims(checks: list[ClaimCheck]) -> str:
+    """Render verdicts grouped by claim."""
+    lines: list[str] = []
+    for cid in dict.fromkeys(c.claim_id for c in checks):
+        group = [c for c in checks if c.claim_id == cid]
+        lines.append(group[0].description)
+        for c in group:
+            mark = "PASS" if c.holds else "FAIL"
+            paper = f" (paper {c.paper_value:+.0%})" if c.paper_value is not None else ""
+            lines.append(
+                f"  [{mark}] {c.experiment:<22} measured {c.measured:+7.1%}{paper}"
+            )
+        lines.append("")
+    return "\n".join(lines).rstrip()

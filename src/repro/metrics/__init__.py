@@ -1,0 +1,6 @@
+"""Evaluation metrics: load imbalance and parallel efficiency."""
+
+from .efficiency import parallel_efficiency, speedup
+from .loadbalance import load_imbalance, max_over_mean
+
+__all__ = ["load_imbalance", "max_over_mean", "parallel_efficiency", "speedup"]

@@ -1,0 +1,42 @@
+"""Packet-level network simulation (links, IP forwarding, TCP/UDP, apps)."""
+
+from .analysis import as_traffic_matrix, drop_report, top_links
+from .flowstats import FlowLog, FlowRecord
+from .link import LinkRuntime, RedParams, TransmitResult
+from .packet import (
+    Packet,
+    Protocol,
+    TCP_HEADER_BYTES,
+    TCP_MSS_BYTES,
+    new_flow_id,
+)
+from .simulator import HOP_PROCESSING_S, LOOPBACK_LATENCY_S, NetworkSimulator, TrafficCounters
+from .tcp import TcpReceiver, TcpSender, TcpStats, start_transfer
+from .udp import UDP_HEADER_BYTES, UDP_MTU_BYTES, send_datagram
+
+__all__ = [
+    "Packet",
+    "Protocol",
+    "new_flow_id",
+    "TCP_MSS_BYTES",
+    "TCP_HEADER_BYTES",
+    "LinkRuntime",
+    "TransmitResult",
+    "RedParams",
+    "FlowLog",
+    "FlowRecord",
+    "as_traffic_matrix",
+    "top_links",
+    "drop_report",
+    "NetworkSimulator",
+    "TrafficCounters",
+    "HOP_PROCESSING_S",
+    "LOOPBACK_LATENCY_S",
+    "TcpSender",
+    "TcpReceiver",
+    "TcpStats",
+    "start_transfer",
+    "send_datagram",
+    "UDP_MTU_BYTES",
+    "UDP_HEADER_BYTES",
+]

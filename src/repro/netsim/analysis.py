@@ -1,0 +1,61 @@
+"""Post-run traffic analysis: AS-level traffic matrices and hot links.
+
+Analysis helpers over a finished :class:`NetworkSimulator`: where the
+bytes flowed at AS granularity (the concentration BGP policy routing
+creates — the reason multi-AS load balance is harder, paper §5.2.2) and
+which links carried or dropped the most.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..topology.models import Network
+from .simulator import NetworkSimulator
+
+__all__ = ["as_traffic_matrix", "top_links", "drop_report"]
+
+
+def as_traffic_matrix(sim: NetworkSimulator, net: Network) -> np.ndarray:
+    """Bytes carried per (AS, AS) pair, attributed link-by-link.
+
+    Intra-AS links contribute to the diagonal; inter-AS links to the
+    symmetric off-diagonal cells. Requires AS ids to be dense 0..k-1
+    (true for generated and loaded networks).
+    """
+    ases = sorted(net.as_domains) if net.as_domains else [0]
+    k = (max(ases) + 1) if ases else 1
+    matrix = np.zeros((k, k))
+    for runtime in sim.links:
+        link = runtime.link
+        a = net.nodes[link.u].as_id
+        b = net.nodes[link.v].as_id
+        total = runtime.total_bytes
+        matrix[a, b] += total
+        if a != b:
+            matrix[b, a] += total
+    return matrix
+
+
+def top_links(sim: NetworkSimulator, count: int = 10) -> list[tuple[int, int, int]]:
+    """The ``count`` busiest links as ``(link_id, bytes, drops)``."""
+    if count < 1:
+        raise ValueError("count must be >= 1")
+    ranked = sorted(
+        ((lr.link.link_id, lr.total_bytes, lr.total_drops) for lr in sim.links),
+        key=lambda t: t[1],
+        reverse=True,
+    )
+    return ranked[:count]
+
+
+def drop_report(sim: NetworkSimulator) -> dict[str, float]:
+    """Aggregate loss statistics of the run."""
+    offered = sum(lr.total_packets + lr.total_drops for lr in sim.links)
+    dropped = sum(lr.total_drops for lr in sim.links)
+    return {
+        "offered_packet_hops": float(offered),
+        "dropped_packet_hops": float(dropped),
+        "drop_rate": dropped / offered if offered else 0.0,
+        "links_with_drops": float(sum(1 for lr in sim.links if lr.total_drops)),
+    }

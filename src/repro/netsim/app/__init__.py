@@ -1,0 +1,46 @@
+"""Traffic applications: HTTP background, CBR, and the live-app models
+(ScaLapack, GridNPB) run through the online layer."""
+
+from .cbr import CbrStream
+from .collectives import (
+    CollectiveGroup,
+    all_to_all,
+    broadcast,
+    gather,
+    reduce_tree,
+    ring_exchange,
+)
+from .gridnpb import (
+    GridNpbApp,
+    Workflow,
+    WorkflowTask,
+    embarrassingly_distributed,
+    helical_chain,
+    mixed_bag,
+    visualization_pipeline,
+)
+from .onoff import ParetoOnOffStream
+from .http import HttpStats, HttpTraffic
+from .scalapack import AppRunStats, ScaLapackApp
+
+__all__ = [
+    "HttpTraffic",
+    "HttpStats",
+    "CbrStream",
+    "ScaLapackApp",
+    "AppRunStats",
+    "GridNpbApp",
+    "Workflow",
+    "WorkflowTask",
+    "helical_chain",
+    "visualization_pipeline",
+    "mixed_bag",
+    "embarrassingly_distributed",
+    "ParetoOnOffStream",
+    "CollectiveGroup",
+    "broadcast",
+    "gather",
+    "all_to_all",
+    "ring_exchange",
+    "reduce_tree",
+]

@@ -1,0 +1,51 @@
+"""Constant-bit-rate UDP streams (simple open-loop background traffic)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..simulator import NetworkSimulator
+from ..udp import UDP_MTU_BYTES, send_datagram
+
+__all__ = ["CbrStream"]
+
+
+@dataclass
+class CbrStream:
+    """A UDP stream sending ``packet_bytes`` every ``packet_bytes*8/rate_bps``.
+
+    Call :meth:`start`; the stream self-reschedules until ``stop_at``.
+    """
+
+    sim: NetworkSimulator
+    src: int
+    dst: int
+    rate_bps: float
+    stop_at: float
+    packet_bytes: int = UDP_MTU_BYTES
+    port: int = 0
+    packets_sent: int = 0
+
+    def __post_init__(self) -> None:
+        if self.rate_bps <= 0:
+            raise ValueError("rate must be positive")
+        if not 0 < self.packet_bytes <= UDP_MTU_BYTES:
+            raise ValueError("packet_bytes must be in (0, MTU]")
+
+    @property
+    def interval_s(self) -> float:
+        """Inter-packet spacing implied by the target rate."""
+        return self.packet_bytes * 8.0 / self.rate_bps
+
+    def start(self, at: float | None = None) -> None:
+        """Begin sending at ``at`` (default: now); stops at ``stop_at``."""
+        when = at if at is not None else self.sim.now
+        if when < self.stop_at:
+            self.sim.sched.schedule_at(when, self._tick, node=self.src)
+
+    def _tick(self) -> None:
+        send_datagram(self.sim, self.src, self.dst, self.packet_bytes, port=self.port)
+        self.packets_sent += 1
+        nxt = self.sim.now + self.interval_s
+        if nxt < self.stop_at:
+            self.sim.sched.schedule_at(nxt, self._tick, node=self.src)

@@ -1,0 +1,175 @@
+"""MPI-style collective communication primitives over the online layer.
+
+Grid applications are dominated by a handful of collective patterns; this
+module provides them as reusable building blocks on top of WrapSocket:
+
+- :func:`broadcast` — root streams to every other rank (linear),
+- :func:`gather` — every rank streams to the root,
+- :func:`all_to_all` — every rank streams to every other rank,
+- :func:`ring_exchange` — rank i streams to rank (i+1) mod P,
+- :func:`reduce_tree` — binary-tree reduction toward rank 0.
+
+Each primitive takes a :class:`CollectiveGroup` and invokes
+``on_complete(t)`` once *all* of its transfers have been received —
+receiver-side completion, so composed phases execute on the right LPs
+under the parallel engine. Primitives can be chained to build arbitrary
+application skeletons (the ScaLapack model is precisely
+``broadcast -> ring_exchange -> compute`` per iteration).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ...online.agent import Agent
+from ...online.wrapsocket import WrapSocket
+
+__all__ = [
+    "CollectiveGroup",
+    "broadcast",
+    "gather",
+    "all_to_all",
+    "ring_exchange",
+    "reduce_tree",
+]
+
+
+@dataclass
+class CollectiveGroup:
+    """A set of application ranks pinned to simulated hosts."""
+
+    agent: Agent
+    hosts: list[int]
+    name: str = "mpi"
+    sockets: list[WrapSocket] = field(default_factory=list)
+    transfers_started: int = 0
+    bytes_sent: int = 0
+
+    def __post_init__(self) -> None:
+        if len(self.hosts) < 2:
+            raise ValueError("a collective group needs at least 2 ranks")
+        if len(set(self.hosts)) != len(self.hosts):
+            raise ValueError("ranks must occupy distinct hosts")
+        if not self.sockets:
+            self.sockets = [
+                WrapSocket(self.agent, h, real_endpoint=f"{self.name}-rank{i}@node{h}")
+                for i, h in enumerate(self.hosts)
+            ]
+
+    @property
+    def size(self) -> int:
+        """Number of ranks in the group."""
+        return len(self.hosts)
+
+    def _send(self, src_rank: int, dst_rank: int, nbytes: int,
+              on_received: Callable[[float], None]) -> None:
+        sock = self.sockets[src_rank]
+        sock.connect_node(self.hosts[dst_rank])
+        self.transfers_started += 1
+        self.bytes_sent += nbytes
+        sock.send(nbytes, on_received=on_received)
+
+
+def _join(count: int, on_complete: Callable[[float], None] | None):
+    """A completion barrier: returns a per-transfer callback that fires
+    ``on_complete`` with the *latest* arrival time once all have landed."""
+    state = {"left": count, "latest": 0.0}
+
+    def _one(t: float) -> None:
+        state["left"] -= 1
+        state["latest"] = max(state["latest"], t)
+        if state["left"] == 0 and on_complete is not None:
+            on_complete(state["latest"])
+
+    return _one
+
+
+def broadcast(
+    group: CollectiveGroup,
+    root: int,
+    nbytes: int,
+    on_complete: Callable[[float], None] | None = None,
+) -> None:
+    """Root streams ``nbytes`` to every other rank (linear broadcast)."""
+    _check_rank(group, root)
+    done = _join(group.size - 1, on_complete)
+    for r in range(group.size):
+        if r != root:
+            group._send(root, r, nbytes, done)
+
+
+def gather(
+    group: CollectiveGroup,
+    root: int,
+    nbytes: int,
+    on_complete: Callable[[float], None] | None = None,
+) -> None:
+    """Every non-root rank streams ``nbytes`` to the root."""
+    _check_rank(group, root)
+    done = _join(group.size - 1, on_complete)
+    for r in range(group.size):
+        if r != root:
+            group._send(r, root, nbytes, done)
+
+
+def all_to_all(
+    group: CollectiveGroup,
+    nbytes: int,
+    on_complete: Callable[[float], None] | None = None,
+) -> None:
+    """Every rank streams ``nbytes`` to every other rank (P*(P-1) flows)."""
+    p = group.size
+    done = _join(p * (p - 1), on_complete)
+    for a in range(p):
+        for b in range(p):
+            if a != b:
+                group._send(a, b, nbytes, done)
+
+
+def ring_exchange(
+    group: CollectiveGroup,
+    nbytes: int,
+    on_complete: Callable[[float], None] | None = None,
+) -> None:
+    """Rank i streams to rank (i+1) mod P."""
+    p = group.size
+    done = _join(p, on_complete)
+    for r in range(p):
+        group._send(r, (r + 1) % p, nbytes, done)
+
+
+def reduce_tree(
+    group: CollectiveGroup,
+    nbytes: int,
+    on_complete: Callable[[float], None] | None = None,
+) -> None:
+    """Binary-tree reduction toward rank 0, level by level.
+
+    At each round, surviving odd-position ranks stream to their even
+    partner; rounds proceed until only rank 0 remains. Latency scales as
+    ``log2(P)`` rounds — the shape that differentiates tree collectives
+    from the linear ones above.
+    """
+    p = group.size
+
+    def run_level(active: list[int], _t: float = 0.0) -> None:
+        if len(active) == 1:
+            if on_complete is not None:
+                on_complete(group.agent.now)
+            return
+        pairs = [
+            (active[i + 1], active[i])
+            for i in range(0, len(active) - 1, 2)
+        ]
+        survivors = [active[i] for i in range(0, len(active), 2)]
+        done = _join(len(pairs), lambda t: run_level(survivors, t))
+        for src, dst in pairs:
+            group._send(src, dst, nbytes, done)
+
+    run_level(list(range(p)))
+
+
+def _check_rank(group: CollectiveGroup, rank: int) -> None:
+    if not 0 <= rank < group.size:
+        raise ValueError(f"rank {rank} out of range for group of {group.size}")

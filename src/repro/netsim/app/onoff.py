@@ -1,0 +1,89 @@
+"""Pareto on/off UDP sources: self-similar background traffic.
+
+The aggregate of many on/off sources with heavy-tailed (Pareto) period
+lengths is the classical model of self-similar network traffic (Willinger
+et al.) — burstier than Poisson at every timescale, and a harder load-
+balance workload than the paper's HTTP model. During an ON period the
+source emits packets at ``rate_bps``; OFF periods are silent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..simulator import NetworkSimulator
+from ..udp import UDP_MTU_BYTES, send_datagram
+
+__all__ = ["ParetoOnOffStream"]
+
+
+@dataclass
+class ParetoOnOffStream:
+    """One on/off source; aggregate many for self-similar traffic.
+
+    ``shape`` is the Pareto tail index: 1 < shape < 2 gives infinite
+    variance periods (long-range dependence in the aggregate); the
+    classical choice is 1.5.
+    """
+
+    sim: NetworkSimulator
+    src: int
+    dst: int
+    rate_bps: float
+    stop_at: float
+    mean_on_s: float = 0.5
+    mean_off_s: float = 1.0
+    shape: float = 1.5
+    packet_bytes: int = UDP_MTU_BYTES
+    port: int = 0
+    seed: int = 0
+    packets_sent: int = 0
+    on_periods: int = 0
+    _rng: np.random.Generator = field(init=False, repr=False)
+    _on_until: float = field(init=False, default=0.0)
+
+    def __post_init__(self) -> None:
+        if self.rate_bps <= 0:
+            raise ValueError("rate must be positive")
+        if not 1.0 < self.shape:
+            raise ValueError("Pareto shape must exceed 1")
+        if self.mean_on_s <= 0 or self.mean_off_s <= 0:
+            raise ValueError("period means must be positive")
+        self._rng = np.random.default_rng(self.seed)
+
+    @property
+    def interval_s(self) -> float:
+        """Inter-packet spacing during an ON period."""
+        return self.packet_bytes * 8.0 / self.rate_bps
+
+    def _pareto(self, mean: float) -> float:
+        """A Pareto draw with the requested mean: scale = mean*(a-1)/a."""
+        scale = mean * (self.shape - 1.0) / self.shape
+        return float(scale * (1.0 + self._rng.pareto(self.shape)))
+
+    def start(self, at: float | None = None) -> None:
+        """Begin the first ON period at ``at`` (default: now)."""
+        when = at if at is not None else self.sim.now
+        if when < self.stop_at:
+            self.sim.sched.schedule_at(when, self._begin_on, node=self.src)
+
+    def _begin_on(self) -> None:
+        self.on_periods += 1
+        self._on_until = self.sim.now + self._pareto(self.mean_on_s)
+        self._tick()
+
+    def _tick(self) -> None:
+        now = self.sim.now
+        if now >= self.stop_at:
+            return
+        if now >= self._on_until:
+            off = self._pareto(self.mean_off_s)
+            nxt = now + off
+            if nxt < self.stop_at:
+                self.sim.sched.schedule_at(nxt, self._begin_on, node=self.src)
+            return
+        send_datagram(self.sim, self.src, self.dst, self.packet_bytes, port=self.port)
+        self.packets_sent += 1
+        self.sim.sched.schedule_at(now + self.interval_s, self._tick, node=self.src)

@@ -1,0 +1,149 @@
+"""Per-flow statistics: flow completion times and throughput.
+
+A :class:`FlowLog` wraps transfer creation and records one
+:class:`FlowRecord` per completed TCP transfer — flow completion time
+(FCT) distributions and per-flow goodput are the workload-level metrics
+a simulator user inspects after a run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from .simulator import NetworkSimulator
+from .tcp import TcpSender, start_transfer
+
+__all__ = ["FlowRecord", "FlowLog"]
+
+
+@dataclass(frozen=True)
+class FlowRecord:
+    """One completed (or abandoned) flow."""
+
+    flow_id: int
+    src: int
+    dst: int
+    payload_bytes: int
+    started_at: float
+    completed_at: float  # -1 if never completed
+    segments_sent: int
+    retransmits: int
+    timeouts: int
+
+    @property
+    def completed(self) -> bool:
+        """True when the last byte was acknowledged."""
+        return self.completed_at >= 0.0
+
+    @property
+    def duration_s(self) -> float:
+        """Flow completion time (raises for incomplete flows)."""
+        if not self.completed:
+            raise ValueError("flow did not complete")
+        return self.completed_at - self.started_at
+
+    @property
+    def goodput_bps(self) -> float:
+        """Payload bits per second over the flow's lifetime."""
+        d = self.duration_s
+        return self.payload_bytes * 8.0 / d if d > 0 else float("inf")
+
+
+class FlowLog:
+    """Transfer factory that records flow-level outcomes.
+
+    Use :meth:`transfer` instead of :func:`start_transfer`; call
+    :meth:`finalize` after the run to sweep unfinished flows into the
+    log (marked incomplete).
+    """
+
+    def __init__(self, sim: NetworkSimulator) -> None:
+        self.sim = sim
+        self.records: list[FlowRecord] = []
+        self._active: dict[int, tuple[TcpSender, float]] = {}
+
+    def transfer(
+        self,
+        src: int,
+        dst: int,
+        payload_bytes: int,
+        on_complete: Callable[[float], None] | None = None,
+        on_received: Callable[[float], None] | None = None,
+    ) -> TcpSender:
+        """Open a recorded TCP transfer (drop-in for :func:`start_transfer`)."""
+        started = self.sim.now
+        state: dict[str, int] = {}
+
+        def _done(t: float) -> None:
+            entry = self._active.pop(state["flow_id"], None)
+            if entry is not None:
+                self.records.append(self._record(entry[0], entry[1]))
+            if on_complete is not None:
+                on_complete(t)
+
+        sender = start_transfer(
+            self.sim, src, dst, payload_bytes, _done, on_received=on_received
+        )
+        # Completion cannot fire before at least one scheduled event runs
+        # (even loopback SYNs are delayed), so registering after creation
+        # is safe.
+        state["flow_id"] = sender.flow_id
+        self._active[sender.flow_id] = (sender, started)
+        return sender
+
+    def _record(self, sender: TcpSender, started: float) -> FlowRecord:
+        return FlowRecord(
+            flow_id=sender.flow_id,
+            src=sender.src,
+            dst=sender.dst,
+            payload_bytes=sender.payload_bytes,
+            started_at=started,
+            completed_at=sender.stats.completed_at,
+            segments_sent=sender.stats.segments_sent,
+            retransmits=sender.stats.retransmits,
+            timeouts=sender.stats.timeouts,
+        )
+
+    def finalize(self) -> None:
+        """Sweep flows still in flight into the log as incomplete."""
+        for sender, started in self._active.values():
+            self.records.append(self._record(sender, started))
+        self._active.clear()
+
+    # ------------------------------------------------------------------
+    # Summaries
+    # ------------------------------------------------------------------
+    @property
+    def completed(self) -> list[FlowRecord]:
+        """The records of flows that finished."""
+        return [r for r in self.records if r.completed]
+
+    def completion_rate(self) -> float:
+        """Completed flows / all recorded flows (1.0 when empty)."""
+        if not self.records:
+            return 1.0
+        return len(self.completed) / len(self.records)
+
+    def fct_percentiles(self, qs: tuple[float, ...] = (50.0, 90.0, 99.0)) -> dict[float, float]:
+        """Flow-completion-time percentiles (seconds) over completed flows."""
+        done = self.completed
+        if not done:
+            raise ValueError("no completed flows")
+        durations = np.array([r.duration_s for r in done])
+        return {q: float(np.percentile(durations, q)) for q in qs}
+
+    def mean_goodput_bps(self) -> float:
+        """Mean per-flow goodput over completed flows."""
+        done = self.completed
+        if not done:
+            raise ValueError("no completed flows")
+        return float(np.mean([r.goodput_bps for r in done]))
+
+    def total_retransmit_fraction(self) -> float:
+        """Retransmitted segments / all segments sent (loss pressure)."""
+        sent = sum(r.segments_sent for r in self.records)
+        rtx = sum(r.retransmits for r in self.records)
+        return rtx / sent if sent else 0.0

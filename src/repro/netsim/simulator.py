@@ -1,0 +1,246 @@
+"""The packet-level network simulator core (MaSSF's network modeling).
+
+Ties together the forwarding plane, per-link transmission state, and the
+transport endpoints (TCP/UDP), on top of either DES engine. Every packet
+hop is one simulation event executed *at the receiving node*, which is
+what makes the engine's per-node event accounting equal the paper's
+definition of load ("event rate of the simulation kernel — essentially
+one per network packet").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Protocol as TypingProtocol
+
+import numpy as np
+
+from ..routing.fib import ForwardingPlane
+from ..topology.models import Network
+from .link import LinkRuntime
+from .packet import Packet, Protocol
+
+__all__ = ["Scheduler", "NetworkSimulator", "TrafficCounters"]
+
+#: Per-hop router processing delay (lookup + queueing into the NIC).
+HOP_PROCESSING_S = 5e-6
+#: Delivery delay for loopback traffic (src == dst): kernel/IPC overhead.
+LOOPBACK_LATENCY_S = 10e-6
+
+
+class Scheduler(TypingProtocol):
+    """What the simulator needs from an engine (both engines satisfy it)."""
+
+    @property
+    def current_time(self) -> float:
+        """Simulated time of the executing event."""
+        ...
+
+    def schedule_at(self, time: float, fn: Callable[[], Any], node: int = -1):
+        """Schedule a callback at an absolute simulated time at ``node``."""
+        ...
+
+
+@dataclass
+class TrafficCounters:
+    """Aggregate traffic statistics of a run."""
+
+    packets_sent: int = 0
+    packets_delivered: int = 0
+    packets_dropped_queue: int = 0
+    packets_dropped_ttl: int = 0
+    packets_unroutable: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        """The counters as a plain dict (logging and assertions)."""
+        return {
+            "sent": self.packets_sent,
+            "delivered": self.packets_delivered,
+            "dropped_queue": self.packets_dropped_queue,
+            "dropped_ttl": self.packets_dropped_ttl,
+            "unroutable": self.packets_unroutable,
+        }
+
+
+class NetworkSimulator:
+    """Hop-by-hop packet simulation over a :class:`Network`.
+
+    Parameters
+    ----------
+    net, fib:
+        Topology and forwarding plane.
+    scheduler:
+        A :class:`repro.engine.SimKernel` or
+        :class:`repro.engine.ConservativeEngine`.
+    record_transmissions:
+        Keep a per-hop record ``(time, from_node, to_node)`` used by the
+        cost model to count cross-partition events under any mapping.
+    """
+
+    def __init__(
+        self,
+        net: Network,
+        fib: ForwardingPlane,
+        scheduler: Scheduler,
+        record_transmissions: bool = False,
+        hop_processing_s: float = HOP_PROCESSING_S,
+        queue_discipline: str = "droptail",
+    ) -> None:
+        self.net = net
+        self.fib = fib
+        self.sched = scheduler
+        self.hop_processing_s = hop_processing_s
+        self.links = [LinkRuntime(l, discipline=queue_discipline) for l in net.links]
+        self.counters = TrafficCounters()
+        #: per-node handled packet count (the PROF node-weight signal)
+        self.node_packets = np.zeros(net.num_nodes, dtype=np.int64)
+
+        self.record_transmissions = record_transmissions
+        self.tx_times: list[float] = []
+        self.tx_from: list[int] = []
+        self.tx_to: list[int] = []
+
+        # Transport demux: (flow_id, node, role) -> endpoint. The role
+        # ('snd'/'rcv') disambiguates colocated endpoints of one flow
+        # (loopback transfers put both on the same node).
+        self._tcp_endpoints: dict[tuple[int, int, str], Any] = {}
+        self._udp_handlers: dict[tuple[int, int], Callable[[Packet], None]] = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time (the executing event's timestamp)."""
+        return self.sched.current_time
+
+    # ------------------------------------------------------------------
+    # Transport registration (used by tcp.py / udp.py / online layer)
+    # ------------------------------------------------------------------
+    def register_tcp_endpoint(self, flow_id: int, node: int, endpoint: Any, role: str) -> None:
+        """Register a TCP endpoint for delivery demux ('snd' or 'rcv')."""
+        if role not in ("snd", "rcv"):
+            raise ValueError("role must be 'snd' or 'rcv'")
+        self._tcp_endpoints[(flow_id, node, role)] = endpoint
+
+    def unregister_tcp_endpoint(self, flow_id: int, node: int, role: str) -> None:
+        """Remove a TCP endpoint registration (idempotent)."""
+        self._tcp_endpoints.pop((flow_id, node, role), None)
+
+    def udp_bind(self, node: int, port: int, handler: Callable[[Packet], None]) -> None:
+        """Bind a datagram handler to ``(node, port)``; rejects conflicts."""
+        key = (node, port)
+        if key in self._udp_handlers:
+            raise ValueError(f"UDP port {port} already bound on node {node}")
+        self._udp_handlers[key] = handler
+
+    def udp_unbind(self, node: int, port: int) -> None:
+        """Release a UDP binding (idempotent)."""
+        self._udp_handlers.pop((node, port), None)
+
+    # ------------------------------------------------------------------
+    # Packet movement
+    # ------------------------------------------------------------------
+    def inject(self, packet: Packet) -> None:
+        """Enter a packet at its source node (transport send).
+
+        Loopback packets (both endpoints on one host) never touch the
+        network; they are delivered through the scheduler after a small
+        IPC delay — important both for realism and to keep two local
+        endpoints from recursing into each other synchronously.
+        """
+        packet.created_at = self.now
+        self.counters.packets_sent += 1
+        if packet.src == packet.dst:
+            self.sched.schedule_at(
+                self.now + LOOPBACK_LATENCY_S,
+                lambda p=packet: self._handle_at(p.dst, p),
+                node=packet.dst,
+            )
+            return
+        self._handle_at(packet.src, packet)
+
+    def _handle_at(self, node: int, packet: Packet) -> None:
+        """Process a packet at ``node``: deliver locally or forward."""
+        self.node_packets[node] += 1
+        if node == packet.dst:
+            self._deliver(node, packet)
+            return
+        if packet.ttl <= 0:
+            self.counters.packets_dropped_ttl += 1
+            return
+        next_node = self.fib.next_hop(node, packet.dst)
+        if next_node is None:
+            self.counters.packets_unroutable += 1
+            return
+        link = self.net.link_between(node, next_node)
+        assert link is not None, "forwarding plane returned a non-adjacent hop"
+        runtime = self.links[link.link_id]
+        depart = self.now + (self.hop_processing_s if node != packet.src else 0.0)
+        result = runtime.transmit(node, packet, depart)
+        if not result.accepted:
+            self.counters.packets_dropped_queue += 1
+            return
+        packet.ttl -= 1
+        packet.hops += 1
+        if self.record_transmissions:
+            self.tx_times.append(result.start_time)
+            self.tx_from.append(node)
+            self.tx_to.append(next_node)
+        self.sched.schedule_at(
+            result.arrival_time,
+            lambda n=next_node, p=packet: self._handle_at(n, p),
+            node=next_node,
+        )
+
+    def _deliver(self, node: int, packet: Packet) -> None:
+        self.counters.packets_delivered += 1
+        if packet.protocol is Protocol.TCP:
+            # ACK-bearing packets (cumulative ACKs, SYN-ACK) go to the data
+            # sender; data and SYN go to the receiver.
+            role = "snd" if (packet.ack >= 0 or "ACK" in packet.flags) else "rcv"
+            endpoint = self._tcp_endpoints.get((packet.flow_id, node, role))
+            if endpoint is not None:
+                endpoint.receive(packet)
+        elif packet.protocol is Protocol.UDP:
+            handler = self._udp_handlers.get((node, packet.port))
+            if handler is not None:
+                handler(packet)
+
+    # ------------------------------------------------------------------
+    # Failure injection
+    # ------------------------------------------------------------------
+    def fail_link(self, link_id: int) -> None:
+        """Bring a link down: every packet offered to it is dropped.
+
+        Forwarding tables are *not* recomputed (as in a real network
+        before the IGP reconverges) — transport-layer recovery (TCP RTO)
+        is what keeps traffic alive, which is exactly what failure tests
+        exercise.
+        """
+        self.links[link_id].failed = True
+
+    def restore_link(self, link_id: int) -> None:
+        """Bring a failed link back into service."""
+        self.links[link_id].failed = False
+
+    # ------------------------------------------------------------------
+    # Statistics views
+    # ------------------------------------------------------------------
+    def link_bytes(self) -> np.ndarray:
+        """Total bytes carried per link (both directions)."""
+        return np.asarray([lr.total_bytes for lr in self.links], dtype=np.float64)
+
+    def link_packets(self) -> np.ndarray:
+        """Total packets carried per link (both directions)."""
+        return np.asarray([lr.total_packets for lr in self.links], dtype=np.int64)
+
+    def link_drops(self) -> np.ndarray:
+        """Total packets dropped per link (both directions)."""
+        return np.asarray([lr.total_drops for lr in self.links], dtype=np.int64)
+
+    def transmissions(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Recorded per-hop ``(times, from_nodes, to_nodes)`` arrays."""
+        return (
+            np.asarray(self.tx_times, dtype=np.float64),
+            np.asarray(self.tx_from, dtype=np.int64),
+            np.asarray(self.tx_to, dtype=np.int64),
+        )

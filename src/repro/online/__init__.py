@@ -1,0 +1,17 @@
+"""Online simulation: live application traffic through the simulator
+(Agent, WrapSocket, virtual/real IP mapping, soft-real-time control)."""
+
+from .agent import Agent, AgentStats
+from .ipmap import VirtualIpMapper
+from .realtime import VirtualTimeController, required_slowdown
+from .wrapsocket import SocketClosed, WrapSocket
+
+__all__ = [
+    "Agent",
+    "AgentStats",
+    "VirtualIpMapper",
+    "WrapSocket",
+    "SocketClosed",
+    "VirtualTimeController",
+    "required_slowdown",
+]

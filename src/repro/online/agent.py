@@ -1,0 +1,123 @@
+"""The Agent: gateway between live application traffic and the simulator.
+
+MaSSF's Agent "accepts and dispatches live traffic from application
+wrapper to the network simulation" and carries responses back. Our live
+applications are synthetic processes (:mod:`repro.netsim.app`), but the
+code path is the same: a WrapSocket hands the Agent a stream operation,
+the Agent resolves virtual addresses, injects the traffic into the
+simulated network as TCP/UDP, and invokes the application's callback when
+the simulated network completes the operation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from ..netsim.simulator import NetworkSimulator
+from ..netsim.tcp import start_transfer
+from ..netsim.udp import send_datagram
+from .ipmap import VirtualIpMapper
+
+__all__ = ["Agent", "AgentStats"]
+
+
+@dataclass
+class AgentStats:
+    """Live-traffic accounting at the agent boundary."""
+
+    streams_opened: int = 0
+    streams_completed: int = 0
+    bytes_requested: int = 0
+    datagrams_sent: int = 0
+
+
+class Agent:
+    """Dispatches live application traffic into a :class:`NetworkSimulator`.
+
+    Parameters
+    ----------
+    sim:
+        The running network simulator.
+    mapper:
+        The virtual/real IP mapping service (created if not supplied).
+    """
+
+    def __init__(self, sim: NetworkSimulator, mapper: VirtualIpMapper | None = None) -> None:
+        self.sim = sim
+        self.mapper = mapper if mapper is not None else VirtualIpMapper()
+        self.stats = AgentStats()
+
+    # ------------------------------------------------------------------
+    # Time/scheduling passthrough (applications model compute with these)
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self.sim.now
+
+    def _injection_time(self) -> float:
+        """Earliest time live traffic may enter the simulation.
+
+        On the sequential kernel: now. On the conservative parallel
+        engine: the end of the current synchronization window — the Agent
+        queues live traffic until the barrier, exactly how MaSSF admits
+        external (real-time) events without violating the lookahead.
+        """
+        boundary = getattr(self.sim.sched, "next_barrier_time", None)
+        return self.sim.now if boundary is None else max(self.sim.now, boundary)
+
+    def schedule(self, delay: float, fn: Callable[[], Any], node: int = -1) -> Any:
+        """Schedule application-side work (compute phases, think time)."""
+        when = max(self.sim.now + delay, self._injection_time())
+        return self.sim.sched.schedule_at(when, fn, node=node)
+
+    # ------------------------------------------------------------------
+    # Live traffic entry points (called by WrapSocket)
+    # ------------------------------------------------------------------
+    def transfer(
+        self,
+        src_node: int,
+        dst_node: int,
+        nbytes: int,
+        on_complete: Callable[[float], None] | None = None,
+        on_received: Callable[[float], None] | None = None,
+    ) -> None:
+        """Stream ``nbytes`` from ``src_node`` to ``dst_node`` over
+        simulated TCP.
+
+        ``on_complete(t)`` fires at the sender on final ACK;
+        ``on_received(t)`` at the receiver on final arrival. Injection is
+        deferred to the next barrier on a parallel engine (see
+        :meth:`_injection_time`), so the transfer itself starts at the
+        source node's LP.
+        """
+        self.stats.streams_opened += 1
+        self.stats.bytes_requested += nbytes
+
+        def _done(t: float) -> None:
+            self.stats.streams_completed += 1
+            if on_complete is not None:
+                on_complete(t)
+
+        def _start() -> None:
+            start_transfer(
+                self.sim, src_node, dst_node, nbytes, _done, on_received=on_received
+            )
+
+        self.sim.sched.schedule_at(self._injection_time(), _start, node=src_node)
+
+    def datagram(self, src_node: int, dst_node: int, nbytes: int, port: int = 0) -> None:
+        """Send a UDP datagram; injection is barrier-aligned like transfers."""
+        self.stats.datagrams_sent += 1
+        self.sim.sched.schedule_at(
+            self._injection_time(),
+            lambda: send_datagram(self.sim, src_node, dst_node, nbytes, port=port),
+            node=src_node,
+        )
+
+    # ------------------------------------------------------------------
+    def attach_process(self, real_endpoint: str, node: int) -> str:
+        """Register a live process at a simulated host; returns its
+        virtual IP (what the process believes its address is)."""
+        return self.mapper.register(real_endpoint, node)

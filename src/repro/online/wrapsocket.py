@@ -1,0 +1,117 @@
+"""WrapSocket: the socket-level interception library.
+
+Application processes in MicroGrid link against WrapSocket, which
+intercepts socket calls and redirects the streams through the Agent into
+the network simulation — no application modification. Our synthetic
+applications use the same API surface: ``connect`` by virtual IP,
+``send`` with a completion callback, ``listen`` for incoming streams.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from .agent import Agent
+from .ipmap import VirtualIpMapper
+
+__all__ = ["WrapSocket", "SocketClosed"]
+
+
+class SocketClosed(RuntimeError):
+    """Operation on a closed WrapSocket."""
+
+
+@dataclass
+class _Listener:
+    node: int
+    on_stream: Callable[[int, int, float], None]  # (src_node, nbytes, t)
+
+
+class WrapSocket:
+    """A virtual socket bound to one simulated host.
+
+    Parameters
+    ----------
+    agent:
+        The live-traffic gateway.
+    node:
+        The simulated host this process runs on.
+    real_endpoint:
+        Identifier of the live process (registered with the IP mapper;
+        auto-generated when omitted).
+    """
+
+    _listeners: dict[int, _Listener] = {}
+
+    def __init__(self, agent: Agent, node: int, real_endpoint: str | None = None) -> None:
+        self.agent = agent
+        self.node = node
+        endpoint = real_endpoint if real_endpoint is not None else f"proc@node{node}"
+        try:
+            self.virtual_ip = agent.attach_process(endpoint, node)
+        except ValueError:
+            # The process re-opens sockets on the same node: reuse mapping.
+            self.virtual_ip = VirtualIpMapper.virtual_ip(node)
+        self._open = True
+        self._peer: int | None = None
+
+    # ------------------------------------------------------------------
+    def connect(self, peer_virtual_ip: str) -> None:
+        """Resolve the peer's virtual IP to its simulated host."""
+        self._check_open()
+        self._peer = VirtualIpMapper.node_of(peer_virtual_ip)
+
+    def connect_node(self, node: int) -> None:
+        """Connect directly by simulated node id (bypasses IP resolution)."""
+        self._check_open()
+        self._peer = node
+
+    def send(
+        self,
+        nbytes: int,
+        on_complete: Callable[[float], None] | None = None,
+        on_received: Callable[[float], None] | None = None,
+    ) -> None:
+        """Stream ``nbytes`` to the connected peer via the simulation.
+
+        ``on_complete(t)`` fires at the sender when the peer has
+        acknowledged the full payload; ``on_received(t)`` and the peer's
+        listener callback (if any) fire when the last byte *arrives* — at
+        the peer, so that under the parallel engine the peer's reaction
+        executes on the peer's logical process.
+        """
+        self._check_open()
+        if self._peer is None:
+            raise SocketClosed("socket is not connected")
+        peer = self._peer
+        src = self.node
+
+        def _received(t: float) -> None:
+            listener = WrapSocket._listeners.get(peer)
+            if listener is not None:
+                listener.on_stream(src, nbytes, t)
+            if on_received is not None:
+                on_received(t)
+
+        self.agent.transfer(src, peer, nbytes, on_complete, on_received=_received)
+
+    def listen(self, on_stream: Callable[[int, int, float], None]) -> None:
+        """Register a stream-received callback for this node."""
+        self._check_open()
+        WrapSocket._listeners[self.node] = _Listener(self.node, on_stream)
+
+    def close(self) -> None:
+        """Close the socket and remove its listener registration."""
+        self._open = False
+        WrapSocket._listeners.pop(self.node, None)
+
+    def _check_open(self) -> None:
+        if not self._open:
+            raise SocketClosed("socket is closed")
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def reset_listeners(cls) -> None:
+        """Clear class-level listener state (between simulations/tests)."""
+        cls._listeners.clear()

@@ -1,0 +1,130 @@
+"""Baseline partitioners the paper and its related work compare against.
+
+- random / round-robin: the naive mappings used to bootstrap profiling runs,
+- BFS blocks: contiguous chunks of a breadth-first order (simple locality),
+- greedy k-cluster: ModelNet's scheme (Yocum et al., MASCOTS 2003) — seed k
+  clusters at random vertices and greedily grow them round-robin along links.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .graph import WeightedGraph
+from .kway import PartitionResult
+
+__all__ = [
+    "random_partition",
+    "round_robin_partition",
+    "bfs_block_partition",
+    "greedy_k_cluster",
+]
+
+
+def _rng(seed: int | np.random.Generator) -> np.random.Generator:
+    return seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
+
+
+def random_partition(
+    graph: WeightedGraph, num_parts: int, seed: int | np.random.Generator = 0
+) -> PartitionResult:
+    """Uniformly random assignment (the profiling bootstrap mapping)."""
+    rng = _rng(seed)
+    assignment = rng.integers(0, num_parts, size=graph.num_vertices, dtype=np.int64)
+    return PartitionResult.from_assignment(graph, assignment, num_parts)
+
+
+def round_robin_partition(graph: WeightedGraph, num_parts: int) -> PartitionResult:
+    """Vertex ``v`` goes to part ``v mod k`` — perfectly count-balanced."""
+    assignment = np.arange(graph.num_vertices, dtype=np.int64) % num_parts
+    return PartitionResult.from_assignment(graph, assignment, num_parts)
+
+
+def bfs_block_partition(
+    graph: WeightedGraph, num_parts: int, seed: int | np.random.Generator = 0
+) -> PartitionResult:
+    """Split a BFS ordering into ``k`` contiguous equal-weight blocks."""
+    rng = _rng(seed)
+    n = graph.num_vertices
+    order: list[int] = []
+    visited = np.zeros(n, dtype=bool)
+    for seed_v in rng.permutation(n):
+        if visited[seed_v]:
+            continue
+        queue = [int(seed_v)]
+        visited[seed_v] = True
+        head = 0
+        while head < len(queue):
+            v = queue[head]
+            head += 1
+            order.append(v)
+            for u in graph.neighbors(v):
+                if not visited[u]:
+                    visited[u] = True
+                    queue.append(int(u))
+    order_arr = np.asarray(order, dtype=np.int64)
+    cum = np.cumsum(graph.vwgt[order_arr])
+    total = cum[-1] if cum.size else 0.0
+    assignment = np.zeros(n, dtype=np.int64)
+    if total > 0:
+        boundaries = total * np.arange(1, num_parts) / num_parts
+        blocks = np.searchsorted(boundaries, cum, side="left")
+        assignment[order_arr] = np.minimum(blocks, num_parts - 1)
+    return PartitionResult.from_assignment(graph, assignment, num_parts)
+
+
+def greedy_k_cluster(
+    graph: WeightedGraph, num_parts: int, seed: int | np.random.Generator = 0
+) -> PartitionResult:
+    """ModelNet's greedy k-cluster mapping.
+
+    Select ``k`` random seed vertices, then in round-robin fashion each
+    cluster absorbs one unassigned vertex adjacent to its current frontier
+    (preferring the heaviest connecting edge). Orphan vertices (disconnected
+    remainder) are swept into the lightest cluster.
+    """
+    rng = _rng(seed)
+    n = graph.num_vertices
+    k = min(num_parts, n) if n else num_parts
+    assignment = np.full(n, -1, dtype=np.int64)
+    if n == 0:
+        return PartitionResult.from_assignment(graph, np.zeros(0, dtype=np.int64), num_parts)
+
+    seeds = rng.choice(n, size=k, replace=False)
+    frontiers: list[list[int]] = [[] for _ in range(k)]
+    for c, s in enumerate(seeds):
+        assignment[s] = c
+        frontiers[c].append(int(s))
+
+    remaining = n - k
+    active = list(range(k))
+    while remaining > 0 and active:
+        next_active = []
+        for c in active:
+            # Find the best unassigned neighbor of this cluster's frontier.
+            best_v, best_w = -1, -1.0
+            new_frontier = []
+            for v in frontiers[c]:
+                nbrs = graph.neighbors(v)
+                wts = graph.neighbor_weights(v)
+                open_mask = assignment[nbrs] < 0
+                if open_mask.any():
+                    new_frontier.append(v)
+                    i = int(np.argmax(np.where(open_mask, wts, -np.inf)))
+                    if wts[i] > best_w and open_mask[i]:
+                        best_v, best_w = int(nbrs[i]), float(wts[i])
+            frontiers[c] = new_frontier
+            if best_v >= 0:
+                assignment[best_v] = c
+                frontiers[c].append(best_v)
+                remaining -= 1
+                next_active.append(c)
+        active = next_active
+
+    if remaining > 0:
+        weights = graph.partition_weights(np.where(assignment < 0, 0, assignment), k)
+        for v in np.flatnonzero(assignment < 0):
+            c = int(np.argmin(weights))
+            assignment[v] = c
+            weights[c] += graph.vwgt[v]
+    return PartitionResult.from_assignment(graph, assignment, num_parts)

@@ -1,0 +1,62 @@
+"""Geographic partitioning baseline: recursive coordinate bisection.
+
+Early parallel network simulators partitioned by geography — split the
+plane along the wider axis into equal-weight halves, recurse. It needs
+node coordinates rather than the graph, ignores traffic entirely, and is
+a natural baseline for geographic topologies: good MLL (cuts tend to be
+long-haul links) but indifferent load balance.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .graph import WeightedGraph
+from .kway import PartitionResult
+
+__all__ = ["coordinate_bisection"]
+
+
+def coordinate_bisection(
+    graph: WeightedGraph,
+    positions: np.ndarray,
+    num_parts: int,
+) -> PartitionResult:
+    """Recursive coordinate bisection over node positions.
+
+    ``positions`` is ``(n, 2)`` (miles). Each split divides the current
+    cell along its wider spatial axis at the weighted median, assigning
+    ``ceil(k/2)`` parts to one side — so arbitrary ``num_parts`` stay
+    weight-balanced.
+    """
+    positions = np.asarray(positions, dtype=np.float64)
+    n = graph.num_vertices
+    if positions.shape != (n, 2):
+        raise ValueError(f"positions must be ({n}, 2)")
+    if num_parts < 1:
+        raise ValueError("num_parts must be >= 1")
+
+    assignment = np.zeros(n, dtype=np.int64)
+    stack: list[tuple[np.ndarray, int, int]] = [
+        (np.arange(n, dtype=np.int64), 0, int(num_parts))
+    ]
+    while stack:
+        vertices, offset, k = stack.pop()
+        if k == 1 or vertices.size == 0:
+            assignment[vertices] = offset
+            continue
+        k0 = (k + 1) // 2
+        pts = positions[vertices]
+        spans = pts.max(axis=0) - pts.min(axis=0) if vertices.size else np.zeros(2)
+        axis = int(np.argmax(spans))
+        order = vertices[np.argsort(pts[:, axis], kind="stable")]
+        weights = graph.vwgt[order]
+        cum = np.cumsum(weights)
+        total = cum[-1] if cum.size else 0.0
+        target = total * k0 / k
+        split = int(np.searchsorted(cum, target)) + 1
+        split = min(max(split, 1), order.size - 1) if order.size > 1 else 0
+        stack.append((order[:split], offset, k0))
+        stack.append((order[split:], offset + k0, k - k0))
+
+    return PartitionResult.from_assignment(graph, assignment, num_parts)

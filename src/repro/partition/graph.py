@@ -1,0 +1,396 @@
+"""Compressed sparse row weighted graph used by the partitioner.
+
+This is the substrate under every load-balance approach in the paper:
+the virtual network is converted into a :class:`WeightedGraph` whose vertex
+weights estimate simulation load and whose edge weights encode the cost of
+cutting a link (derived from link latency and/or profiled traffic), and the
+graph is then handed to a METIS-like multilevel partitioner
+(:mod:`repro.partition.kway`).
+
+The structure is deliberately close to the METIS CSR input format
+(``xadj`` / ``adjncy`` / ``adjwgt`` / ``vwgt``) with one extension: every
+edge also carries its *link latency* ``adjlat`` so that partition
+post-processing can compute the achieved Minimum Link Latency (MLL) across
+partitions, the quantity the paper's hierarchical approach optimizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+__all__ = ["WeightedGraph", "GraphContraction"]
+
+
+def _as_f64(a: Sequence[float] | np.ndarray) -> np.ndarray:
+    return np.ascontiguousarray(np.asarray(a, dtype=np.float64))
+
+
+def _as_i64(a: Sequence[int] | np.ndarray) -> np.ndarray:
+    return np.ascontiguousarray(np.asarray(a, dtype=np.int64))
+
+
+@dataclass(frozen=True)
+class GraphContraction:
+    """Result of contracting a :class:`WeightedGraph`.
+
+    Attributes
+    ----------
+    coarse:
+        The contracted graph. Vertex ``c`` aggregates every fine vertex
+        ``v`` with ``labels[v] == c``; its weight is the sum of the fine
+        weights. Parallel fine edges between two clusters are merged by
+        *summing* their edge weights and keeping the *minimum* latency
+        (the smallest latency of any physical link between the clusters
+        bounds the achievable MLL if the boundary is cut there).
+    labels:
+        ``labels[v]`` is the coarse vertex containing fine vertex ``v``.
+    """
+
+    coarse: "WeightedGraph"
+    labels: np.ndarray
+
+    def project(self, coarse_part: np.ndarray) -> np.ndarray:
+        """Lift a partition vector of the coarse graph back to fine vertices."""
+        coarse_part = _as_i64(coarse_part)
+        if coarse_part.shape[0] != self.coarse.num_vertices:
+            raise ValueError(
+                f"partition has {coarse_part.shape[0]} entries, coarse graph "
+                f"has {self.coarse.num_vertices} vertices"
+            )
+        return coarse_part[self.labels]
+
+
+class WeightedGraph:
+    """Undirected weighted graph in CSR form.
+
+    Parameters
+    ----------
+    num_vertices:
+        Number of vertices ``n``. Vertices are ``0..n-1``.
+    edges_u, edges_v:
+        Endpoint arrays of the ``m`` undirected edges. Self loops are
+        rejected; parallel edges are merged (weights summed, minimum
+        latency kept).
+    edge_weight:
+        Partitioning edge weight (non-negative). Defaults to 1.0.
+    edge_latency:
+        Physical link latency in **seconds** (positive). Defaults to
+        ``inf`` meaning "latency unknown / not a constraint".
+    vertex_weight:
+        Load estimate per vertex (non-negative). Defaults to 1.0.
+
+    Notes
+    -----
+    The adjacency is stored both ways, so ``xadj``/``adjncy`` have ``2m``
+    entries. All arrays are immutable by convention; mutating them breaks
+    cached invariants.
+    """
+
+    __slots__ = ("xadj", "adjncy", "adjwgt", "adjlat", "vwgt", "_total_vwgt")
+
+    def __init__(
+        self,
+        num_vertices: int,
+        edges_u: Sequence[int] | np.ndarray,
+        edges_v: Sequence[int] | np.ndarray,
+        edge_weight: Sequence[float] | np.ndarray | None = None,
+        edge_latency: Sequence[float] | np.ndarray | None = None,
+        vertex_weight: Sequence[float] | np.ndarray | None = None,
+    ) -> None:
+        n = int(num_vertices)
+        if n < 0:
+            raise ValueError("num_vertices must be non-negative")
+        u = _as_i64(edges_u)
+        v = _as_i64(edges_v)
+        if u.shape != v.shape:
+            raise ValueError("edges_u and edges_v must have equal length")
+        m = u.shape[0]
+        if m and (u.min() < 0 or v.min() < 0 or u.max() >= n or v.max() >= n):
+            raise ValueError("edge endpoint out of range")
+        if np.any(u == v):
+            raise ValueError("self loops are not allowed")
+
+        w = _as_f64(edge_weight) if edge_weight is not None else np.ones(m)
+        lat = _as_f64(edge_latency) if edge_latency is not None else np.full(m, np.inf)
+        if w.shape[0] != m or lat.shape[0] != m:
+            raise ValueError("edge attribute length mismatch")
+        if m and w.min() < 0:
+            raise ValueError("edge weights must be non-negative")
+        if m and np.any(lat <= 0):
+            raise ValueError("edge latencies must be positive")
+
+        vw = _as_f64(vertex_weight) if vertex_weight is not None else np.ones(n)
+        if vw.shape[0] != n:
+            raise ValueError("vertex_weight length mismatch")
+        if n and vw.min() < 0:
+            raise ValueError("vertex weights must be non-negative")
+
+        # Merge parallel edges: canonicalize (min, max), group.
+        if m:
+            lo = np.minimum(u, v)
+            hi = np.maximum(u, v)
+            key = lo * n + hi
+            order = np.argsort(key, kind="stable")
+            key_s = key[order]
+            uniq_mask = np.empty(m, dtype=bool)
+            uniq_mask[0] = True
+            np.not_equal(key_s[1:], key_s[:-1], out=uniq_mask[1:])
+            group = np.cumsum(uniq_mask) - 1
+            n_uniq = int(group[-1]) + 1
+            w_m = np.zeros(n_uniq)
+            np.add.at(w_m, group, w[order])
+            lat_m = np.full(n_uniq, np.inf)
+            np.minimum.at(lat_m, group, lat[order])
+            lo_m = lo[order][uniq_mask]
+            hi_m = hi[order][uniq_mask]
+        else:
+            lo_m = hi_m = np.empty(0, dtype=np.int64)
+            w_m = lat_m = np.empty(0)
+
+        # Build symmetric CSR.
+        src = np.concatenate([lo_m, hi_m])
+        dst = np.concatenate([hi_m, lo_m])
+        ew = np.concatenate([w_m, w_m])
+        el = np.concatenate([lat_m, lat_m])
+        order = np.argsort(src, kind="stable")
+        src, dst, ew, el = src[order], dst[order], ew[order], el[order]
+        xadj = np.zeros(n + 1, dtype=np.int64)
+        np.add.at(xadj, src + 1, 1)
+        np.cumsum(xadj, out=xadj)
+
+        self.xadj = xadj
+        self.adjncy = dst
+        self.adjwgt = ew
+        self.adjlat = el
+        self.vwgt = vw
+        self._total_vwgt = float(vw.sum())
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices."""
+        return self.vwgt.shape[0]
+
+    @property
+    def num_edges(self) -> int:
+        """Number of undirected edges."""
+        return self.adjncy.shape[0] // 2
+
+    @property
+    def total_vertex_weight(self) -> float:
+        """Sum of all vertex weights."""
+        return self._total_vwgt
+
+    def degree(self, v: int) -> int:
+        """Number of edges incident to ``v``."""
+        return int(self.xadj[v + 1] - self.xadj[v])
+
+    def neighbors(self, v: int) -> np.ndarray:
+        """Neighbor vertex ids of ``v`` (a CSR view; do not mutate)."""
+        return self.adjncy[self.xadj[v] : self.xadj[v + 1]]
+
+    def neighbor_weights(self, v: int) -> np.ndarray:
+        """Edge weights aligned with :meth:`neighbors` (a CSR view)."""
+        return self.adjwgt[self.xadj[v] : self.xadj[v + 1]]
+
+    def neighbor_latencies(self, v: int) -> np.ndarray:
+        """Edge latencies aligned with :meth:`neighbors` (a CSR view)."""
+        return self.adjlat[self.xadj[v] : self.xadj[v + 1]]
+
+    def edge_list(self) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Return ``(u, v, weight, latency)`` with each undirected edge once."""
+        n = self.num_vertices
+        src = np.repeat(np.arange(n, dtype=np.int64), np.diff(self.xadj))
+        keep = src < self.adjncy
+        return src[keep], self.adjncy[keep], self.adjwgt[keep], self.adjlat[keep]
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(range(self.num_vertices))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"WeightedGraph(n={self.num_vertices}, m={self.num_edges}, "
+            f"total_vwgt={self._total_vwgt:g})"
+        )
+
+    # ------------------------------------------------------------------
+    # Partition-related quantities
+    # ------------------------------------------------------------------
+    def _check_partition(self, part: np.ndarray) -> np.ndarray:
+        part = _as_i64(part)
+        if part.shape[0] != self.num_vertices:
+            raise ValueError(
+                f"partition has {part.shape[0]} entries for "
+                f"{self.num_vertices} vertices"
+            )
+        return part
+
+    def edge_cut(self, part: Sequence[int] | np.ndarray) -> float:
+        """Total weight of edges whose endpoints land in different parts."""
+        part = self._check_partition(part)
+        u, v, w, _ = self.edge_list()
+        return float(w[part[u] != part[v]].sum())
+
+    def cut_edges(
+        self, part: Sequence[int] | np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """The ``(u, v, weight, latency)`` arrays of edges crossing the cut."""
+        part = self._check_partition(part)
+        u, v, w, lat = self.edge_list()
+        mask = part[u] != part[v]
+        return u[mask], v[mask], w[mask], lat[mask]
+
+    def min_cut_latency(self, part: Sequence[int] | np.ndarray) -> float:
+        """Achieved MLL: the minimum latency over edges crossing the cut.
+
+        Returns ``inf`` when no edge is cut (single partition or
+        disconnected parts), matching the paper's definition that the
+        lookahead of a conservative engine is bounded by the smallest
+        cross-partition link latency.
+        """
+        _, _, _, lat = self.cut_edges(part)
+        return float(lat.min()) if lat.size else float("inf")
+
+    def partition_weights(
+        self, part: Sequence[int] | np.ndarray, num_parts: int | None = None
+    ) -> np.ndarray:
+        """Sum of vertex weights per partition."""
+        part = self._check_partition(part)
+        k = int(num_parts) if num_parts is not None else (int(part.max()) + 1 if part.size else 0)
+        out = np.zeros(k)
+        np.add.at(out, part, self.vwgt)
+        return out
+
+    def balance(self, part: Sequence[int] | np.ndarray, num_parts: int | None = None) -> float:
+        """Imbalance ratio ``max_part_weight / ideal_part_weight`` (>= 1)."""
+        weights = self.partition_weights(part, num_parts)
+        if weights.size == 0 or self._total_vwgt == 0:
+            return 1.0
+        ideal = self._total_vwgt / weights.size
+        return float(weights.max() / ideal) if ideal > 0 else 1.0
+
+    # ------------------------------------------------------------------
+    # Structure operations
+    # ------------------------------------------------------------------
+    def connected_components(self) -> np.ndarray:
+        """Label vertices by connected component (0-based, BFS order)."""
+        n = self.num_vertices
+        labels = np.full(n, -1, dtype=np.int64)
+        comp = 0
+        for seed in range(n):
+            if labels[seed] >= 0:
+                continue
+            stack = [seed]
+            labels[seed] = comp
+            while stack:
+                x = stack.pop()
+                for y in self.neighbors(x):
+                    if labels[y] < 0:
+                        labels[y] = comp
+                        stack.append(int(y))
+            comp += 1
+        return labels
+
+    def is_connected(self) -> bool:
+        """True when every vertex is reachable from vertex 0 (or empty)."""
+        if self.num_vertices == 0:
+            return True
+        return bool(self.connected_components().max() == 0)
+
+    def contract(self, labels: Sequence[int] | np.ndarray) -> GraphContraction:
+        """Contract vertices sharing a label into single coarse vertices.
+
+        ``labels`` must be dense ``0..k-1``. Intra-cluster edges vanish;
+        inter-cluster parallel edges merge (weights summed, min latency).
+        This single primitive serves both multilevel coarsening (labels
+        from a matching) and the paper's hierarchical collapse (labels
+        from connected components of the sub-threshold-latency subgraph).
+        """
+        labels = _as_i64(labels)
+        if labels.shape[0] != self.num_vertices:
+            raise ValueError("labels length mismatch")
+        k = int(labels.max()) + 1 if labels.size else 0
+        if labels.size and (labels.min() < 0 or len(np.unique(labels)) != k):
+            raise ValueError("labels must be dense 0..k-1")
+
+        cvwgt = np.zeros(k)
+        np.add.at(cvwgt, labels, self.vwgt)
+
+        u, v, w, lat = self.edge_list()
+        cu, cv = labels[u], labels[v]
+        keep = cu != cv
+        coarse = WeightedGraph(k, cu[keep], cv[keep], w[keep], lat[keep], cvwgt)
+        return GraphContraction(coarse=coarse, labels=labels)
+
+    def collapse_below_latency(self, threshold: float) -> GraphContraction:
+        """Merge every vertex pair joined by an edge with latency < threshold.
+
+        This is the graph-reduction step of the paper's hierarchical
+        partitioning (Section 3.4.3): the returned coarse graph ``Gd(Tmll)``
+        contains no edge with latency below ``threshold``, so any partition
+        of it achieves ``MLL >= threshold``.
+        """
+        u, v, _, lat = self.edge_list()
+        mask = lat < threshold
+        sub = WeightedGraph(self.num_vertices, u[mask], v[mask])
+        labels = sub.connected_components()
+        return self.contract(labels)
+
+    # ------------------------------------------------------------------
+    # Conversions
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_networkx(
+        cls,
+        g,
+        weight_attr: str = "weight",
+        latency_attr: str = "latency",
+        vertex_weight_attr: str = "vwgt",
+    ) -> "WeightedGraph":
+        """Build from a :class:`networkx.Graph` with integer nodes ``0..n-1``."""
+        n = g.number_of_nodes()
+        if set(g.nodes) != set(range(n)):
+            raise ValueError("networkx graph nodes must be 0..n-1")
+        us, vs, ws, ls = [], [], [], []
+        for a, b, data in g.edges(data=True):
+            us.append(a)
+            vs.append(b)
+            ws.append(data.get(weight_attr, 1.0))
+            ls.append(data.get(latency_attr, np.inf))
+        vw = [g.nodes[i].get(vertex_weight_attr, 1.0) for i in range(n)]
+        return cls(n, us, vs, ws, ls, vw)
+
+    def to_networkx(self):
+        """Convert to a :class:`networkx.Graph` with weight/latency attributes."""
+        import networkx as nx
+
+        g = nx.Graph()
+        for i in range(self.num_vertices):
+            g.add_node(i, vwgt=float(self.vwgt[i]))
+        u, v, w, lat = self.edge_list()
+        for a, b, ww, ll in zip(u, v, w, lat):
+            g.add_edge(int(a), int(b), weight=float(ww), latency=float(ll))
+        return g
+
+    def with_weights(
+        self,
+        vertex_weight: Sequence[float] | np.ndarray | None = None,
+        edge_weight: Sequence[float] | np.ndarray | None = None,
+    ) -> "WeightedGraph":
+        """Copy of the graph with replaced vertex and/or edge weights.
+
+        ``edge_weight`` is given per undirected edge in :meth:`edge_list`
+        order.
+        """
+        u, v, w, lat = self.edge_list()
+        if edge_weight is not None:
+            w = _as_f64(edge_weight)
+            if w.shape[0] != u.shape[0]:
+                raise ValueError("edge_weight length mismatch")
+        vw = self.vwgt if vertex_weight is None else vertex_weight
+        return WeightedGraph(self.num_vertices, u, v, w, lat, vw)

@@ -1,0 +1,139 @@
+"""Initial bisection of the coarsest graph.
+
+METIS uses greedy graph growing (GGGP): grow a region from a random seed,
+repeatedly absorbing the boundary vertex with the best cut gain, until the
+region holds the target share of total vertex weight. Several trials are
+run and the best (feasible, lowest-cut) bisection is kept.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+from .graph import WeightedGraph
+
+__all__ = ["greedy_graph_growing", "best_bisection"]
+
+
+def greedy_graph_growing(
+    graph: WeightedGraph,
+    rng: np.random.Generator,
+    target_fraction: float = 0.5,
+    seed_vertex: int | None = None,
+) -> np.ndarray:
+    """Grow partition 0 from a seed until it holds ``target_fraction`` weight.
+
+    Returns a 0/1 partition vector. The growth front is a max-gain heap
+    where the gain of moving ``v`` into the region is
+    ``(edge weight to region) - (edge weight to outside)``; absorbing
+    high-gain vertices keeps the running cut small.
+    """
+    n = graph.num_vertices
+    if n == 0:
+        return np.empty(0, dtype=np.int64)
+    if not 0.0 < target_fraction < 1.0:
+        raise ValueError("target_fraction must be in (0, 1)")
+    total = graph.total_vertex_weight
+    target = target_fraction * total
+
+    part = np.ones(n, dtype=np.int64)
+    seed = int(seed_vertex) if seed_vertex is not None else int(rng.integers(n))
+    in_region = np.zeros(n, dtype=bool)
+
+    # gain[v] tracked lazily: heap entries may be stale, validated on pop.
+    gain = np.empty(n)
+    ext = graph.adjwgt  # alias
+    for v in range(n):
+        gain[v] = -float(ext[graph.xadj[v] : graph.xadj[v + 1]].sum())
+
+    heap: list[tuple[float, int, int]] = []
+    stamp = np.zeros(n, dtype=np.int64)
+
+    def push(v: int) -> None:
+        stamp[v] += 1
+        heapq.heappush(heap, (-gain[v], int(stamp[v]), v))
+
+    region_weight = 0.0
+
+    def absorb(v: int) -> None:
+        nonlocal region_weight
+        in_region[v] = True
+        part[v] = 0
+        region_weight += float(graph.vwgt[v])
+        lo, hi = graph.xadj[v], graph.xadj[v + 1]
+        for idx in range(lo, hi):
+            u = int(graph.adjncy[idx])
+            if not in_region[u]:
+                gain[u] += 2.0 * float(graph.adjwgt[idx])
+                push(u)
+
+    absorb(seed)
+    while region_weight < target and heap:
+        while heap:
+            neg_g, st, v = heapq.heappop(heap)
+            if in_region[v] or st != stamp[v]:
+                continue
+            break
+        else:  # pragma: no cover - loop exhausted without break
+            break
+        if in_region[v] or st != stamp[v]:
+            break
+        # Stop before overshooting badly past the target.
+        vw = float(graph.vwgt[v])
+        if region_weight + vw > target and region_weight > 0.5 * target:
+            overshoot = region_weight + vw - target
+            undershoot = target - region_weight
+            if overshoot > undershoot:
+                break
+        absorb(v)
+
+    # The frontier may dry up in a disconnected graph: top up with the
+    # lightest remaining vertices until the balance target is met.
+    if region_weight < target:
+        remaining = np.flatnonzero(~in_region)
+        order = remaining[np.argsort(graph.vwgt[remaining], kind="stable")]
+        for v in order:
+            if region_weight >= target:
+                break
+            in_region[v] = True
+            part[v] = 0
+            region_weight += float(graph.vwgt[v])
+    return part
+
+
+def best_bisection(
+    graph: WeightedGraph,
+    rng: np.random.Generator,
+    target_fraction: float = 0.5,
+    trials: int = 4,
+    imbalance_tolerance: float = 1.10,
+) -> np.ndarray:
+    """Run several greedy-growing trials; keep the best feasible bisection.
+
+    Feasible means neither side exceeds ``tolerance *`` its target weight;
+    among feasible candidates the minimum cut wins, with balance as the
+    tie-break. If no trial is feasible the least-imbalanced one is kept.
+    """
+    n = graph.num_vertices
+    if n <= 1:
+        return np.zeros(n, dtype=np.int64)
+    total = graph.total_vertex_weight
+    targets = np.array([target_fraction * total, (1 - target_fraction) * total])
+
+    best: np.ndarray | None = None
+    best_key: tuple[int, float, float] | None = None
+    for t in range(max(1, trials)):
+        part = greedy_graph_growing(graph, rng, target_fraction)
+        weights = graph.partition_weights(part, 2)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            ratio = np.where(targets > 0, weights / targets, 1.0)
+        imbalance = float(np.nanmax(ratio)) if np.isfinite(ratio).any() else 1.0
+        cut = graph.edge_cut(part)
+        feasible = 0 if imbalance <= imbalance_tolerance else 1
+        key = (feasible, cut if feasible == 0 else imbalance, imbalance)
+        if best_key is None or key < best_key:
+            best, best_key = part, key
+    assert best is not None
+    return best

@@ -1,0 +1,231 @@
+"""Boundary Fiduccia-Mattheyses refinement for bisections.
+
+After each uncoarsening step the projected partition is improved by FM
+passes: vertices on the cut boundary are moved between the two sides in
+order of gain (cut-weight reduction), subject to a balance constraint,
+with hill-climbing (a bounded number of negative-gain moves is allowed
+and the best prefix of the move sequence is kept).
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+from .graph import WeightedGraph
+
+__all__ = ["fm_refine", "balance_partition", "kway_refine"]
+
+
+def _external_internal(
+    graph: WeightedGraph, part: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-vertex external (cross-cut) and internal edge weight sums."""
+    n = graph.num_vertices
+    ed = np.zeros(n)
+    idw = np.zeros(n)
+    src = np.repeat(np.arange(n, dtype=np.int64), np.diff(graph.xadj))
+    cross = part[src] != part[graph.adjncy]
+    np.add.at(ed, src[cross], graph.adjwgt[cross])
+    np.add.at(idw, src[~cross], graph.adjwgt[~cross])
+    return ed, idw
+
+
+def fm_refine(
+    graph: WeightedGraph,
+    part: np.ndarray,
+    target_fractions: tuple[float, float] = (0.5, 0.5),
+    imbalance_tolerance: float = 1.05,
+    max_passes: int = 8,
+    max_negative_moves: int = 50,
+) -> np.ndarray:
+    """Refine a 2-way partition in place-style (returns a new array).
+
+    Parameters
+    ----------
+    target_fractions:
+        Desired weight share of sides 0 and 1 (sums to 1; uneven targets
+        support recursive bisection into unequal part counts).
+    imbalance_tolerance:
+        A move is allowed only if afterwards each side's weight is at most
+        ``tolerance * target`` (or the move improves balance).
+    max_negative_moves:
+        FM hill-climbing window: stop a pass after this many consecutive
+        non-improving moves.
+    """
+    part = part.astype(np.int64).copy()
+    n = graph.num_vertices
+    if n == 0:
+        return part
+    total = graph.total_vertex_weight
+    targets = np.array(target_fractions, dtype=np.float64) * total
+    side_weight = graph.partition_weights(part, 2)
+
+    for _ in range(max_passes):
+        ed, idw = _external_internal(graph, part)
+        gain = ed - idw
+        locked = np.zeros(n, dtype=bool)
+        stamp = np.zeros(n, dtype=np.int64)
+        heap: list[tuple[float, int, int]] = []
+        boundary = np.flatnonzero(ed > 0)
+        for v in boundary:
+            heapq.heappush(heap, (-gain[v], 0, int(v)))
+
+        best_cut_delta = 0.0
+        cut_delta = 0.0
+        moves: list[int] = []
+        best_prefix = 0
+        negatives = 0
+
+        while heap and negatives < max_negative_moves:
+            neg_g, st, v = heapq.heappop(heap)
+            if locked[v] or st != stamp[v]:
+                continue
+            g = -neg_g
+            src_side = int(part[v])
+            dst_side = 1 - src_side
+            vw = float(graph.vwgt[v])
+            new_dst = side_weight[dst_side] + vw
+            new_src = side_weight[src_side] - vw
+            balance_ok = new_dst <= imbalance_tolerance * targets[dst_side]
+            improves_balance = (
+                side_weight[src_side] - targets[src_side]
+                > new_dst - targets[dst_side]
+            )
+            if not (balance_ok or improves_balance):
+                locked[v] = True
+                continue
+
+            # Execute the move.
+            part[v] = dst_side
+            side_weight[src_side] = new_src
+            side_weight[dst_side] = new_dst
+            locked[v] = True
+            cut_delta -= g
+            moves.append(v)
+            if cut_delta < best_cut_delta - 1e-12:
+                best_cut_delta = cut_delta
+                best_prefix = len(moves)
+                negatives = 0
+            else:
+                negatives += 1
+
+            # Update neighbor gains.
+            lo, hi = graph.xadj[v], graph.xadj[v + 1]
+            for idx in range(lo, hi):
+                u = int(graph.adjncy[idx])
+                if locked[u]:
+                    continue
+                w = float(graph.adjwgt[idx])
+                # v moved to u's side? then the u-v edge went internal/external.
+                if part[u] == part[v]:
+                    gain[u] -= 2.0 * w
+                else:
+                    gain[u] += 2.0 * w
+                stamp[u] += 1
+                heapq.heappush(heap, (-gain[u], int(stamp[u]), u))
+
+        # Roll back moves after the best prefix.
+        for v in moves[best_prefix:]:
+            side = int(part[v])
+            part[v] = 1 - side
+            vw = float(graph.vwgt[v])
+            side_weight[side] -= vw
+            side_weight[1 - side] += vw
+
+        if best_prefix == 0:
+            break
+    return part
+
+
+def kway_refine(
+    graph: WeightedGraph,
+    assignment: np.ndarray,
+    num_parts: int,
+    imbalance_tolerance: float = 1.05,
+    max_passes: int = 4,
+) -> np.ndarray:
+    """Greedy direct k-way boundary refinement.
+
+    Recursive bisection never revisits early cuts; this pass fixes the
+    leftovers: each boundary vertex may move to the neighboring part to
+    which it has the largest connectivity, if the move reduces the cut
+    and respects the balance bound. Passes repeat until no positive-gain
+    move exists (or ``max_passes``).
+    """
+    part = np.asarray(assignment, dtype=np.int64).copy()
+    n = graph.num_vertices
+    if n == 0 or num_parts < 2:
+        return part
+    total = graph.total_vertex_weight
+    cap = imbalance_tolerance * total / num_parts
+    weights = graph.partition_weights(part, num_parts)
+
+    for _ in range(max_passes):
+        moved = 0
+        # Boundary vertices: any with a neighbor in another part.
+        src = np.repeat(np.arange(n, dtype=np.int64), np.diff(graph.xadj))
+        boundary = np.unique(src[part[src] != part[graph.adjncy]])
+        for v in boundary:
+            home = int(part[v])
+            # Connectivity of v to each adjacent part.
+            nbrs = graph.neighbors(v)
+            wts = graph.neighbor_weights(v)
+            conn: dict[int, float] = {}
+            for u, w in zip(nbrs, wts):
+                conn[int(part[u])] = conn.get(int(part[u]), 0.0) + float(w)
+            internal = conn.get(home, 0.0)
+            vw = float(graph.vwgt[v])
+            best_part, best_gain = home, 0.0
+            for p, c in conn.items():
+                if p == home:
+                    continue
+                gain = c - internal
+                if gain > best_gain and weights[p] + vw <= cap:
+                    # Don't empty the home part.
+                    if weights[home] - vw > 0:
+                        best_part, best_gain = p, gain
+            if best_part != home:
+                part[v] = best_part
+                weights[home] -= vw
+                weights[best_part] += vw
+                moved += 1
+        if moved == 0:
+            break
+    return part
+
+
+def balance_partition(
+    graph: WeightedGraph,
+    part: np.ndarray,
+    target_fractions: tuple[float, float] = (0.5, 0.5),
+    imbalance_tolerance: float = 1.05,
+) -> np.ndarray:
+    """Greedy rebalancing: move min-damage boundary vertices off the heavy side.
+
+    Used when a projected partition violates the balance constraint so
+    badly that FM's feasibility gate would lock up.
+    """
+    part = part.astype(np.int64).copy()
+    total = graph.total_vertex_weight
+    targets = np.array(target_fractions, dtype=np.float64) * total
+    side_weight = graph.partition_weights(part, 2)
+
+    guard = graph.num_vertices + 1
+    while guard > 0:
+        guard -= 1
+        over = int(np.argmax(side_weight - imbalance_tolerance * targets))
+        if side_weight[over] <= imbalance_tolerance * targets[over]:
+            break
+        ed, idw = _external_internal(graph, part)
+        gain = ed - idw
+        candidates = np.flatnonzero(part == over)
+        if candidates.size == 0:
+            break
+        best = candidates[np.argmax(gain[candidates])]
+        part[best] = 1 - over
+        vw = float(graph.vwgt[best])
+        side_weight[over] -= vw
+        side_weight[1 - over] += vw
+    return part

@@ -1,0 +1,5 @@
+"""Traffic profiling for the PROF/HPROF load-balance approaches."""
+
+from .traffic import TrafficProfile, node_rate_series
+
+__all__ = ["TrafficProfile", "node_rate_series"]

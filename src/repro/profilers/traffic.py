@@ -1,0 +1,101 @@
+"""Traffic profiling (the PROF approaches' input).
+
+"Typically profiling involves an initial simulation experiment using a
+naive initial partition and traffic monitoring. The simulation yields
+detailed traffic information, and improves subsequent network
+partitions." A :class:`TrafficProfile` captures exactly that: per-node
+simulation-event counts (the load signal) and per-link packet/byte
+volumes (the cut-cost signal), plus binned per-node event-rate series
+(Figure 3's "load variation over the lifetime of simulation").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["TrafficProfile", "node_rate_series"]
+
+
+@dataclass(frozen=True)
+class TrafficProfile:
+    """Measured traffic of a (profiling) simulation run."""
+
+    #: packets handled per node (one kernel event per packet-hop)
+    node_events: np.ndarray
+    #: bytes carried per link (both directions)
+    link_bytes: np.ndarray
+    #: packets carried per link
+    link_packets: np.ndarray
+    #: profiled simulated duration (seconds)
+    duration_s: float
+
+    def __post_init__(self) -> None:
+        if self.duration_s <= 0:
+            raise ValueError("profile duration must be positive")
+        for name in ("node_events", "link_bytes", "link_packets"):
+            arr = getattr(self, name)
+            if np.any(np.asarray(arr) < 0):
+                raise ValueError(f"{name} must be non-negative")
+
+    @classmethod
+    def from_simulation(cls, sim, duration_s: float) -> "TrafficProfile":
+        """Snapshot the counters of a :class:`NetworkSimulator` run."""
+        return cls(
+            node_events=np.asarray(sim.node_packets, dtype=np.float64).copy(),
+            link_bytes=sim.link_bytes(),
+            link_packets=np.asarray(sim.link_packets(), dtype=np.float64),
+            duration_s=float(duration_s),
+        )
+
+    @property
+    def total_events(self) -> float:
+        """Total profiled kernel events across all nodes."""
+        return float(self.node_events.sum())
+
+    def node_event_rates(self) -> np.ndarray:
+        """Events/second per node over the profiled window."""
+        return self.node_events / self.duration_s
+
+    def scaled(self, factor: float) -> "TrafficProfile":
+        """A profile extrapolated to ``factor``x the traffic volume
+        (used to estimate a long run from a short profiling run)."""
+        if factor <= 0:
+            raise ValueError("factor must be positive")
+        return TrafficProfile(
+            node_events=self.node_events * factor,
+            link_bytes=self.link_bytes * factor,
+            link_packets=self.link_packets * factor,
+            duration_s=self.duration_s,
+        )
+
+
+def node_rate_series(
+    times: np.ndarray,
+    nodes: np.ndarray,
+    groups: np.ndarray,
+    num_groups: int,
+    bin_s: float,
+    end_time: float,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Binned event-rate time series per node group (Figure 3).
+
+    ``groups[node]`` assigns each node to a series (e.g. an LP of a
+    partition); returns ``(bin_start_times, rates[bins, num_groups])`` in
+    events/second.
+    """
+    if bin_s <= 0 or end_time <= 0:
+        raise ValueError("bin_s and end_time must be positive")
+    times = np.asarray(times, dtype=np.float64)
+    nodes = np.asarray(nodes, dtype=np.int64)
+    groups = np.asarray(groups, dtype=np.int64)
+    num_bins = int(np.ceil(end_time / bin_s - 1e-12))
+    counts = np.zeros((num_bins, num_groups), dtype=np.float64)
+    keep = (times < end_time) & (nodes >= 0)
+    if keep.any():
+        t, n = times[keep], nodes[keep]
+        b = np.minimum((t / bin_s).astype(np.int64), num_bins - 1)
+        np.add.at(counts, (b, groups[n]), 1.0)
+    starts = np.arange(num_bins) * bin_s
+    return starts, counts / bin_s

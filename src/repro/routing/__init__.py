@@ -1,0 +1,8 @@
+"""Routing: OSPF intra-AS shortest paths, BGP4 inter-AS policy routing,
+and the composed forwarding plane used by the packet simulator."""
+
+from . import bgp
+from .fib import ForwardingPlane
+from .ospf import OspfRouting, ospf_link_metric
+
+__all__ = ["OspfRouting", "ospf_link_metric", "ForwardingPlane", "bgp"]

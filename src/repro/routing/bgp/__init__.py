@@ -1,0 +1,34 @@
+"""BGP4 policy routing: attributes, policies, decision process, engine,
+and heuristic auto-configuration (paper Sections 5.1.1-5.1.2)."""
+
+from .attributes import LOCAL_PREF, Origin, Route
+from .beacon import BeaconExperiment, ConvergenceRecord, compare_ribs
+from .config import build_speakers, configure_bgp, render_dml
+from .decision import best_route, decision_key
+from .engine import BgpEngine, BgpSpeaker
+from .policy import (
+    export_allowed,
+    import_local_pref,
+    is_valley_free,
+    learned_relationship,
+)
+
+__all__ = [
+    "Route",
+    "BeaconExperiment",
+    "ConvergenceRecord",
+    "compare_ribs",
+    "Origin",
+    "LOCAL_PREF",
+    "decision_key",
+    "best_route",
+    "export_allowed",
+    "import_local_pref",
+    "learned_relationship",
+    "is_valley_free",
+    "BgpSpeaker",
+    "BgpEngine",
+    "build_speakers",
+    "configure_bgp",
+    "render_dml",
+]

@@ -1,0 +1,85 @@
+"""BGP route announcements and attributes (paper Section 5.1.1).
+
+A route announcement carries the destination prefix (one prefix per AS in
+this model), the AS path, and the attributes the decision process ranks:
+local preference (set by import policy), origin type, and MED. ``next_hop_as``
+is the neighbor the route was learned from — forwarding leaves the local
+AS toward that neighbor.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+
+__all__ = ["Origin", "Route", "LOCAL_PREF"]
+
+
+class Origin(enum.IntEnum):
+    """Route origin; lower is preferred in the decision process."""
+
+    IGP = 0
+    EGP = 1
+    INCOMPLETE = 2
+
+
+#: Local preference by the relationship of the announcing neighbor
+#: (Wang & Gao heuristic, paper Section 5.1.1): customer routes are most
+#: preferred, then peers, then providers.
+LOCAL_PREF = {"local": 200, "customer": 100, "peer": 90, "provider": 80}
+
+
+@dataclass(frozen=True, order=False)
+class Route:
+    """An AS-level BGP route toward ``prefix``.
+
+    ``as_path[0]`` is the neighbor that announced the route
+    (== ``next_hop_as``); ``as_path[-1]`` is the origin AS (== ``prefix``
+    in the one-prefix-per-AS model). A locally originated route has an
+    empty path and ``next_hop_as == prefix``.
+    """
+
+    prefix: int
+    as_path: tuple[int, ...]
+    local_pref: int
+    next_hop_as: int
+    origin: Origin = Origin.IGP
+    med: int = 0
+
+    @classmethod
+    def originate(cls, as_id: int) -> "Route":
+        """The route an AS originates for its own prefix."""
+        return cls(
+            prefix=as_id,
+            as_path=(),
+            local_pref=LOCAL_PREF["local"],
+            next_hop_as=as_id,
+            origin=Origin.IGP,
+        )
+
+    @property
+    def path_length(self) -> int:
+        """AS-path length (the decision process's second criterion)."""
+        return len(self.as_path)
+
+    @property
+    def is_local(self) -> bool:
+        """True for a locally originated route (empty AS path)."""
+        return not self.as_path
+
+    def announced_by(self, announcer: int, local_pref: int) -> "Route":
+        """The route as received from ``announcer`` (path prepended).
+
+        The announcer prepends its own AS number; the receiver applies its
+        import policy's local preference.
+        """
+        return replace(
+            self,
+            as_path=(announcer, *self.as_path),
+            local_pref=local_pref,
+            next_hop_as=announcer,
+        )
+
+    def contains_loop(self, as_id: int) -> bool:
+        """BGP loop prevention: reject routes whose path already has us."""
+        return as_id in self.as_path

@@ -1,0 +1,96 @@
+"""Automatic BGP configuration from heuristic rules (paper Section 5.1.2).
+
+Given a :class:`repro.topology.Network` whose AS domains carry business
+relationships (produced by maBrite), this module instantiates the BGP
+speakers with the heuristic import/export policies (steps 4-5) and can
+render the configuration as a DML-like nested dict, mirroring how MaSSF
+consumed its Domain Model Language input files.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ...topology.models import ASTier, Network
+from .attributes import LOCAL_PREF
+from .engine import BgpEngine, BgpSpeaker
+
+__all__ = ["build_speakers", "configure_bgp", "render_dml"]
+
+
+def build_speakers(net: Network) -> dict[int, BgpSpeaker]:
+    """One speaker per AS, relationships taken from the AS domains."""
+    speakers: dict[int, BgpSpeaker] = {}
+    for as_id, dom in net.as_domains.items():
+        relationships: dict[int, str] = {}
+        for p in dom.providers:
+            relationships[p] = "provider"
+        for c in dom.customers:
+            relationships[c] = "customer"
+        for p in dom.peers:
+            relationships[p] = "peer"
+        speakers[as_id] = BgpSpeaker(as_id=as_id, relationships=relationships)
+    return speakers
+
+
+def configure_bgp(net: Network, max_iterations: int = 1000) -> BgpEngine:
+    """Build speakers from the network and run propagation to convergence."""
+    engine = BgpEngine(build_speakers(net))
+    engine.run(max_iterations=max_iterations)
+    return engine
+
+
+def render_dml(net: Network) -> dict[str, Any]:
+    """Render the auto-generated routing policy as a DML-like structure.
+
+    The real MaSSF expressed policies in SSFNet's Domain Model Language;
+    we keep the same information architecture (per-AS import preferences
+    at next-hop-AS granularity, export filters per relationship, default
+    routes for stubs) as a nested dict so it can be serialized or diffed.
+    """
+    doc: dict[str, Any] = {"Net": {"frequency": 1_000_000_000, "AS": []}}
+    for as_id in sorted(net.as_domains):
+        dom = net.as_domains[as_id]
+        entry: dict[str, Any] = {
+            "id": as_id,
+            "tier": dom.tier.value,
+            "ospf_area": 0,
+            "routers": len(dom.routers),
+            "hosts": len(dom.hosts),
+            "bgp": {
+                "import_policy": [
+                    {
+                        "neighbor_as": nbr,
+                        "action": "permit",
+                        "local_pref": LOCAL_PREF[dom.relationship_to(nbr)],
+                        "relationship": dom.relationship_to(nbr),
+                    }
+                    for nbr in sorted(dom.neighbor_ases)
+                ],
+                "export_policy": [
+                    {
+                        "neighbor_as": nbr,
+                        "announce": (
+                            "all"
+                            if dom.relationship_to(nbr) == "customer"
+                            else "local+customer"
+                        ),
+                    }
+                    for nbr in sorted(dom.neighbor_ases)
+                ],
+            },
+        }
+        if dom.tier is ASTier.STUB and dom.default_routes:
+            primary = dom.default_routes[0]
+            entry["default_route"] = {
+                "egress_router": primary[0],
+                "provider_as": primary[1],
+            }
+            if len(dom.default_routes) > 1:
+                backup = dom.default_routes[1]
+                entry["backup_route"] = {
+                    "egress_router": backup[0],
+                    "provider_as": backup[1],
+                }
+        doc["Net"]["AS"].append(entry)
+    return doc

@@ -1,0 +1,46 @@
+"""The BGP sequential decision process.
+
+BGP picks one best route per prefix from all candidates by walking a list
+of criteria in order; the paper highlights local preference as the first
+and most important rule (it is how operators enforce import policy).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from .attributes import Route
+
+__all__ = ["decision_key", "best_route"]
+
+
+def decision_key(route: Route) -> tuple:
+    """Sort key: *smaller is better* (use with ``min``).
+
+    Criteria in order:
+
+    1. highest local preference,
+    2. shortest AS path,
+    3. lowest origin type,
+    4. smallest MED,
+    5. lowest next-hop AS id (deterministic tie-break standing in for
+       the lowest-router-id rule).
+    """
+    return (
+        -route.local_pref,
+        route.path_length,
+        int(route.origin),
+        route.med,
+        route.next_hop_as,
+    )
+
+
+def best_route(candidates: Iterable[Route]) -> Route | None:
+    """Run the decision process; ``None`` when there are no candidates."""
+    best: Route | None = None
+    best_key: tuple | None = None
+    for route in candidates:
+        key = decision_key(route)
+        if best_key is None or key < best_key:
+            best, best_key = route, key
+    return best

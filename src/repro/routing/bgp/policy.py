@@ -1,0 +1,95 @@
+"""Import and export routing policies (paper Section 5.1.1-5.1.2).
+
+Export policy (derived directly from commercial relationships):
+
+- **to a provider**: export local routes and customer routes only,
+- **to a peer**: export local routes and customer routes only,
+- **to a customer**: export everything.
+
+Import policy: accept all loop-free routes and set local preference by the
+next-hop AS relationship — customer > peer > provider (most ISPs maintain
+preference at next-hop-AS granularity, step 4b of the paper's procedure).
+
+Together these are the Gao-Rexford conditions; they make routing
+*valley-free*: once a path goes up (customer->provider) and comes down, it
+never goes up again, and peer links are crossed at most once at the top.
+"""
+
+from __future__ import annotations
+
+from .attributes import LOCAL_PREF, Route
+
+__all__ = [
+    "export_allowed",
+    "import_local_pref",
+    "learned_relationship",
+    "is_valley_free",
+]
+
+
+def learned_relationship(route: Route, relationships: dict[int, str]) -> str:
+    """How the AS holding ``route`` learned it: 'local', 'customer', 'peer',
+    or 'provider' — determined by who the next-hop AS is to us."""
+    if route.is_local:
+        return "local"
+    return relationships[route.next_hop_as]
+
+
+def export_allowed(route: Route, to_relationship: str, relationships: dict[int, str]) -> bool:
+    """May the route be announced to a neighbor of the given relationship?
+
+    ``to_relationship`` is what the neighbor is *to us* ('provider',
+    'peer', or 'customer'); ``relationships`` maps our neighbor AS ids to
+    their relationship to us (used to classify how the route was learned).
+    """
+    if to_relationship == "customer":
+        return True  # customers receive full tables
+    learned = learned_relationship(route, relationships)
+    # To providers and peers: only local and customer routes (no transit).
+    return learned in ("local", "customer")
+
+
+def import_local_pref(from_relationship: str) -> int:
+    """Local preference assigned on import, by next-hop-AS relationship."""
+    return LOCAL_PREF[from_relationship]
+
+
+def is_valley_free(
+    as_path: tuple[int, ...],
+    origin_as: int,
+    relationship_of: "callable",
+) -> bool:
+    """Check the valley-free property of a full AS-level path.
+
+    ``as_path`` is ordered from the AS adjacent to the traffic source
+    down to the origin (the BGP ``as_path`` of the source's best route,
+    ending at ``origin_as``). ``relationship_of(a, b)`` must return what
+    ``b`` is *to* ``a`` ('customer' / 'peer' / 'provider').
+
+    Traffic flows source -> ... -> origin, i.e. along the path in order.
+    Valley-free means the edge-type sequence matches
+    ``(customer->provider)* (peer-peer)? (provider->customer)*`` when read
+    in the traffic direction.
+    """
+    hops = list(as_path)
+    if hops and hops[-1] != origin_as:
+        hops.append(origin_as)
+    if len(hops) < 2:
+        return True
+    # Phase 0: climbing (traffic goes to provider); after a peer edge or a
+    # descent (to customer) only descents are allowed.
+    phase = 0  # 0 = climbing, 1 = after peak
+    for a, b in zip(hops, hops[1:]):
+        rel = relationship_of(a, b)  # what b is to a
+        if rel == "provider":
+            if phase != 0:
+                return False
+        elif rel == "peer":
+            if phase != 0:
+                return False
+            phase = 1
+        elif rel == "customer":
+            phase = 1
+        else:  # pragma: no cover - defensive
+            raise ValueError(f"unknown relationship {rel!r}")
+    return True

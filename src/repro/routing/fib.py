@@ -1,0 +1,168 @@
+"""Forwarding plane: composes BGP (inter-AS), OSPF (intra-AS), and
+stub-AS default routes into per-hop next-node decisions.
+
+This is what the packet simulator queries on every hop. The composition
+follows the paper's structure:
+
+- inside an AS, OSPF shortest path;
+- between ASes, the BGP best route decides the next-hop AS and the border
+  link is chosen hot-potato (the OSPF-closest egress — each router picks
+  its own closest exit, which is provably loop-free);
+- stub ASes do not carry the full BGP table: external traffic follows the
+  default route to the primary provider (paper step 6c), except
+  destinations learned from directly attached customers/peers; multi-homed
+  stubs fail over to the backup default (step 6d).
+"""
+
+from __future__ import annotations
+
+from ..topology.models import ASTier, Network
+from .bgp.engine import BgpEngine
+from .ospf import OspfRouting
+
+__all__ = ["ForwardingPlane"]
+
+
+class ForwardingPlane:
+    """Per-hop forwarding for a (possibly multi-AS) network.
+
+    Parameters
+    ----------
+    net:
+        The network. Every node's ``as_id`` selects its OSPF domain.
+    bgp:
+        A converged :class:`BgpEngine` for multi-AS networks; ``None``
+        for single-AS networks (pure OSPF).
+    """
+
+    def __init__(self, net: Network, bgp: BgpEngine | None = None) -> None:
+        self.net = net
+        self.bgp = bgp
+        self._ospf: dict[int, OspfRouting] = {}
+        members: dict[int, list[int]] = {}
+        for node in net.nodes:
+            members.setdefault(node.as_id, []).append(node.node_id)
+        for as_id, mem in members.items():
+            self._ospf[as_id] = OspfRouting(net, mem)
+        # (node, dest) -> next node; flows hammer the same pairs.
+        self._cache: dict[tuple[int, int], int | None] = {}
+
+    def ospf_domain(self, as_id: int) -> OspfRouting:
+        """The OSPF routing domain of one AS."""
+        return self._ospf[as_id]
+
+    # ------------------------------------------------------------------
+    def next_hop(self, node: int, dest: int) -> int | None:
+        """The next node on the path from ``node`` to ``dest``.
+
+        Returns ``None`` for unreachable destinations — under policy
+        routing, connectivity does not imply reachability.
+        """
+        if node == dest:
+            return None
+        key = (node, dest)
+        hit = self._cache.get(key, _MISS)
+        if hit is not _MISS:
+            return hit
+        result = self._compute_next_hop(node, dest)
+        self._cache[key] = result
+        return result
+
+    def _compute_next_hop(self, node: int, dest: int) -> int | None:
+        node_as = self.net.nodes[node].as_id
+        dest_as = self.net.nodes[dest].as_id
+        if node_as == dest_as:
+            return self._ospf[node_as].next_hop(node, dest)
+        if self.bgp is None:
+            # Single OSPF domain networks shouldn't hit this; treat the
+            # whole network as one domain if AS ids differ without BGP.
+            domain = self._ospf.get(node_as)
+            return domain.next_hop(node, dest) if domain and dest in domain else None
+
+        next_as = self._select_next_as(node_as, dest_as)
+        if next_as is None:
+            return None
+        return self._toward_border(node, node_as, next_as)
+
+    def _select_next_as(self, node_as: int, dest_as: int) -> int | None:
+        """Next-hop AS: BGP best route, or the stub default route."""
+        assert self.bgp is not None
+        dom = self.net.as_domains[node_as]
+        if dom.tier is ASTier.STUB:
+            route = self.bgp.route(node_as, dest_as)
+            if route is not None and not route.is_local:
+                nbr = route.next_hop_as
+                if nbr in dom.customers or nbr in dom.peers:
+                    return nbr
+            # Default route: primary provider, backup for multi-homed stubs.
+            for _egress, provider in dom.default_routes:
+                if provider in dom.border_links:
+                    return provider
+            return None
+        return self.bgp.next_hop_as(node_as, dest_as)
+
+    def _toward_border(self, node: int, node_as: int, next_as: int) -> int | None:
+        """Hot-potato: head for the OSPF-closest egress toward ``next_as``;
+        if we *are* that egress, cross the inter-AS link."""
+        dom = self.net.as_domains[node_as]
+        links = dom.border_links.get(next_as)
+        if not links:
+            return None
+        ospf = self._ospf[node_as]
+        best_pair: tuple[int, int] | None = None
+        best_dist = float("inf")
+        for local, remote in links:
+            d = ospf.distance(node, local)
+            if d < best_dist:
+                best_dist = d
+                best_pair = (local, remote)
+        if best_pair is None or best_dist == float("inf"):
+            return None
+        local, remote = best_pair
+        if node == local:
+            return remote
+        return ospf.next_hop(node, local)
+
+    # ------------------------------------------------------------------
+    def node_path(self, src: int, dst: int, max_hops: int | None = None) -> list[int] | None:
+        """Full hop-by-hop node path (None when unreachable)."""
+        limit = max_hops if max_hops is not None else self.net.num_nodes + 1
+        path = [src]
+        current = src
+        for _ in range(limit):
+            if current == dst:
+                return path
+            nxt = self.next_hop(current, dst)
+            if nxt is None:
+                return None
+            path.append(nxt)
+            current = nxt
+        return None
+
+    def path_latency(self, src: int, dst: int) -> float:
+        """Sum of propagation latencies along the forwarding path (inf if
+        unreachable)."""
+        path = self.node_path(src, dst)
+        if path is None:
+            return float("inf")
+        total = 0.0
+        for a, b in zip(path, path[1:]):
+            link = self.net.link_between(a, b)
+            assert link is not None
+            total += link.latency_s
+        return total
+
+    def as_level_path(self, src: int, dst: int) -> list[int] | None:
+        """The sequence of AS ids the forwarding path traverses."""
+        path = self.node_path(src, dst)
+        if path is None:
+            return None
+        ases: list[int] = []
+        for node in path:
+            a = self.net.nodes[node].as_id
+            if not ases or ases[-1] != a:
+                ases.append(a)
+        return ases
+
+
+_MISS = object()

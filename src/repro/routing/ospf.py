@@ -1,0 +1,136 @@
+"""OSPF-style intra-AS shortest path routing.
+
+MaSSF routes inside an AS (and the whole network in the single-AS
+experiments) with shortest path first. We implement per-destination
+reverse shortest-path trees with Dijkstra over link latency (plus a tiny
+bandwidth tie-break so fat pipes win among equal-latency paths), computed
+lazily and cached — large networks only ever need trees toward actual
+traffic destinations and border routers.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..topology.models import Network
+
+__all__ = ["OspfRouting", "ospf_link_metric"]
+
+
+def ospf_link_metric(latency_s: float, bandwidth_bps: float) -> float:
+    """Link metric: propagation latency with a capacity tie-break.
+
+    The dominant term is latency (shortest-delay paths, as in the paper's
+    "shortest path routing"); the ``1/bandwidth`` epsilon prefers higher
+    capacity among equal-latency alternatives and makes trees unique in
+    practice.
+    """
+    return latency_s + 1e-3 / bandwidth_bps
+
+
+class OspfRouting:
+    """Shortest-path next-hop provider for one routing domain.
+
+    Parameters
+    ----------
+    net:
+        The full network.
+    members:
+        Node ids belonging to this OSPF domain (routers and hosts of one
+        AS). Paths never leave the member set.
+    """
+
+    def __init__(self, net: Network, members: list[int]) -> None:
+        self.net = net
+        self.members = list(members)
+        self._member_set = set(members)
+        # destination -> {node: next_hop_node}
+        self._trees: dict[int, dict[int, int]] = {}
+
+    def __contains__(self, node_id: int) -> bool:
+        return node_id in self._member_set
+
+    def _build_tree(self, dest: int) -> dict[int, int]:
+        """Reverse SPT: next hop from every member toward ``dest``.
+
+        Links are symmetric, so Dijkstra *from* the destination gives the
+        shortest distance from every node to it; the next hop of ``v`` is
+        the neighbor through which ``v`` was finalized.
+        """
+        if dest not in self._member_set:
+            raise KeyError(f"destination {dest} not in this OSPF domain")
+        dist: dict[int, float] = {dest: 0.0}
+        next_hop: dict[int, int] = {}
+        heap: list[tuple[float, int, int]] = [(0.0, dest, dest)]
+        done: set[int] = set()
+        while heap:
+            d, v, toward = heapq.heappop(heap)
+            if v in done:
+                continue
+            done.add(v)
+            if v != dest:
+                next_hop[v] = toward
+            for u, link in self.net.neighbors(v):
+                if u not in self._member_set or u in done:
+                    continue
+                nd = d + ospf_link_metric(link.latency_s, link.bandwidth_bps)
+                if nd < dist.get(u, np.inf):
+                    dist[u] = nd
+                    # From u, the first hop toward dest is v itself.
+                    heapq.heappush(heap, (nd, u, v))
+        return next_hop
+
+    def next_hop(self, node: int, dest: int) -> int | None:
+        """Next node on the shortest path from ``node`` to ``dest``.
+
+        Returns ``None`` when ``dest`` is unreachable within the domain
+        or ``node == dest``.
+        """
+        if node == dest:
+            return None
+        tree = self._trees.get(dest)
+        if tree is None:
+            tree = self._build_tree(dest)
+            self._trees[dest] = tree
+        return tree.get(node)
+
+    def distance(self, node: int, dest: int) -> float:
+        """Shortest-path metric distance (inf if unreachable)."""
+        if node == dest:
+            return 0.0
+        total = 0.0
+        current = node
+        guard = len(self.members) + 1
+        while current != dest and guard > 0:
+            guard -= 1
+            nxt = self.next_hop(current, dest)
+            if nxt is None:
+                return float("inf")
+            link = self.net.link_between(current, nxt)
+            assert link is not None
+            total += ospf_link_metric(link.latency_s, link.bandwidth_bps)
+            current = nxt
+        return total if current == dest else float("inf")
+
+    def path(self, node: int, dest: int) -> list[int] | None:
+        """Full node path ``[node, ..., dest]`` (None if unreachable)."""
+        path = [node]
+        current = node
+        guard = len(self.members) + 1
+        while current != dest:
+            guard -= 1
+            if guard < 0:
+                return None
+            nxt = self.next_hop(current, dest)
+            if nxt is None:
+                return None
+            path.append(nxt)
+            current = nxt
+        return path
+
+    def cached_destinations(self) -> list[int]:
+        """Destinations whose reverse SPTs have been built (cache view)."""
+        return list(self._trees)

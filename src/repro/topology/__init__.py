@@ -1,0 +1,71 @@
+"""Internet-like topology generation (BRITE / maBrite).
+
+Single-AS flat networks (:func:`generate_flat_network`) reproduce the
+paper's Section 4 setup; multi-AS networks with realistic AS
+relationships (:func:`generate_multi_as_network`) reproduce Section 5.
+"""
+
+from .brite import (
+    MIN_LINK_LATENCY_S,
+    assign_bandwidths,
+    build_router_network,
+    generate_flat_network,
+    powerlaw_edges,
+    waxman_edges,
+)
+from .geometry import (
+    MILES_TO_METERS,
+    SIGNAL_SPEED_MPS,
+    Plane,
+    latency_from_miles,
+    pairwise_distance_miles,
+)
+from .hosts import (
+    HOST_ACCESS_BANDWIDTH_BPS,
+    HOST_ACCESS_LATENCY_S,
+    attach_hosts,
+    pick_clients_and_servers,
+)
+from .external import infer_tiers, load_as_relationships, parse_as_relationships
+from .mabrite import (
+    ASLevelTopology,
+    assign_relationships,
+    build_multi_as_network,
+    classify_ases,
+    generate_as_level_topology,
+    generate_multi_as_network,
+)
+from .models import ASDomain, ASTier, Link, Network, Node, NodeKind
+
+__all__ = [
+    "Plane",
+    "latency_from_miles",
+    "pairwise_distance_miles",
+    "MILES_TO_METERS",
+    "SIGNAL_SPEED_MPS",
+    "MIN_LINK_LATENCY_S",
+    "Network",
+    "Node",
+    "Link",
+    "ASDomain",
+    "ASTier",
+    "NodeKind",
+    "powerlaw_edges",
+    "waxman_edges",
+    "assign_bandwidths",
+    "build_router_network",
+    "generate_flat_network",
+    "generate_multi_as_network",
+    "build_multi_as_network",
+    "parse_as_relationships",
+    "load_as_relationships",
+    "infer_tiers",
+    "generate_as_level_topology",
+    "classify_ases",
+    "assign_relationships",
+    "ASLevelTopology",
+    "attach_hosts",
+    "pick_clients_and_servers",
+    "HOST_ACCESS_BANDWIDTH_BPS",
+    "HOST_ACCESS_LATENCY_S",
+]

@@ -1,0 +1,231 @@
+"""BRITE-style degree-based topology generation.
+
+The paper generates router topologies with an adapted BRITE tool — a
+degree-based generator following the power law of Faloutsos et al.
+(SIGCOMM'99). We provide the two BRITE models:
+
+- Barabási-Albert preferential attachment (``powerlaw_edges``), the model
+  the paper uses, and
+- Waxman random geometric graphs (``waxman_edges``) as the classical
+  alternative.
+
+Link latencies derive from geographic distance on the plane; bandwidths
+are drawn from a capacity ladder weighted toward the network core.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .geometry import Plane, latency_from_miles, pairwise_distance_miles
+from .hosts import attach_hosts
+from .models import ASTier, Network, NodeKind
+
+__all__ = [
+    "powerlaw_edges",
+    "waxman_edges",
+    "assign_bandwidths",
+    "build_router_network",
+    "generate_flat_network",
+    "MIN_LINK_LATENCY_S",
+]
+
+#: Floor on link latency: even co-located routers have serialization and
+#: equipment delay (~10 us). Keeping this positive also keeps the MLL of
+#: any partition strictly positive.
+MIN_LINK_LATENCY_S = 10e-6
+
+#: Capacity ladder (bps): OC-3, OC-12, GigE, OC-48, 10GigE.
+CAPACITY_LADDER_BPS = np.array([155e6, 622e6, 1e9, 2.5e9, 10e9])
+
+
+def powerlaw_edges(
+    num_nodes: int, m: int, rng: np.random.Generator
+) -> tuple[np.ndarray, np.ndarray]:
+    """Barabási-Albert preferential attachment edge list.
+
+    Each arriving node connects to ``m`` distinct existing nodes sampled
+    proportionally to their current degree, yielding a power-law degree
+    distribution. The first ``m + 1`` nodes form a clique seed, so the
+    result is connected for ``num_nodes >= 2``.
+    """
+    if num_nodes < 2:
+        return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+    m = max(1, min(m, num_nodes - 1))
+    us: list[int] = []
+    vs: list[int] = []
+    # `targets` holds one entry per edge endpoint: sampling uniformly from
+    # it is degree-proportional sampling.
+    targets: list[int] = []
+    seed = m + 1
+    for a in range(seed):
+        for b in range(a + 1, seed):
+            us.append(a)
+            vs.append(b)
+            targets.extend((a, b))
+    for v in range(seed, num_nodes):
+        chosen: set[int] = set()
+        # Rejection-sample distinct targets; the loop terminates because
+        # there are at least m distinct nodes in `targets`.
+        while len(chosen) < m:
+            t = targets[rng.integers(len(targets))]
+            chosen.add(int(t))
+        for t in chosen:
+            us.append(t)
+            vs.append(v)
+            targets.extend((t, v))
+    return np.asarray(us, dtype=np.int64), np.asarray(vs, dtype=np.int64)
+
+
+def waxman_edges(
+    positions: np.ndarray,
+    rng: np.random.Generator,
+    alpha: float = 0.15,
+    beta: float = 0.2,
+    scale_miles: float | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Waxman random geometric edges: P(u,v) = alpha * exp(-d / (beta * L)).
+
+    ``L`` defaults to the maximum pairwise distance. A spanning tree over
+    nearest neighbors is added to guarantee connectivity.
+    """
+    n = positions.shape[0]
+    if n < 2:
+        return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+    iu, ju = np.triu_indices(n, k=1)
+    d = pairwise_distance_miles(positions, iu, ju)
+    L = float(d.max()) if scale_miles is None else float(scale_miles)
+    L = max(L, 1e-9)
+    prob = alpha * np.exp(-d / (beta * L))
+    keep = rng.random(d.shape[0]) < prob
+    us, vs = list(iu[keep]), list(ju[keep])
+
+    # Connect components via a greedy nearest-neighbor spanning pass.
+    parent = np.arange(n)
+
+    def find(x: int) -> int:
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    for a, b in zip(us, vs):
+        parent[find(int(a))] = find(int(b))
+    roots = {find(i) for i in range(n)}
+    while len(roots) > 1:
+        comps = {}
+        for i in range(n):
+            comps.setdefault(find(i), []).append(i)
+        comp_list = list(comps.values())
+        base = comp_list[0]
+        other = comp_list[1]
+        # Join the closest pair between the two components.
+        bi = np.array(base)
+        oi = np.array(other)
+        dd = np.linalg.norm(positions[bi][:, None, :] - positions[oi][None, :, :], axis=2)
+        a_idx, b_idx = np.unravel_index(np.argmin(dd), dd.shape)
+        a, b = int(bi[a_idx]), int(oi[b_idx])
+        us.append(a)
+        vs.append(b)
+        parent[find(a)] = find(b)
+        roots = {find(i) for i in range(n)}
+    return np.asarray(us, dtype=np.int64), np.asarray(vs, dtype=np.int64)
+
+
+def assign_bandwidths(
+    u: np.ndarray, v: np.ndarray, degrees: np.ndarray, rng: np.random.Generator
+) -> np.ndarray:
+    """Draw a capacity per edge, biased upward for high-degree endpoints.
+
+    BRITE assigns bandwidths independently of structure; real ISP cores
+    run fatter pipes, and the TOP approach weights vertices by total
+    incident bandwidth, so the bias matters for reproducing its behavior.
+    """
+    m = u.shape[0]
+    if m == 0:
+        return np.empty(0)
+    dsum = degrees[u] + degrees[v]
+    # Map degree-sum quantile to a rung of the ladder, +- one rung of noise.
+    order = np.argsort(np.argsort(dsum))
+    quantile = order / max(m - 1, 1)
+    rung = np.floor(quantile * len(CAPACITY_LADDER_BPS)).astype(int)
+    rung = np.clip(rung + rng.integers(-1, 2, size=m), 0, len(CAPACITY_LADDER_BPS) - 1)
+    return CAPACITY_LADDER_BPS[rung]
+
+
+def build_router_network(
+    num_routers: int,
+    plane: Plane,
+    rng: np.random.Generator,
+    m: int = 2,
+    model: str = "powerlaw",
+    as_id: int = 0,
+    region_center: tuple[float, float] | None = None,
+    region_radius_miles: float | None = None,
+    net: Network | None = None,
+) -> tuple[Network, list[int]]:
+    """Create (or extend) a network with a router-level topology.
+
+    Routers are placed in metro clusters on the plane (or within one
+    region when ``region_center`` is given — used per-AS by maBrite).
+    Returns the network and the new router node ids.
+    """
+    if net is None:
+        net = Network()
+    if region_center is not None:
+        radius = region_radius_miles if region_radius_miles is not None else 100.0
+        positions = plane.region_points(num_routers, rng, region_center, radius)
+    else:
+        positions = plane.clustered_points(num_routers, rng)
+
+    router_ids = [
+        net.add_node(NodeKind.ROUTER, as_id=as_id, position=tuple(positions[i]))
+        for i in range(num_routers)
+    ]
+
+    if model == "powerlaw":
+        u, v = powerlaw_edges(num_routers, m, rng)
+    elif model == "waxman":
+        u, v = waxman_edges(positions, rng)
+    else:
+        raise ValueError(f"unknown model {model!r}")
+
+    degrees = np.zeros(num_routers, dtype=np.int64)
+    np.add.at(degrees, u, 1)
+    np.add.at(degrees, v, 1)
+    bandwidths = assign_bandwidths(u, v, degrees, rng)
+    dist = pairwise_distance_miles(positions, u, v)
+    latency = np.maximum(latency_from_miles(dist), MIN_LINK_LATENCY_S)
+    for i in range(u.shape[0]):
+        net.add_link(
+            router_ids[int(u[i])],
+            router_ids[int(v[i])],
+            float(bandwidths[i]),
+            float(latency[i]),
+        )
+    return net, router_ids
+
+
+def generate_flat_network(
+    num_routers: int = 20_000,
+    num_hosts: int | None = None,
+    plane: Plane | None = None,
+    seed: int = 0,
+    m: int = 2,
+    model: str = "powerlaw",
+) -> Network:
+    """The paper's single-AS experimental network (Section 4.2).
+
+    Defaults mirror the paper: 20,000 routers and 10,000 hosts spread over
+    a 5000 mi x 5000 mi area; pass smaller values for laptop-scale runs.
+    The whole network is one AS (id 0) routed with OSPF.
+    """
+    rng = np.random.default_rng(seed)
+    plane = plane or Plane()
+    if num_hosts is None:
+        num_hosts = num_routers // 2
+    net, router_ids = build_router_network(num_routers, plane, rng, m=m, model=model)
+    dom = net.add_as(0, ASTier.CORE)
+    dom.routers = list(router_ids)
+    attach_hosts(net, num_hosts, rng, as_id=0)
+    return net

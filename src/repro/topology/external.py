@@ -1,0 +1,136 @@
+"""Load measured AS-level topologies (the paper's §7 validation input).
+
+The paper's proposed validation: "use the AS level topology of the real
+Internet and feed it into our BGP configuration procedure, allowing
+direct comparison of routing in the Internet and our generated
+configuration." This module parses inferred AS-relationship datasets in
+the CAIDA serial-1 format::
+
+    # comment lines start with '#'
+    <provider-as>|<customer-as>|-1
+    <peer-as>|<peer-as>|0
+
+(whitespace-separated triples are accepted too), remaps arbitrary AS
+numbers to dense ids, infers tiers from the relationship structure, and
+returns an :class:`repro.topology.ASLevelTopology` that plugs straight
+into :func:`repro.topology.build_multi_as_network` and
+:func:`repro.routing.bgp.configure_bgp`.
+
+Unlike the generator, measured data is **not repaired**: if the inferred
+relationships leave some AS pair unreachable under valley-free export,
+that is a property of the measurement — exactly what the validation is
+meant to surface.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from .mabrite import ASLevelTopology
+from .models import ASTier
+
+__all__ = ["parse_as_relationships", "load_as_relationships", "infer_tiers"]
+
+
+def parse_as_relationships(text: str) -> tuple[ASLevelTopology, dict[int, int]]:
+    """Parse relationship records; returns the topology and the
+    ``original_as_number -> dense_id`` map."""
+    providers_of: dict[int, set[int]] = {}
+    customers_of: dict[int, set[int]] = {}
+    peers_of: dict[int, set[int]] = {}
+    seen: list[int] = []
+    seen_set: set[int] = set()
+
+    def touch(asn: int) -> None:
+        if asn not in seen_set:
+            seen_set.add(asn)
+            seen.append(asn)
+            providers_of[asn] = set()
+            customers_of[asn] = set()
+            peers_of[asn] = set()
+
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split("|") if "|" in line else line.split()
+        if len(parts) < 3:
+            raise ValueError(f"line {lineno}: expected 'as1|as2|rel', got {raw!r}")
+        try:
+            a, b, rel = int(parts[0]), int(parts[1]), int(parts[2])
+        except ValueError as exc:
+            raise ValueError(f"line {lineno}: non-integer field in {raw!r}") from exc
+        if a == b:
+            raise ValueError(f"line {lineno}: self relationship for AS {a}")
+        touch(a)
+        touch(b)
+        if rel == -1:  # a provides to b
+            customers_of[a].add(b)
+            providers_of[b].add(a)
+        elif rel == 0:
+            peers_of[a].add(b)
+            peers_of[b].add(a)
+        elif rel == 1:  # some datasets use 1 for customer->provider
+            providers_of[a].add(b)
+            customers_of[b].add(a)
+        else:
+            raise ValueError(f"line {lineno}: unknown relationship code {rel}")
+
+    dense = {asn: i for i, asn in enumerate(sorted(seen))}
+    n = len(dense)
+    providers = {dense[a]: {dense[x] for x in providers_of[a]} for a in dense}
+    customers = {dense[a]: {dense[x] for x in customers_of[a]} for a in dense}
+    peers = {dense[a]: {dense[x] for x in peers_of[a]} for a in dense}
+
+    # Conflicting records (an edge both peer and provider) are rejected.
+    for a in range(n):
+        overlap = (providers[a] | customers[a]) & peers[a]
+        if overlap:
+            raise ValueError(f"AS pair with conflicting relationship records: {overlap}")
+
+    edges = sorted(
+        {
+            (min(a, b), max(a, b))
+            for a in range(n)
+            for b in providers[a] | customers[a] | peers[a]
+        }
+    )
+    tiers = infer_tiers(n, providers, customers)
+    topo = ASLevelTopology(
+        num_ases=n,
+        edges=edges,
+        tiers=tiers,
+        providers=providers,
+        customers=customers,
+        peers=peers,
+    )
+    return topo, dense
+
+
+def infer_tiers(
+    n: int,
+    providers: dict[int, set[int]],
+    customers: dict[int, set[int]],
+) -> dict[int, ASTier]:
+    """Tier classification from relationship structure.
+
+    - CORE: no providers (top of the customer-provider hierarchy),
+    - STUB: no customers (pure leaves),
+    - REGIONAL: everything with both.
+    An AS with neither providers nor customers (peer-only island) counts
+    as STUB.
+    """
+    tiers: dict[int, ASTier] = {}
+    for a in range(n):
+        if not providers[a] and customers[a]:
+            tiers[a] = ASTier.CORE
+        elif not customers[a]:
+            tiers[a] = ASTier.STUB
+        else:
+            tiers[a] = ASTier.REGIONAL
+    return tiers
+
+
+def load_as_relationships(path: str | Path) -> tuple[ASLevelTopology, dict[int, int]]:
+    """Parse a relationship file from disk."""
+    return parse_as_relationships(Path(path).read_text())

@@ -1,0 +1,92 @@
+"""Geographic plane and distance-derived link latency.
+
+The paper spreads 20,000 routers over a 5000 mile x 5000 mile area
+(roughly the North American continent) and link latencies follow from
+geographic distance — this is what creates the spectrum of link latencies
+that the hierarchical load balance exploits (nearby routers have sub-
+threshold latencies and get collapsed; long-haul links provide lookahead).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Plane", "MILES_TO_METERS", "SIGNAL_SPEED_MPS", "latency_from_miles"]
+
+MILES_TO_METERS = 1609.344
+#: Propagation speed in fiber, ~2/3 the speed of light.
+SIGNAL_SPEED_MPS = 2.0e8
+
+
+def latency_from_miles(miles: float | np.ndarray) -> float | np.ndarray:
+    """Propagation latency (seconds) for a geographic span in miles.
+
+    5000 miles -> ~40 ms, 25 miles -> ~0.2 ms; the paper's interesting
+    Tmll range (0.1 ms .. 3 ms) corresponds to 12..370 mile links.
+    """
+    return np.asarray(miles) * MILES_TO_METERS / SIGNAL_SPEED_MPS
+
+
+@dataclass(frozen=True)
+class Plane:
+    """A rectangular geographic area in miles.
+
+    Defaults to the paper's 5000 mile x 5000 mile continental area.
+    """
+
+    width_miles: float = 5000.0
+    height_miles: float = 5000.0
+
+    def random_points(self, count: int, rng: np.random.Generator) -> np.ndarray:
+        """Uniform random (x, y) positions, shape ``(count, 2)`` in miles."""
+        pts = rng.random((count, 2))
+        pts[:, 0] *= self.width_miles
+        pts[:, 1] *= self.height_miles
+        return pts
+
+    def clustered_points(
+        self,
+        count: int,
+        rng: np.random.Generator,
+        num_clusters: int = 0,
+        cluster_radius_miles: float = 50.0,
+    ) -> np.ndarray:
+        """Positions drawn around random metro-cluster centers.
+
+        BRITE's heavy-tailed placement concentrates routers in pops/metros;
+        we approximate it with Gaussian clusters. ``num_clusters = 0``
+        chooses ``max(1, count // 100)`` clusters.
+        """
+        if count == 0:
+            return np.empty((0, 2))
+        k = num_clusters if num_clusters > 0 else max(1, count // 100)
+        centers = self.random_points(k, rng)
+        which = rng.integers(0, k, size=count)
+        pts = centers[which] + rng.normal(0.0, cluster_radius_miles, size=(count, 2))
+        pts[:, 0] = np.clip(pts[:, 0], 0.0, self.width_miles)
+        pts[:, 1] = np.clip(pts[:, 1], 0.0, self.height_miles)
+        return pts
+
+    def region_points(
+        self,
+        count: int,
+        rng: np.random.Generator,
+        center: tuple[float, float],
+        radius_miles: float,
+    ) -> np.ndarray:
+        """Positions inside one region (used for routers of a single AS)."""
+        pts = center + rng.normal(0.0, radius_miles / 2.0, size=(count, 2))
+        pts[:, 0] = np.clip(pts[:, 0], 0.0, self.width_miles)
+        pts[:, 1] = np.clip(pts[:, 1], 0.0, self.height_miles)
+        return pts
+
+
+def pairwise_distance_miles(points: np.ndarray, u: np.ndarray, v: np.ndarray) -> np.ndarray:
+    """Euclidean distances (miles) between point rows ``u`` and ``v``."""
+    d = points[u] - points[v]
+    return np.sqrt((d * d).sum(axis=-1))
+
+
+__all__.append("pairwise_distance_miles")

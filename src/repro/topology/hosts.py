@@ -1,0 +1,90 @@
+"""Host attachment and traffic endpoint selection.
+
+Hosts connect to routers with short access links (LAN-scale latency,
+100 Mbps). The paper attaches 10,000 hosts for background traffic
+generation and live-traffic agents; in multi-AS networks hosts attach
+only to Stub ASes (Section 5.2.1).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .geometry import latency_from_miles
+from .models import Network, NodeKind
+
+__all__ = [
+    "attach_hosts",
+    "pick_clients_and_servers",
+    "HOST_ACCESS_BANDWIDTH_BPS",
+    "HOST_ACCESS_LATENCY_S",
+]
+
+HOST_ACCESS_BANDWIDTH_BPS = 100e6
+#: Access link latency (~3 mile local loop -> ~24 us, floored at 20 us).
+HOST_ACCESS_LATENCY_S = max(float(latency_from_miles(3.0)), 20e-6)
+
+
+def attach_hosts(
+    net: Network,
+    num_hosts: int,
+    rng: np.random.Generator,
+    as_id: int | None = None,
+    router_ids: list[int] | None = None,
+) -> list[int]:
+    """Attach ``num_hosts`` hosts to random routers via access links.
+
+    ``router_ids`` restricts the candidate attachment points (e.g. the
+    routers of one stub AS); otherwise all routers of ``as_id`` (or the
+    whole network) are candidates. Each host inherits the AS of its router
+    and sits at the router's position (access distance is negligible at
+    continental scale).
+    """
+    if router_ids is None:
+        router_ids = [
+            n.node_id
+            for n in net.nodes
+            if n.kind is NodeKind.ROUTER and (as_id is None or n.as_id == as_id)
+        ]
+    if not router_ids:
+        raise ValueError("no candidate routers to attach hosts to")
+    hosts: list[int] = []
+    choices = rng.integers(0, len(router_ids), size=num_hosts)
+    for i in range(num_hosts):
+        router = net.nodes[router_ids[int(choices[i])]]
+        host_id = net.add_node(NodeKind.HOST, as_id=router.as_id, position=router.position)
+        net.add_link(host_id, router.node_id, HOST_ACCESS_BANDWIDTH_BPS, HOST_ACCESS_LATENCY_S)
+        dom = net.as_domains.get(router.as_id)
+        if dom is not None:
+            dom.hosts.append(host_id)
+        hosts.append(host_id)
+    return hosts
+
+
+def pick_clients_and_servers(
+    net: Network,
+    num_clients: int,
+    num_servers: int,
+    rng: np.random.Generator,
+) -> tuple[list[int], list[int]]:
+    """Disjoint random client/server host sets for background traffic.
+
+    The paper uses 8,000 clients and 2,000 servers out of 10,000 hosts;
+    when the network has fewer hosts the counts are scaled down
+    proportionally (keeping at least one of each).
+    """
+    hosts = net.host_ids()
+    if not hosts:
+        raise ValueError("network has no hosts")
+    want = num_clients + num_servers
+    if want > len(hosts):
+        scale = len(hosts) / want
+        num_clients = max(1, int(num_clients * scale))
+        num_servers = max(1, len(hosts) - num_clients) if len(hosts) > 1 else 1
+        num_servers = min(num_servers, max(1, int(round(num_servers))))
+        if num_clients + num_servers > len(hosts):
+            num_clients = max(1, len(hosts) - num_servers)
+    chosen = rng.choice(len(hosts), size=num_clients + num_servers, replace=False)
+    clients = [hosts[int(i)] for i in chosen[:num_clients]]
+    servers = [hosts[int(i)] for i in chosen[num_clients:]]
+    return clients, servers

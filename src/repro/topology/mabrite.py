@@ -1,0 +1,294 @@
+"""maBrite: Internet-like multi-AS topology with realistic BGP structure.
+
+Implements the paper's Section 5.1.2 procedure:
+
+1. generate an AS-level topology following the power law,
+2. classify ASes by connection degree (Core / Regional ISP / Stub),
+3. decide AS relationships (provider-customer between levels, peer-peer
+   within a level), guaranteeing every non-Core AS a provider path to the
+   Core and that Core ASes form a clique (the "Dense Core" of
+   Subramanian et al.),
+4./5. import/export policies follow from the relationships (implemented in
+   :mod:`repro.routing.bgp.policy`),
+6. create a router-level power-law topology inside every AS, with OSPF
+   routing inside and default routes to the outside; multi-homed stubs
+   get a backup default (paper step 6d).
+
+The router-level output is a single :class:`repro.topology.Network` whose
+AS domains carry the relationship sets the BGP configuration consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .brite import build_router_network, powerlaw_edges
+from .geometry import Plane, latency_from_miles, MILES_TO_METERS
+from .hosts import attach_hosts
+from .models import ASDomain, ASTier, Network, NodeKind
+
+__all__ = [
+    "ASLevelTopology",
+    "generate_as_level_topology",
+    "classify_ases",
+    "assign_relationships",
+    "generate_multi_as_network",
+    "build_multi_as_network",
+]
+
+#: Inter-AS links are long-haul fat pipes.
+INTER_AS_BANDWIDTH_BPS = 10e9
+#: Region radius per tier (miles): cores span the continent, stubs a metro.
+TIER_RADIUS_MILES = {ASTier.CORE: 700.0, ASTier.REGIONAL: 350.0, ASTier.STUB: 150.0}
+
+
+@dataclass
+class ASLevelTopology:
+    """AS graph plus classification and relationships (pre-router-level)."""
+
+    num_ases: int
+    edges: list[tuple[int, int]]
+    tiers: dict[int, ASTier]
+    providers: dict[int, set[int]]
+    customers: dict[int, set[int]]
+    peers: dict[int, set[int]]
+
+    def degree(self, as_id: int) -> int:
+        """Connection degree of an AS in the AS-level graph."""
+        return sum(1 for (a, b) in self.edges if a == as_id or b == as_id)
+
+
+def generate_as_level_topology(
+    num_ases: int, rng: np.random.Generator, m: int = 2
+) -> list[tuple[int, int]]:
+    """Step 1: power-law AS graph (Barabási-Albert attachment)."""
+    u, v = powerlaw_edges(num_ases, m, rng)
+    return [(int(a), int(b)) for a, b in zip(u, v)]
+
+
+def classify_ases(
+    num_ases: int,
+    edges: list[tuple[int, int]],
+    core_fraction: float = 0.02,
+) -> dict[int, ASTier]:
+    """Step 2: classify by connection degree.
+
+    - Core: the top-degree ASes (~2 % of all ASes, at least 2 — the
+      paper's "Dense Cores" are ~2 % of the Internet),
+    - Stub: degree 1 or 2,
+    - Regional ISP: everything in between.
+    """
+    degree = np.zeros(num_ases, dtype=np.int64)
+    for a, b in edges:
+        degree[a] += 1
+        degree[b] += 1
+    num_core = max(2, int(round(core_fraction * num_ases)))
+    num_core = min(num_core, num_ases)
+    core_ids = set(np.argsort(-degree, kind="stable")[:num_core].tolist())
+    tiers: dict[int, ASTier] = {}
+    for as_id in range(num_ases):
+        if as_id in core_ids:
+            tiers[as_id] = ASTier.CORE
+        elif degree[as_id] <= 2:
+            tiers[as_id] = ASTier.STUB
+        else:
+            tiers[as_id] = ASTier.REGIONAL
+    return tiers
+
+
+_TIER_RANK = {ASTier.CORE: 0, ASTier.REGIONAL: 1, ASTier.STUB: 2}
+
+
+def assign_relationships(
+    num_ases: int,
+    edges: list[tuple[int, int]],
+    tiers: dict[int, ASTier],
+    rng: np.random.Generator,
+) -> ASLevelTopology:
+    """Step 3: decide AS relationships and repair connectivity.
+
+    Edges between different tiers become provider(higher)-customer(lower);
+    edges within a tier become peer-peer. Afterwards:
+
+    - every non-Core AS without a provider gets a new provider link
+      (stubs prefer regionals, regionals attach to a core), guaranteeing a
+      provider-path to the Dense Core, and
+    - Core ASes are completed into a clique of peers.
+    """
+    edge_set = {(min(a, b), max(a, b)) for a, b in edges}
+    providers: dict[int, set[int]] = {i: set() for i in range(num_ases)}
+    customers: dict[int, set[int]] = {i: set() for i in range(num_ases)}
+    peers: dict[int, set[int]] = {i: set() for i in range(num_ases)}
+
+    def relate(a: int, b: int) -> None:
+        ra, rb = _TIER_RANK[tiers[a]], _TIER_RANK[tiers[b]]
+        if ra == rb:
+            peers[a].add(b)
+            peers[b].add(a)
+        elif ra < rb:  # a is higher tier -> a provides to b
+            providers[b].add(a)
+            customers[a].add(b)
+        else:
+            providers[a].add(b)
+            customers[b].add(a)
+
+    for a, b in edge_set:
+        relate(a, b)
+
+    cores = sorted(i for i in range(num_ases) if tiers[i] is ASTier.CORE)
+    regionals = sorted(i for i in range(num_ases) if tiers[i] is ASTier.REGIONAL)
+
+    # Repair: every non-core AS needs at least one provider.
+    for as_id in range(num_ases):
+        if tiers[as_id] is ASTier.CORE or providers[as_id]:
+            continue
+        if tiers[as_id] is ASTier.STUB and regionals:
+            candidates = regionals
+        else:
+            candidates = cores
+        choice = int(candidates[rng.integers(len(candidates))])
+        edge_set.add((min(as_id, choice), max(as_id, choice)))
+        relate(as_id, choice)
+
+    # Repair: regionals must reach a core through providers. A regional's
+    # providers are cores by construction, so require one core provider.
+    for as_id in regionals:
+        if not any(tiers[p] is ASTier.CORE for p in providers[as_id]):
+            choice = int(cores[rng.integers(len(cores))])
+            edge_set.add((min(as_id, choice), max(as_id, choice)))
+            relate(as_id, choice)
+
+    # Core clique.
+    for i, a in enumerate(cores):
+        for b in cores[i + 1 :]:
+            if (min(a, b), max(a, b)) not in edge_set:
+                edge_set.add((min(a, b), max(a, b)))
+                relate(a, b)
+
+    return ASLevelTopology(
+        num_ases=num_ases,
+        edges=sorted(edge_set),
+        tiers=tiers,
+        providers=providers,
+        customers=customers,
+        peers=peers,
+    )
+
+
+def _pick_border_router(
+    net: Network, router_ids: list[int], rng: np.random.Generator
+) -> int:
+    """Border routers are sampled degree-proportionally (hubs peer outward)."""
+    degrees = np.array([net.degree(r) for r in router_ids], dtype=np.float64)
+    probs = degrees / degrees.sum() if degrees.sum() > 0 else None
+    return int(rng.choice(router_ids, p=probs))
+
+
+def generate_multi_as_network(
+    num_ases: int = 100,
+    routers_per_as: int = 200,
+    num_hosts: int | None = None,
+    plane: Plane | None = None,
+    seed: int = 0,
+    core_fraction: float = 0.02,
+    as_attachment: int = 2,
+    router_attachment: int = 2,
+) -> Network:
+    """The paper's multi-AS experimental network (Section 5.2.1).
+
+    Defaults mirror the paper: 100 ASes x 200 routers with 10,000 hosts on
+    Stub ASes over a 5000 mi x 5000 mi plane. Pass smaller values for
+    laptop-scale runs; structure (tier mix, relationships, default routes)
+    is scale-invariant.
+    """
+    rng = np.random.default_rng(seed)
+    if num_hosts is None:
+        num_hosts = (num_ases * routers_per_as) // 2
+    as_edges = generate_as_level_topology(num_ases, rng, m=as_attachment)
+    tiers = classify_ases(num_ases, as_edges, core_fraction)
+    topo = assign_relationships(num_ases, as_edges, tiers, rng)
+    return build_multi_as_network(
+        topo,
+        routers_per_as=routers_per_as,
+        num_hosts=num_hosts,
+        plane=plane,
+        rng=rng,
+        router_attachment=router_attachment,
+    )
+
+
+def build_multi_as_network(
+    topo: ASLevelTopology,
+    routers_per_as: int = 25,
+    num_hosts: int | None = None,
+    plane: Plane | None = None,
+    rng: np.random.Generator | None = None,
+    router_attachment: int = 2,
+) -> Network:
+    """Steps 6+ of the procedure for a *given* AS-level topology.
+
+    Splitting this out lets measured AS graphs (e.g. inferred Internet
+    relationships loaded via :mod:`repro.topology.external`) be fed into
+    the same router-level construction and BGP configuration — the
+    validation path the paper proposes in Section 7.
+    """
+    rng = rng if rng is not None else np.random.default_rng(0)
+    plane = plane or Plane()
+    num_ases = topo.num_ases
+    if num_hosts is None:
+        num_hosts = (num_ases * routers_per_as) // 2
+
+    net = Network()
+    centers = plane.random_points(num_ases, rng)
+    as_routers: dict[int, list[int]] = {}
+    for as_id in range(num_ases):
+        tier = topo.tiers[as_id]
+        dom = net.add_as(as_id, tier)
+        dom.providers = set(topo.providers[as_id])
+        dom.customers = set(topo.customers[as_id])
+        dom.peers = set(topo.peers[as_id])
+        _, router_ids = build_router_network(
+            routers_per_as,
+            plane,
+            rng,
+            m=router_attachment,
+            as_id=as_id,
+            region_center=tuple(centers[as_id]),
+            region_radius_miles=TIER_RADIUS_MILES[tier],
+            net=net,
+        )
+        dom.routers = list(router_ids)
+        as_routers[as_id] = router_ids
+
+    # Step 6 + inter-AS wiring: one physical link per AS-level edge,
+    # between degree-weighted border routers of each side.
+    for a, b in topo.edges:
+        ra = _pick_border_router(net, as_routers[a], rng)
+        rb = _pick_border_router(net, as_routers[b], rng)
+        pa = np.asarray(net.nodes[ra].position)
+        pb = np.asarray(net.nodes[rb].position)
+        dist = float(np.linalg.norm(pa - pb))
+        latency = max(float(latency_from_miles(dist)), 0.1e-3)
+        net.add_link(ra, rb, INTER_AS_BANDWIDTH_BPS, latency)
+        net.as_domains[a].border_links.setdefault(b, []).append((ra, rb))
+        net.as_domains[b].border_links.setdefault(a, []).append((rb, ra))
+
+    # Default/backup routes for stub ASes (step 6c/6d): the egress border
+    # router toward each provider, primary first.
+    for as_id, dom in net.as_domains.items():
+        if dom.tier is not ASTier.STUB:
+            continue
+        for provider in sorted(dom.providers):
+            for local, _remote in dom.border_links.get(provider, []):
+                dom.default_routes.append((local, provider))
+
+    # Hosts attach only to stub ASes (paper Section 5.2.1).
+    stub_routers = [
+        r for as_id, dom in net.as_domains.items() if dom.tier is ASTier.STUB for r in dom.routers
+    ]
+    if not stub_routers:  # tiny configurations may classify no stubs
+        stub_routers = [r for rs in as_routers.values() for r in rs]
+    attach_hosts(net, num_hosts, rng, router_ids=stub_routers)
+    return net

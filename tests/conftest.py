@@ -1,0 +1,93 @@
+"""Shared fixtures: small networks and graphs reused across test modules.
+
+Module-scoped where generation is expensive; tests must not mutate them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.online.wrapsocket import WrapSocket
+from repro.partition import WeightedGraph
+from repro.routing import ForwardingPlane
+from repro.routing.bgp import configure_bgp
+from repro.topology import generate_flat_network, generate_multi_as_network
+
+
+@pytest.fixture(autouse=True)
+def _reset_wrapsocket_listeners():
+    """WrapSocket keeps class-level listener state; isolate tests."""
+    WrapSocket.reset_listeners()
+    yield
+    WrapSocket.reset_listeners()
+
+
+@pytest.fixture(scope="session")
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def flat_net():
+    """A small single-AS network: 150 routers, 50 hosts."""
+    return generate_flat_network(num_routers=150, num_hosts=50, seed=7)
+
+
+@pytest.fixture(scope="session")
+def flat_fib(flat_net):
+    return ForwardingPlane(flat_net)
+
+
+@pytest.fixture(scope="session")
+def multi_net():
+    """A small multi-AS network: 12 ASes x 12 routers, 60 hosts."""
+    return generate_multi_as_network(num_ases=12, routers_per_as=12, num_hosts=60, seed=11)
+
+
+@pytest.fixture(scope="session")
+def multi_bgp(multi_net):
+    return configure_bgp(multi_net)
+
+
+@pytest.fixture(scope="session")
+def multi_fib(multi_net, multi_bgp):
+    return ForwardingPlane(multi_net, multi_bgp)
+
+
+@pytest.fixture()
+def grid_graph():
+    """An 8x8 grid graph with unit weights and uniform 1 ms latencies."""
+    n = 8
+    us, vs = [], []
+    for r in range(n):
+        for c in range(n):
+            v = r * n + c
+            if c + 1 < n:
+                us.append(v)
+                vs.append(v + 1)
+            if r + 1 < n:
+                us.append(v)
+                vs.append(v + n)
+    m = len(us)
+    return WeightedGraph(n * n, us, vs, np.ones(m), np.full(m, 1e-3))
+
+
+@pytest.fixture()
+def two_cluster_graph():
+    """Two dense 10-cliques joined by a single long-latency bridge.
+
+    The obvious bisection cuts only the bridge; used to verify cut
+    quality and MLL behavior.
+    """
+    us, vs, lat = [], [], []
+    for base in (0, 10):
+        for i in range(10):
+            for j in range(i + 1, 10):
+                us.append(base + i)
+                vs.append(base + j)
+                lat.append(0.1e-3)  # intra-cluster: 0.1 ms
+    us.append(0)
+    vs.append(10)
+    lat.append(5e-3)  # bridge: 5 ms
+    return WeightedGraph(20, us, vs, np.ones(len(us)), np.asarray(lat))

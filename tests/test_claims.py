@@ -1,0 +1,93 @@
+"""Tests for the programmatic paper-claim checks."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import Approach, NetworkMapping
+from repro.core.evaluate import PartitionEvaluation
+from repro.engine.costmodel import WallclockPrediction
+from repro.experiments import (
+    ClaimCheck,
+    PAPER_CLAIMS,
+    evaluate_claims,
+    format_claims,
+)
+from repro.experiments.runner import ApproachRow, ExperimentResult
+
+
+def _row(approach, t, mll_ms, imb, pe):
+    pred = WallclockPrediction(
+        total_s=t, compute_s=t, sync_s=0.0, num_windows=1, num_lps=4,
+        events_per_lp=np.ones(4), remote_per_lp=np.zeros(4),
+    )
+    ev = PartitionEvaluation(
+        mll_s=mll_ms * 1e-3, es=0.5, ec=0.9, efficiency=0.45,
+        predicted_imbalance=imb, part_weights=np.ones(4), edge_cut=1.0,
+    )
+    mapping = NetworkMapping(
+        approach=approach, assignment=np.zeros(4, dtype=np.int64),
+        num_engines=4, evaluation=ev,
+    )
+    return ApproachRow(
+        approach=approach, sim_time_s=t, achieved_mll_ms=mll_ms,
+        measured_imbalance=imb, parallel_eff=pe, prediction=pred, mapping=mapping,
+    )
+
+
+def mk_result(good=True):
+    """A synthetic result where HPROF wins (or loses, good=False)."""
+    if good:
+        rows = [
+            _row(Approach.HPROF, 50.0, 2.0, 0.2, 0.30),
+            _row(Approach.HTOP, 60.0, 2.2, 0.5, 0.25),
+            _row(Approach.TOP2, 100.0, 0.5, 0.6, 0.15),
+        ]
+    else:
+        rows = [
+            _row(Approach.HPROF, 120.0, 0.3, 0.9, 0.10),
+            _row(Approach.HTOP, 60.0, 2.2, 0.5, 0.25),
+            _row(Approach.TOP2, 100.0, 0.5, 0.6, 0.15),
+        ]
+    return ExperimentResult(
+        network_kind="single-as", app_kind="scalapack", scale_name="fake",
+        num_engines=4, total_events=1000, duration_s=10.0, rows=rows,
+    )
+
+
+class TestEvaluateClaims:
+    def test_all_pass_on_winning_result(self):
+        checks = evaluate_claims([mk_result(good=True)])
+        assert len(checks) == len(PAPER_CLAIMS)
+        assert all(c.holds for c in checks)
+
+    def test_failures_detected(self):
+        checks = evaluate_claims([mk_result(good=False)])
+        failing = {c.claim_id for c in checks if not c.holds}
+        assert "time-reduction" in failing
+        assert "mll-dominance" in failing
+        assert "efficiency-gain" in failing
+
+    def test_measured_values(self):
+        checks = {c.claim_id: c for c in evaluate_claims([mk_result(True)])}
+        assert checks["time-reduction"].measured == pytest.approx(0.5)
+        assert checks["efficiency-gain"].measured == pytest.approx(1.0)
+        assert checks["mll-dominance"].measured == pytest.approx(3.0)  # 4x -> +300%
+
+    def test_claim_subset(self):
+        checks = evaluate_claims([mk_result(True)], claim_ids=["time-reduction"])
+        assert len(checks) == 1
+        with pytest.raises(KeyError):
+            evaluate_claims([mk_result(True)], claim_ids=["warp-drive"])
+
+    def test_multiple_results(self):
+        checks = evaluate_claims([mk_result(True), mk_result(True)])
+        assert len(checks) == 2 * len(PAPER_CLAIMS)
+
+    def test_format(self):
+        text = format_claims(evaluate_claims([mk_result(True)]))
+        assert "PASS" in text
+        assert "single-as/scalapack" in text
+        text_bad = format_claims(evaluate_claims([mk_result(False)]))
+        assert "FAIL" in text_bad

@@ -1,0 +1,85 @@
+"""Tests for the `python -m repro` command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestParser:
+    def test_requires_command(self, capsys):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+    def test_experiment_validates_network(self):
+        with pytest.raises(SystemExit):
+            main(["experiment", "mesh", "scalapack"])
+
+    def test_experiment_validates_app(self):
+        with pytest.raises(SystemExit):
+            main(["experiment", "single-as", "hadoop"])
+
+    def test_scale_choices(self):
+        with pytest.raises(SystemExit):
+            main(["figures", "--scale", "galactic"])
+
+
+class TestSyncCost:
+    def test_prints_table(self, capsys):
+        assert main(["synccost"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 5" in out
+        assert "100" in out and "580" in out
+
+
+class TestExperimentCommand:
+    def test_invokes_runner(self, capsys, monkeypatch):
+        calls = {}
+
+        def fake_run(network, app, scale=None, seed=0):
+            calls["args"] = (network, app, scale.name, seed)
+
+            class R:
+                pass
+
+            return R()
+
+        monkeypatch.setattr("repro.experiments.run_experiment", fake_run)
+        monkeypatch.setattr(
+            "repro.experiments.format_result", lambda r: "FAKE RESULT"
+        )
+        assert main(["experiment", "multi-as", "gridnpb", "--seed", "3"]) == 0
+        assert calls["args"] == ("multi-as", "gridnpb", "small", 3)
+        assert "FAKE RESULT" in capsys.readouterr().out
+
+    def test_save_flag_writes_result(self, monkeypatch, capsys, tmp_path):
+        saved = {}
+        monkeypatch.setattr(
+            "repro.experiments.run_experiment",
+            lambda *a, **k: "RESULT",
+        )
+        monkeypatch.setattr("repro.experiments.format_result", lambda r: "")
+        monkeypatch.setattr(
+            "repro.serialization.save_result",
+            lambda result, path: saved.update(result=result, path=path),
+        )
+        out = tmp_path / "res.json"
+        assert main(["experiment", "single-as", "scalapack", "--save", str(out)]) == 0
+        assert saved == {"result": "RESULT", "path": str(out)}
+
+    def test_scale_flag_selects_scale(self, monkeypatch, capsys):
+        seen = {}
+
+        def fake_run(network, app, scale=None, seed=0):
+            seen["scale"] = scale.name
+            return object()
+
+        monkeypatch.setattr("repro.experiments.run_experiment", fake_run)
+        monkeypatch.setattr("repro.experiments.format_result", lambda r: "")
+        main(["experiment", "single-as", "scalapack", "--scale", "medium"])
+        assert seen["scale"] == "medium"

@@ -1,0 +1,132 @@
+"""Tests for the MPI-style collective primitives."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine import SimKernel
+from repro.netsim import NetworkSimulator
+from repro.netsim.app.collectives import (
+    CollectiveGroup,
+    all_to_all,
+    broadcast,
+    gather,
+    reduce_tree,
+    ring_exchange,
+)
+from repro.online import Agent
+
+
+@pytest.fixture()
+def group_env(flat_net, flat_fib):
+    k = SimKernel()
+    sim = NetworkSimulator(flat_net, flat_fib, k)
+    agent = Agent(sim)
+    group = CollectiveGroup(agent, flat_net.host_ids()[:6], name="t")
+    return k, sim, group
+
+
+class TestGroup:
+    def test_needs_two_ranks(self, flat_net, flat_fib):
+        k = SimKernel()
+        sim = NetworkSimulator(flat_net, flat_fib, k)
+        agent = Agent(sim)
+        with pytest.raises(ValueError):
+            CollectiveGroup(agent, flat_net.host_ids()[:1])
+
+    def test_needs_distinct_hosts(self, flat_net, flat_fib):
+        k = SimKernel()
+        sim = NetworkSimulator(flat_net, flat_fib, k)
+        agent = Agent(sim)
+        h = flat_net.host_ids()[0]
+        with pytest.raises(ValueError):
+            CollectiveGroup(agent, [h, h])
+
+
+class TestPrimitives:
+    def _run(self, k, fn, timeout=60.0):
+        done = []
+        fn(done.append)
+        k.run(until=timeout)
+        return done
+
+    def test_broadcast(self, group_env):
+        k, sim, group = group_env
+        done = self._run(k, lambda cb: broadcast(group, 0, 20_000, cb))
+        assert done
+        assert group.transfers_started == group.size - 1
+        assert group.bytes_sent == 20_000 * (group.size - 1)
+
+    def test_broadcast_invalid_root(self, group_env):
+        _, _, group = group_env
+        with pytest.raises(ValueError):
+            broadcast(group, 99, 1000)
+
+    def test_gather(self, group_env):
+        k, sim, group = group_env
+        done = self._run(k, lambda cb: gather(group, 2, 10_000, cb))
+        assert done
+        assert group.transfers_started == group.size - 1
+
+    def test_all_to_all(self, group_env):
+        k, sim, group = group_env
+        p = group.size
+        done = self._run(k, lambda cb: all_to_all(group, 5_000, cb))
+        assert done
+        assert group.transfers_started == p * (p - 1)
+
+    def test_ring(self, group_env):
+        k, sim, group = group_env
+        done = self._run(k, lambda cb: ring_exchange(group, 8_000, cb))
+        assert done
+        assert group.transfers_started == group.size
+
+    def test_reduce_tree_transfer_count(self, group_env):
+        k, sim, group = group_env
+        done = self._run(k, lambda cb: reduce_tree(group, 8_000, cb))
+        assert done
+        # A reduction combines P values into one: exactly P-1 transfers.
+        assert group.transfers_started == group.size - 1
+
+    def test_reduce_tree_two_ranks(self, flat_net, flat_fib):
+        k = SimKernel()
+        sim = NetworkSimulator(flat_net, flat_fib, k)
+        agent = Agent(sim)
+        group = CollectiveGroup(agent, flat_net.host_ids()[6:8], name="t2")
+        done = []
+        reduce_tree(group, 4_000, done.append)
+        k.run(until=30.0)
+        assert done
+        assert group.transfers_started == 1
+
+    def test_chained_phases(self, group_env):
+        """broadcast -> ring -> gather composes like an app skeleton."""
+        k, sim, group = group_env
+        phases = []
+
+        def phase3(t):
+            phases.append(("gather", t))
+
+        def phase2(t):
+            phases.append(("ring", t))
+            gather(group, 0, 5_000, phase3)
+
+        def phase1(t):
+            phases.append(("bcast", t))
+            ring_exchange(group, 5_000, phase2)
+
+        broadcast(group, 0, 5_000, phase1)
+        k.run(until=120.0)
+        assert [p for p, _ in phases] == ["bcast", "ring", "gather"]
+        times = [t for _, t in phases]
+        assert times == sorted(times)
+
+    def test_completion_time_is_latest_arrival(self, group_env):
+        k, sim, group = group_env
+        arrivals = []
+        group_done = []
+        # Wrap: record each rank's arrival via listener-free per-send joins.
+        broadcast(group, 0, 30_000, group_done.append)
+        k.run(until=60.0)
+        assert group_done
+        assert group_done[0] <= k.now

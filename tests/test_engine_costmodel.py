@@ -1,0 +1,198 @@
+"""Tests for the cluster cost model (dense + sparse paths) and sync model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster import ClusterSpec, SyncCostModel, teragrid_cluster
+from repro.engine import (
+    bucket_event_counts,
+    predict_from_trace,
+    predict_wallclock,
+    remote_send_counts,
+    sequential_time_estimate,
+)
+
+
+@pytest.fixture()
+def cluster():
+    return ClusterSpec(name="test", num_engine_nodes=4)
+
+
+class TestSyncCostModel:
+    def test_single_node_free(self):
+        assert SyncCostModel()(1) == 0.0
+
+    def test_monotone(self):
+        m = SyncCostModel()
+        values = [m(n) for n in (2, 8, 32, 64, 100, 128, 200)]
+        assert all(b >= a for a, b in zip(values, values[1:]))
+
+    def test_anchor_near_paper(self):
+        # ~0.58 ms at 100 nodes (paper Section 3.4.1).
+        assert SyncCostModel()(100) == pytest.approx(0.58e-3, rel=0.05)
+
+    def test_interpolation(self):
+        m = SyncCostModel(points={10: 100e-6, 20: 200e-6})
+        assert m(15) == pytest.approx(150e-6)
+
+    def test_extrapolation_beyond_table(self):
+        m = SyncCostModel(points={10: 100e-6, 20: 200e-6})
+        assert m(30) == pytest.approx(300e-6)
+
+    def test_rejects_bad_tables(self):
+        with pytest.raises(ValueError):
+            SyncCostModel(points={10: 1e-4})
+        with pytest.raises(ValueError):
+            SyncCostModel(points={10: 2e-4, 20: 1e-4})
+        with pytest.raises(ValueError):
+            SyncCostModel(points={10: -1e-4, 20: 1e-4})
+
+    def test_rejects_bad_n(self):
+        with pytest.raises(ValueError):
+            SyncCostModel()(0)
+
+    def test_teragrid_spec(self):
+        spec = teragrid_cluster(90)
+        assert spec.num_engine_nodes == 90
+        assert spec.num_app_nodes == 7
+        assert spec.sync_cost_s() > 0
+        assert spec.max_event_rate_per_node == pytest.approx(1 / spec.event_cost_s)
+
+
+class TestBucketing:
+    def test_event_counts(self):
+        times = np.array([0.05, 0.15, 0.15, 0.25])
+        nodes = np.array([0, 1, 0, 1])
+        assignment = np.array([0, 1])
+        counts = bucket_event_counts(times, nodes, assignment, 2, 0.1, 0.3)
+        assert counts.shape == (3, 2)
+        assert counts[0].tolist() == [1, 0]
+        assert counts[1].tolist() == [1, 1]
+        assert counts[2].tolist() == [0, 1]
+
+    def test_internal_events_to_lp0(self):
+        counts = bucket_event_counts(
+            np.array([0.05]), np.array([-1]), np.array([1, 1]), 2, 0.1, 0.2
+        )
+        assert counts[0, 0] == 1
+
+    def test_events_at_end_ignored(self):
+        counts = bucket_event_counts(
+            np.array([0.2]), np.array([0]), np.array([0]), 1, 0.1, 0.2
+        )
+        assert counts.sum() == 0
+
+    def test_remote_counts_only_cross(self):
+        times = np.array([0.05, 0.05])
+        frm = np.array([0, 0])
+        to = np.array([1, 2])
+        assignment = np.array([0, 0, 1])
+        counts = remote_send_counts(times, frm, to, assignment, 2, 0.1, 0.1)
+        assert counts.sum() == 1
+        assert counts[0, 0] == 1  # charged to sender LP 0
+
+    def test_bad_window(self):
+        with pytest.raises(ValueError):
+            bucket_event_counts(np.array([]), np.array([]), np.array([0]), 1, 0.0, 1.0)
+
+
+class TestPredictWallclock:
+    def test_window_max_rule(self, cluster):
+        events = np.array([[10, 2], [4, 4]], dtype=float)
+        remotes = np.zeros_like(events)
+        pred = predict_wallclock(events, remotes, cluster, 2)
+        expected_compute = (10 + 4) * cluster.event_cost_s
+        assert pred.compute_s == pytest.approx(expected_compute)
+        assert pred.sync_s == pytest.approx(2 * cluster.sync_cost_s(2))
+        assert pred.total_s == pytest.approx(pred.compute_s + pred.sync_s)
+
+    def test_remote_cost_added(self, cluster):
+        events = np.array([[10, 10]], dtype=float)
+        remotes = np.array([[5, 0]], dtype=float)
+        pred = predict_wallclock(events, remotes, cluster, 2)
+        assert pred.compute_s == pytest.approx(
+            10 * cluster.event_cost_s + 5 * cluster.remote_event_cost_s
+        )
+
+    def test_single_lp_no_sync(self, cluster):
+        events = np.array([[10]], dtype=float)
+        pred = predict_wallclock(events, np.zeros_like(events), cluster, 1)
+        assert pred.sync_s == 0.0
+
+    def test_shape_mismatch(self, cluster):
+        with pytest.raises(ValueError):
+            predict_wallclock(np.zeros((2, 2)), np.zeros((1, 2)), cluster)
+
+    def test_totals(self, cluster):
+        events = np.array([[3, 1], [0, 2]], dtype=float)
+        pred = predict_wallclock(events, np.zeros_like(events), cluster, 2)
+        assert pred.total_events == 6
+        assert pred.events_per_lp.tolist() == [3, 3]
+
+    def test_sync_fraction(self, cluster):
+        events = np.zeros((4, 2))
+        pred = predict_wallclock(events, events.copy(), cluster, 2)
+        assert pred.sync_fraction == pytest.approx(1.0)
+
+
+class TestSparseTracePath:
+    def test_matches_dense(self, cluster):
+        rng = np.random.default_rng(0)
+        n_events = 500
+        times = np.sort(rng.uniform(0, 1.0, n_events))
+        nodes = rng.integers(0, 20, n_events)
+        assignment = rng.integers(0, 4, 20)
+        tx_t = np.sort(rng.uniform(0, 1.0, 200))
+        tx_f = rng.integers(0, 20, 200)
+        tx_to = rng.integers(0, 20, 200)
+        window, end = 0.05, 1.0
+
+        dense_events = bucket_event_counts(times, nodes, assignment, 4, window, end)
+        dense_remote = remote_send_counts(tx_t, tx_f, tx_to, assignment, 4, window, end)
+        dense = predict_wallclock(dense_events, dense_remote, cluster, 4)
+        sparse = predict_from_trace(
+            times, nodes, assignment, 4, window, end, cluster, tx_t, tx_f, tx_to
+        )
+        assert sparse.total_s == pytest.approx(dense.total_s)
+        assert sparse.compute_s == pytest.approx(dense.compute_s)
+        assert sparse.sync_s == pytest.approx(dense.sync_s)
+        assert np.allclose(sparse.events_per_lp, dense.events_per_lp)
+        assert np.allclose(sparse.remote_per_lp, dense.remote_per_lp)
+
+    def test_empty_trace(self, cluster):
+        pred = predict_from_trace(
+            np.array([]), np.array([]), np.array([0]), 2, 0.1, 1.0, cluster
+        )
+        assert pred.compute_s == 0.0
+        assert pred.num_windows == 10
+        assert pred.sync_s == pytest.approx(10 * cluster.sync_cost_s(2))
+
+    def test_millions_of_windows_cheap(self, cluster):
+        # Tiny MLL -> millions of windows; must not allocate densely.
+        times = np.array([0.5])
+        nodes = np.array([0])
+        pred = predict_from_trace(
+            times, nodes, np.array([0]), 4, 1e-6, 10.0, cluster
+        )
+        assert pred.num_windows == 10_000_000
+        assert pred.compute_s == pytest.approx(cluster.event_cost_s)
+
+
+class TestSequentialEstimate:
+    def test_formula(self, cluster):
+        assert sequential_time_estimate(1000, cluster) == pytest.approx(
+            1000 * cluster.event_cost_s
+        )
+
+    def test_better_mapping_never_slower(self, cluster):
+        """Under identical windows, a balanced mapping's prediction is
+        at most the imbalanced one's."""
+        balanced = np.full((10, 4), 25.0)
+        skewed = np.zeros((10, 4))
+        skewed[:, 0] = 100.0
+        zeros = np.zeros_like(balanced)
+        t_bal = predict_wallclock(balanced, zeros, cluster, 4).total_s
+        t_skew = predict_wallclock(skewed, zeros, cluster, 4).total_s
+        assert t_bal < t_skew

@@ -1,0 +1,230 @@
+"""Tests for the DES event queue, sequential kernel, and conservative
+parallel engine — including sequential/parallel equivalence."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.engine import (
+    ConservativeEngine,
+    EventQueue,
+    LookaheadViolation,
+    SimKernel,
+)
+
+
+class TestEventQueue:
+    def test_fifo_for_equal_times(self):
+        q = EventQueue()
+        order = []
+        q.push(1.0, lambda: order.append("a"))
+        q.push(1.0, lambda: order.append("b"))
+        q.pop().fn()
+        q.pop().fn()
+        assert order == ["a", "b"]
+
+    def test_time_order(self):
+        q = EventQueue()
+        q.push(2.0, lambda: None)
+        q.push(1.0, lambda: None)
+        assert q.pop().time == 1.0
+
+    def test_cancel_skipped(self):
+        q = EventQueue()
+        ev = q.push(1.0, lambda: None)
+        q.push(2.0, lambda: None)
+        ev.cancel()
+        assert q.pop().time == 2.0
+        assert q.pop() is None
+
+    def test_peek_skips_cancelled(self):
+        q = EventQueue()
+        ev = q.push(1.0, lambda: None)
+        ev.cancel()
+        assert q.peek_time() is None
+        q.push(3.0, lambda: None)
+        assert q.peek_time() == 3.0
+
+    def test_len_and_bool(self):
+        q = EventQueue()
+        assert not q
+        q.push(1.0, lambda: None)
+        assert q and len(q) == 1
+
+
+class TestSimKernel:
+    def test_runs_in_time_order(self):
+        k = SimKernel()
+        seen = []
+        k.schedule(2.0, lambda: seen.append(2))
+        k.schedule(1.0, lambda: seen.append(1))
+        k.run()
+        assert seen == [1, 2]
+        assert k.now == 2.0
+
+    def test_until_excludes_boundary(self):
+        k = SimKernel()
+        seen = []
+        k.schedule_at(5.0, lambda: seen.append(5))
+        k.run(until=5.0)
+        assert seen == []
+        assert k.now == 5.0
+        k.run(until=6.0)
+        assert seen == [5]
+
+    def test_windows_compose(self):
+        k = SimKernel()
+        seen = []
+        for t in (0.5, 1.5, 2.5):
+            k.schedule_at(t, lambda t=t: seen.append(t))
+        k.run(until=1.0)
+        k.run(until=2.0)
+        k.run(until=3.0)
+        assert seen == [0.5, 1.5, 2.5]
+
+    def test_events_schedule_events(self):
+        k = SimKernel()
+        seen = []
+
+        def cascade(i):
+            seen.append(i)
+            if i < 3:
+                k.schedule(1.0, lambda: cascade(i + 1))
+
+        k.schedule(0.0, lambda: cascade(0))
+        k.run()
+        assert seen == [0, 1, 2, 3]
+
+    def test_cannot_schedule_past(self):
+        k = SimKernel()
+        k.schedule_at(1.0, lambda: None)
+        k.run()
+        with pytest.raises(ValueError):
+            k.schedule_at(0.5, lambda: None)
+        with pytest.raises(ValueError):
+            k.schedule(-0.1, lambda: None)
+
+    def test_max_events(self):
+        k = SimKernel()
+        for t in range(5):
+            k.schedule_at(float(t), lambda: None)
+        assert k.run(max_events=3) == 3
+        assert k.pending == 2
+
+    def test_step(self):
+        k = SimKernel()
+        k.schedule_at(1.0, lambda: None)
+        assert k.step()
+        assert not k.step()
+
+    def test_trace_records(self):
+        k = SimKernel(record_trace=True)
+        k.schedule_at(1.0, lambda: None, node=7)
+        k.schedule_at(2.0, lambda: None, node=3)
+        k.run()
+        t, n = k.trace()
+        assert t.tolist() == [1.0, 2.0]
+        assert n.tolist() == [7, 3]
+
+    def test_clear_trace(self):
+        k = SimKernel(record_trace=True)
+        k.schedule_at(1.0, lambda: None, node=7)
+        k.run()
+        k.clear_trace()
+        t, n = k.trace()
+        assert t.size == 0
+
+
+class TestConservativeEngine:
+    def test_window_count(self):
+        eng = ConservativeEngine(np.zeros(1, dtype=np.int64), 1, lookahead=0.1)
+        eng.run(until=1.0)
+        assert len(eng.window_stats) == 10
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            ConservativeEngine(np.zeros(2, dtype=np.int64), 1, lookahead=0.0)
+        with pytest.raises(ValueError):
+            ConservativeEngine(np.array([0, 5]), 2, lookahead=0.1)
+
+    def test_cross_lp_violation_raises(self):
+        eng = ConservativeEngine(np.array([0, 1]), 2, lookahead=0.1)
+
+        def offender():
+            # schedule onto the other LP *inside* the current window
+            eng.schedule_at(eng.current_time + 0.01, lambda: None, node=1)
+
+        eng.schedule_at(0.05, offender, node=0)
+        with pytest.raises(LookaheadViolation):
+            eng.run(until=1.0)
+
+    def test_cross_lp_violation_tolerated_when_lenient(self):
+        eng = ConservativeEngine(np.array([0, 1]), 2, lookahead=0.1, strict=False)
+        seen = []
+
+        def offender():
+            eng.schedule_at(eng.current_time + 0.01, lambda: seen.append(1), node=1)
+
+        eng.schedule_at(0.05, offender, node=0)
+        eng.run(until=1.0)
+        assert eng.lookahead_violations == 1
+        assert seen == [1]  # delivered late, not lost
+
+    def test_remote_counted(self):
+        eng = ConservativeEngine(np.array([0, 1]), 2, lookahead=0.1)
+
+        def sender():
+            eng.schedule_at(eng.current_time + 0.1, lambda: None, node=1)
+
+        eng.schedule_at(0.0, sender, node=0)
+        eng.run(until=0.5)
+        assert int(eng.remote_sends_total().sum()) == 1
+        assert eng.remote_sends_total()[0] == 1  # charged to the sender
+
+    def test_events_per_lp(self):
+        eng = ConservativeEngine(np.array([0, 0, 1]), 2, lookahead=0.1)
+        eng.schedule_at(0.05, lambda: None, node=0)
+        eng.schedule_at(0.15, lambda: None, node=2)
+        eng.run(until=1.0)
+        assert eng.events_per_lp_total().tolist() == [1, 1]
+
+    def test_equivalence_with_sequential(self):
+        """The conservative engine executes the same event sequence as the
+        sequential kernel when cross-LP delays respect the lookahead."""
+        rng = np.random.default_rng(0)
+        num_nodes, num_lps, lookahead = 8, 3, 0.05
+        assignment = rng.integers(0, num_lps, size=num_nodes)
+
+        def build(engine, log):
+            def fire(node, depth, t_sched):
+                log.append((round(t_sched, 9), node, depth))
+                if depth < 4:
+                    # same-LP short hop
+                    engine.schedule_at(
+                        t_sched + 0.013, lambda: fire(node, depth + 1, t_sched + 0.013), node=node
+                    )
+                    # cross-LP hop with delay >= lookahead
+                    target = (node + 3) % num_nodes
+                    engine.schedule_at(
+                        t_sched + 0.06,
+                        lambda: fire(target, depth + 1, t_sched + 0.06),
+                        node=target,
+                    )
+
+            for n in range(num_nodes):
+                t0 = 0.001 * (n + 1)
+                engine.schedule_at(t0, lambda n=n, t0=t0: fire(n, 0, t0), node=n)
+
+        seq_log: list = []
+        k = SimKernel()
+        build(k, seq_log)
+        k.run(until=1.0)
+
+        par_log: list = []
+        eng = ConservativeEngine(assignment, num_lps, lookahead)
+        build(eng, par_log)
+        eng.run(until=1.0)
+
+        assert sorted(seq_log) == sorted(par_log)
+        assert len(par_log) == eng.events_executed

@@ -1,0 +1,101 @@
+"""Tests for per-flow statistics collection."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.engine import SimKernel
+from repro.netsim import NetworkSimulator
+from repro.netsim.flowstats import FlowLog
+from repro.routing import ForwardingPlane
+from repro.topology import Network, NodeKind
+
+
+@pytest.fixture()
+def env():
+    net = Network()
+    r0 = net.add_node(NodeKind.ROUTER)
+    r1 = net.add_node(NodeKind.ROUTER)
+    h0 = net.add_node(NodeKind.HOST)
+    h1 = net.add_node(NodeKind.HOST)
+    net.add_link(r0, r1, 100e6, 2e-3)
+    net.add_link(h0, r0, 1e9, 20e-6)
+    net.add_link(h1, r1, 1e9, 20e-6)
+    k = SimKernel()
+    sim = NetworkSimulator(net, ForwardingPlane(net), k)
+    return k, sim, h0, h1
+
+
+class TestFlowLog:
+    def test_records_completed_flow(self, env):
+        k, sim, h0, h1 = env
+        log = FlowLog(sim)
+        log.transfer(h0, h1, 50_000)
+        k.run(until=10.0)
+        log.finalize()
+        assert len(log.records) == 1
+        rec = log.records[0]
+        assert rec.completed
+        assert rec.payload_bytes == 50_000
+        assert rec.duration_s > 0
+        assert rec.goodput_bps > 0
+        assert log.completion_rate() == 1.0
+
+    def test_callbacks_still_fire(self, env):
+        k, sim, h0, h1 = env
+        log = FlowLog(sim)
+        done, received = [], []
+        log.transfer(h0, h1, 10_000, on_complete=done.append,
+                     on_received=received.append)
+        k.run(until=10.0)
+        assert done and received
+
+    def test_incomplete_flow_swept(self, env):
+        k, sim, h0, h1 = env
+        log = FlowLog(sim)
+        log.transfer(h0, h1, 10_000_000)  # will not finish in 1 ms
+        k.run(until=0.001)
+        log.finalize()
+        assert len(log.records) == 1
+        assert not log.records[0].completed
+        assert log.completion_rate() == 0.0
+        with pytest.raises(ValueError):
+            log.records[0].duration_s
+
+    def test_percentiles(self, env):
+        k, sim, h0, h1 = env
+        log = FlowLog(sim)
+        for size in (5_000, 50_000, 500_000):
+            log.transfer(h0, h1, size)
+        k.run(until=30.0)
+        log.finalize()
+        p = log.fct_percentiles((50.0, 99.0))
+        assert p[50.0] <= p[99.0]
+
+    def test_percentiles_require_completions(self, env):
+        k, sim, h0, h1 = env
+        log = FlowLog(sim)
+        with pytest.raises(ValueError):
+            log.fct_percentiles()
+        with pytest.raises(ValueError):
+            log.mean_goodput_bps()
+
+    def test_retransmit_fraction_zero_on_clean_path(self, env):
+        k, sim, h0, h1 = env
+        log = FlowLog(sim)
+        log.transfer(h0, h1, 100_000)
+        k.run(until=10.0)
+        log.finalize()
+        assert log.total_retransmit_fraction() == 0.0
+
+    def test_many_flows_tracked_independently(self, env):
+        k, sim, h0, h1 = env
+        log = FlowLog(sim)
+        for _ in range(10):
+            log.transfer(h0, h1, 20_000)
+        k.run(until=30.0)
+        log.finalize()
+        assert len(log.records) == 10
+        assert len({r.flow_id for r in log.records}) == 10
+        assert log.completion_rate() == 1.0

@@ -1,0 +1,71 @@
+"""Tests for the link transmission model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.netsim import LinkRuntime, Packet, Protocol
+from repro.topology.models import Link
+
+
+def mk_link(bw=1e6, lat=1e-3, queue=10_000):
+    return LinkRuntime(Link(0, 1, 2, bw, lat, queue))
+
+
+def pkt(size=1000):
+    return Packet(src=1, dst=2, size_bytes=size, protocol=Protocol.UDP, flow_id=1)
+
+
+class TestTransmit:
+    def test_timing(self):
+        lr = mk_link(bw=1e6, lat=1e-3)
+        res = lr.transmit(1, pkt(1000), now=0.0)
+        assert res.accepted
+        assert res.start_time == 0.0
+        # 1000 B at 1 Mb/s = 8 ms transmit + 1 ms propagation
+        assert res.arrival_time == pytest.approx(0.009)
+
+    def test_serialization(self):
+        lr = mk_link(bw=1e6)
+        r1 = lr.transmit(1, pkt(1000), 0.0)
+        r2 = lr.transmit(1, pkt(1000), 0.0)
+        assert r2.start_time == pytest.approx(0.008)  # waits for first
+
+    def test_directions_independent(self):
+        lr = mk_link(bw=1e6)
+        lr.transmit(1, pkt(1000), 0.0)
+        rev = lr.transmit(2, pkt(1000), 0.0)
+        assert rev.start_time == 0.0
+
+    def test_drop_when_queue_full(self):
+        lr = mk_link(bw=1e6, queue=2_000)
+        results = [lr.transmit(1, pkt(1000), 0.0) for _ in range(8)]
+        assert not all(r.accepted for r in results)
+        assert lr.total_drops >= 1
+
+    def test_queue_drains_over_time(self):
+        lr = mk_link(bw=1e6, queue=2_000)
+        for _ in range(4):
+            lr.transmit(1, pkt(1000), 0.0)
+        # much later the backlog is gone
+        res = lr.transmit(1, pkt(1000), 1.0)
+        assert res.accepted
+        assert res.start_time == 1.0
+
+    def test_counters(self):
+        lr = mk_link()
+        lr.transmit(1, pkt(500), 0.0)
+        lr.transmit(2, pkt(700), 0.0)
+        assert lr.total_bytes == 1200
+        assert lr.total_packets == 2
+
+    def test_wrong_node_raises(self):
+        lr = mk_link()
+        with pytest.raises(ValueError):
+            lr.transmit(99, pkt(), 0.0)
+
+    def test_utilization(self):
+        lr = mk_link(bw=1e6)
+        lr.transmit(1, pkt(12_500), 0.0)  # 0.1 s of a 1 Mb/s link
+        assert lr.utilization(1.0) == pytest.approx(0.1)
+        assert lr.utilization(0.0) == 0.0

@@ -1,0 +1,198 @@
+"""Tests for the online layer: IP mapping, Agent, WrapSocket, real-time."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.engine import SimKernel
+from repro.engine.costmodel import WallclockPrediction
+from repro.netsim import NetworkSimulator
+from repro.online import (
+    Agent,
+    SocketClosed,
+    VirtualIpMapper,
+    VirtualTimeController,
+    WrapSocket,
+    required_slowdown,
+)
+
+
+class TestVirtualIpMapper:
+    def test_roundtrip(self):
+        for node in (0, 1, 255, 256, 65_536, 1_000_000):
+            ip = VirtualIpMapper.virtual_ip(node)
+            assert VirtualIpMapper.node_of(ip) == node
+
+    def test_format(self):
+        assert VirtualIpMapper.virtual_ip(0) == "10.0.0.0"
+        assert VirtualIpMapper.virtual_ip(257) == "10.0.1.1"
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            VirtualIpMapper.virtual_ip(1 << 24)
+        with pytest.raises(ValueError):
+            VirtualIpMapper.virtual_ip(-1)
+
+    def test_invalid_parse(self):
+        with pytest.raises(ValueError):
+            VirtualIpMapper.node_of("192.168.0.1")
+        with pytest.raises(ValueError):
+            VirtualIpMapper.node_of("10.0.0")
+        with pytest.raises(ValueError):
+            VirtualIpMapper.node_of("10.0.0.999")
+
+    def test_registration(self):
+        m = VirtualIpMapper()
+        ip = m.register("proc1:5000", 42)
+        assert ip == VirtualIpMapper.virtual_ip(42)
+        assert m.resolve_real("proc1:5000") == 42
+        assert m.real_endpoint_of(42) == "proc1:5000"
+        assert len(m) == 1
+
+    def test_duplicate_rejected(self):
+        m = VirtualIpMapper()
+        m.register("a", 1)
+        with pytest.raises(ValueError):
+            m.register("a", 2)
+        with pytest.raises(ValueError):
+            m.register("b", 1)
+
+    def test_unregister(self):
+        m = VirtualIpMapper()
+        m.register("a", 1)
+        m.unregister("a")
+        assert len(m) == 0
+        m.register("a", 1)  # can re-register
+
+
+@pytest.fixture()
+def agent_env(flat_net, flat_fib):
+    k = SimKernel()
+    sim = NetworkSimulator(flat_net, flat_fib, k)
+    return k, sim, Agent(sim)
+
+
+class TestAgent:
+    def test_transfer_completes_with_stats(self, agent_env, flat_net):
+        k, sim, agent = agent_env
+        hosts = flat_net.host_ids()
+        done = []
+        agent.transfer(hosts[0], hosts[1], 30_000, lambda t: done.append(t))
+        k.run(until=10.0)
+        assert done
+        assert agent.stats.streams_opened == 1
+        assert agent.stats.streams_completed == 1
+        assert agent.stats.bytes_requested == 30_000
+
+    def test_datagram(self, agent_env, flat_net):
+        k, sim, agent = agent_env
+        hosts = flat_net.host_ids()
+        got = []
+        sim.udp_bind(hosts[1], 3, lambda p: got.append(p))
+        agent.datagram(hosts[0], hosts[1], 2000, port=3)
+        k.run(until=1.0)
+        assert got
+        assert agent.stats.datagrams_sent == 1
+
+    def test_schedule(self, agent_env):
+        k, sim, agent = agent_env
+        fired = []
+        agent.schedule(0.5, lambda: fired.append(agent.now))
+        k.run(until=1.0)
+        assert fired == [pytest.approx(0.5)]
+
+    def test_attach_process(self, agent_env):
+        k, sim, agent = agent_env
+        ip = agent.attach_process("rank0@test", 5)
+        assert VirtualIpMapper.node_of(ip) == 5
+
+
+class TestWrapSocket:
+    def test_send_and_listen(self, agent_env, flat_net):
+        k, sim, agent = agent_env
+        hosts = flat_net.host_ids()
+        a = WrapSocket(agent, hosts[0], "a@test")
+        b = WrapSocket(agent, hosts[1], "b@test")
+        received = []
+        b.listen(lambda src, n, t: received.append((src, n)))
+        a.connect(b.virtual_ip)
+        sent = []
+        a.send(10_000, lambda t: sent.append(t))
+        k.run(until=10.0)
+        assert received == [(hosts[0], 10_000)]
+        assert sent
+
+    def test_unconnected_send_raises(self, agent_env, flat_net):
+        k, sim, agent = agent_env
+        a = WrapSocket(agent, flat_net.host_ids()[0], "x@test")
+        with pytest.raises(SocketClosed):
+            a.send(100)
+
+    def test_closed_socket_raises(self, agent_env, flat_net):
+        k, sim, agent = agent_env
+        a = WrapSocket(agent, flat_net.host_ids()[0], "y@test")
+        a.close()
+        with pytest.raises(SocketClosed):
+            a.connect_node(3)
+
+    def test_reopen_same_node_reuses_ip(self, agent_env, flat_net):
+        k, sim, agent = agent_env
+        h = flat_net.host_ids()[0]
+        a = WrapSocket(agent, h, "p@test")
+        b = WrapSocket(agent, h, "q@test")  # same node, new process
+        assert a.virtual_ip == b.virtual_ip
+
+    def test_close_removes_listener(self, agent_env, flat_net):
+        k, sim, agent = agent_env
+        hosts = flat_net.host_ids()
+        b = WrapSocket(agent, hosts[1], "l@test")
+        received = []
+        b.listen(lambda *a: received.append(a))
+        b.close()
+        a = WrapSocket(agent, hosts[0], "m@test")
+        a.connect_node(hosts[1])
+        a.send(1000)
+        k.run(until=5.0)
+        assert received == []
+
+
+class TestRealTime:
+    def test_identity_at_slowdown_1(self):
+        vtc = VirtualTimeController(slowdown=1.0)
+        assert vtc.virtual_elapsed(5.0) == 5.0
+        assert vtc.wallclock_deadline(5.0) == 5.0
+
+    def test_slowdown_scales(self):
+        vtc = VirtualTimeController(slowdown=8.0)
+        assert vtc.virtual_elapsed(8.0) == pytest.approx(1.0)
+        assert vtc.wallclock_deadline(1.0) == pytest.approx(8.0)
+
+    def test_epoch_offset(self):
+        vtc = VirtualTimeController(slowdown=2.0, wallclock_epoch=10.0)
+        assert vtc.virtual_elapsed(14.0) == pytest.approx(2.0)
+
+    def test_behind_schedule(self):
+        vtc = VirtualTimeController(slowdown=1.0)
+        assert vtc.behind_schedule(10.0, 8.0) == pytest.approx(2.0)
+        assert vtc.behind_schedule(10.0, 12.0) == pytest.approx(-2.0)
+
+    def test_invalid_slowdown(self):
+        with pytest.raises(ValueError):
+            VirtualTimeController(slowdown=0.0)
+
+    def _pred(self, total):
+        return WallclockPrediction(
+            total_s=total, compute_s=total, sync_s=0.0, num_windows=1,
+            num_lps=4, events_per_lp=np.zeros(4), remote_per_lp=np.zeros(4),
+        )
+
+    def test_required_slowdown(self):
+        assert required_slowdown(self._pred(80.0), 10.0) == pytest.approx(8.0)
+
+    def test_realtime_feasible_clamps_to_1(self):
+        assert required_slowdown(self._pred(5.0), 10.0) == 1.0
+
+    def test_invalid_duration(self):
+        with pytest.raises(ValueError):
+            required_slowdown(self._pred(1.0), 0.0)

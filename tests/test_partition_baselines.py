@@ -1,0 +1,112 @@
+"""Tests for baseline partitioners (random, round-robin, BFS, greedy
+k-cluster, spectral)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.partition import (
+    WeightedGraph,
+    bfs_block_partition,
+    greedy_k_cluster,
+    partition_kway,
+    random_partition,
+    round_robin_partition,
+    spectral_bisect,
+    spectral_partition_kway,
+)
+
+
+class TestRandomAndRoundRobin:
+    def test_random_assignment_range(self, grid_graph):
+        res = random_partition(grid_graph, 4, seed=0)
+        assert res.assignment.min() >= 0
+        assert res.assignment.max() < 4
+
+    def test_random_deterministic_per_seed(self, grid_graph):
+        a = random_partition(grid_graph, 4, seed=5)
+        b = random_partition(grid_graph, 4, seed=5)
+        assert np.array_equal(a.assignment, b.assignment)
+
+    def test_round_robin_counts(self, grid_graph):
+        res = round_robin_partition(grid_graph, 4)
+        _, counts = np.unique(res.assignment, return_counts=True)
+        assert counts.max() - counts.min() <= 1
+
+    def test_round_robin_poor_cut(self, grid_graph):
+        rr = round_robin_partition(grid_graph, 4)
+        ml = partition_kway(grid_graph, 4, seed=0)
+        assert ml.edge_cut < rr.edge_cut
+
+
+class TestBfsBlocks:
+    def test_balance(self, grid_graph):
+        res = bfs_block_partition(grid_graph, 4, seed=0)
+        assert res.balance <= 1.3
+
+    def test_all_parts_used(self, grid_graph):
+        res = bfs_block_partition(grid_graph, 4, seed=0)
+        assert set(res.assignment.tolist()) == {0, 1, 2, 3}
+
+    def test_locality_beats_random(self, grid_graph):
+        bfs = bfs_block_partition(grid_graph, 4, seed=0)
+        rnd = random_partition(grid_graph, 4, seed=0)
+        assert bfs.edge_cut < rnd.edge_cut
+
+    def test_disconnected_graph(self):
+        g = WeightedGraph(8, [0, 1, 4, 5], [1, 2, 5, 6])
+        res = bfs_block_partition(g, 2, seed=0)
+        assert set(res.assignment.tolist()) <= {0, 1}
+
+
+class TestGreedyKCluster:
+    def test_covers_all_vertices(self, grid_graph):
+        res = greedy_k_cluster(grid_graph, 4, seed=0)
+        assert res.assignment.min() >= 0
+
+    def test_all_clusters_nonempty(self, grid_graph):
+        res = greedy_k_cluster(grid_graph, 4, seed=0)
+        assert len(set(res.assignment.tolist())) == 4
+
+    def test_handles_more_parts_than_vertices(self):
+        g = WeightedGraph(3, [0, 1], [1, 2])
+        res = greedy_k_cluster(g, 5, seed=0)
+        assert res.assignment.shape == (3,)
+
+    def test_empty_graph(self):
+        res = greedy_k_cluster(WeightedGraph(0, [], []), 3)
+        assert res.assignment.size == 0
+
+    def test_orphans_swept_in_disconnected_graph(self):
+        g = WeightedGraph(10, [0, 1], [1, 2])
+        res = greedy_k_cluster(g, 2, seed=1)
+        assert np.all(res.assignment >= 0)
+
+
+class TestSpectral:
+    def test_bisect_balanced(self, grid_graph):
+        part = spectral_bisect(grid_graph)
+        w = grid_graph.partition_weights(part, 2)
+        assert abs(w[0] - w[1]) <= 2.0
+
+    def test_bisect_grid_cut_reasonable(self, grid_graph):
+        part = spectral_bisect(grid_graph)
+        assert grid_graph.edge_cut(part) <= 20
+
+    def test_two_cluster_finds_bridge(self, two_cluster_graph):
+        part = spectral_bisect(two_cluster_graph)
+        assert two_cluster_graph.edge_cut(part) == pytest.approx(1.0)
+
+    def test_tiny_graphs(self):
+        assert spectral_bisect(WeightedGraph(1, [], [])).tolist() == [0]
+        part = spectral_bisect(WeightedGraph(2, [0], [1]))
+        assert sorted(part.tolist()) == [0, 1]
+
+    def test_kway_all_parts(self, grid_graph):
+        res = spectral_partition_kway(grid_graph, 4)
+        assert set(res.assignment.tolist()) == {0, 1, 2, 3}
+
+    def test_kway_invalid(self, grid_graph):
+        with pytest.raises(ValueError):
+            spectral_partition_kway(grid_graph, 0)

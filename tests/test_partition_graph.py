@@ -1,0 +1,258 @@
+"""Unit tests for the CSR weighted graph substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.partition import WeightedGraph
+
+
+def simple_triangle():
+    return WeightedGraph(
+        3, [0, 1, 2], [1, 2, 0], edge_weight=[1.0, 2.0, 3.0], edge_latency=[1e-3, 2e-3, 3e-3]
+    )
+
+
+class TestConstruction:
+    def test_basic_counts(self):
+        g = simple_triangle()
+        assert g.num_vertices == 3
+        assert g.num_edges == 3
+        assert g.total_vertex_weight == 3.0
+
+    def test_empty_graph(self):
+        g = WeightedGraph(0, [], [])
+        assert g.num_vertices == 0
+        assert g.num_edges == 0
+        assert g.is_connected()
+
+    def test_isolated_vertices(self):
+        g = WeightedGraph(4, [0], [1])
+        assert g.num_edges == 1
+        assert g.degree(2) == 0
+        assert not g.is_connected()
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError, match="self loop"):
+            WeightedGraph(2, [0], [0])
+
+    def test_out_of_range_endpoint_rejected(self):
+        with pytest.raises(ValueError, match="out of range"):
+            WeightedGraph(2, [0], [2])
+
+    def test_negative_edge_weight_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            WeightedGraph(2, [0], [1], edge_weight=[-1.0])
+
+    def test_nonpositive_latency_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            WeightedGraph(2, [0], [1], edge_latency=[0.0])
+
+    def test_negative_vertex_weight_rejected(self):
+        with pytest.raises(ValueError):
+            WeightedGraph(2, [0], [1], vertex_weight=[1.0, -2.0])
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            WeightedGraph(3, [0, 1], [1])
+        with pytest.raises(ValueError):
+            WeightedGraph(3, [0], [1], edge_weight=[1.0, 2.0])
+        with pytest.raises(ValueError):
+            WeightedGraph(3, [0], [1], vertex_weight=[1.0])
+
+    def test_parallel_edges_merged(self):
+        g = WeightedGraph(
+            2,
+            [0, 1, 0],
+            [1, 0, 1],
+            edge_weight=[1.0, 2.0, 4.0],
+            edge_latency=[3e-3, 1e-3, 2e-3],
+        )
+        assert g.num_edges == 1
+        u, v, w, lat = g.edge_list()
+        assert w[0] == pytest.approx(7.0)  # weights summed
+        assert lat[0] == pytest.approx(1e-3)  # min latency kept
+
+    def test_default_weights(self):
+        g = WeightedGraph(3, [0, 1], [1, 2])
+        assert np.all(g.vwgt == 1.0)
+        u, v, w, lat = g.edge_list()
+        assert np.all(w == 1.0)
+        assert np.all(np.isinf(lat))
+
+
+class TestAccessors:
+    def test_neighbors_symmetric(self):
+        g = simple_triangle()
+        for v in g:
+            for u in g.neighbors(v):
+                assert v in g.neighbors(int(u))
+
+    def test_degree(self):
+        g = simple_triangle()
+        assert all(g.degree(v) == 2 for v in range(3))
+
+    def test_edge_list_each_edge_once(self):
+        g = simple_triangle()
+        u, v, w, lat = g.edge_list()
+        assert len(u) == 3
+        assert np.all(u < v)
+
+    def test_neighbor_weights_match_edges(self):
+        g = simple_triangle()
+        # vertex 0 connects to 1 (w=1) and 2 (w=3)
+        nbrs = list(g.neighbors(0))
+        wts = list(g.neighbor_weights(0))
+        got = dict(zip(nbrs, wts))
+        assert got[1] == pytest.approx(1.0)
+        assert got[2] == pytest.approx(3.0)
+
+    def test_neighbor_latencies(self):
+        g = simple_triangle()
+        lats = dict(zip(g.neighbors(0), g.neighbor_latencies(0)))
+        assert lats[1] == pytest.approx(1e-3)
+        assert lats[2] == pytest.approx(3e-3)
+
+
+class TestPartitionQuantities:
+    def test_edge_cut_all_same_part(self):
+        g = simple_triangle()
+        assert g.edge_cut([0, 0, 0]) == 0.0
+
+    def test_edge_cut_value(self):
+        g = simple_triangle()
+        # part {0,1} vs {2}: cuts edges (1,2) w=2 and (0,2) w=3
+        assert g.edge_cut([0, 0, 1]) == pytest.approx(5.0)
+
+    def test_min_cut_latency(self):
+        g = simple_triangle()
+        assert g.min_cut_latency([0, 0, 1]) == pytest.approx(2e-3)
+        assert g.min_cut_latency([0, 0, 0]) == np.inf
+
+    def test_partition_weights(self):
+        g = WeightedGraph(3, [0], [1], vertex_weight=[1.0, 2.0, 4.0])
+        w = g.partition_weights([0, 1, 1], 2)
+        assert w.tolist() == [1.0, 6.0]
+
+    def test_balance_perfect(self):
+        g = WeightedGraph(4, [0, 1, 2], [1, 2, 3])
+        assert g.balance([0, 0, 1, 1], 2) == pytest.approx(1.0)
+
+    def test_balance_skewed(self):
+        g = WeightedGraph(4, [0, 1, 2], [1, 2, 3])
+        assert g.balance([0, 0, 0, 1], 2) == pytest.approx(1.5)
+
+    def test_partition_length_mismatch(self):
+        g = simple_triangle()
+        with pytest.raises(ValueError):
+            g.edge_cut([0, 1])
+
+    def test_cut_edges_content(self):
+        g = simple_triangle()
+        u, v, w, lat = g.cut_edges([0, 1, 0])
+        # edges (0,1) and (1,2) are cut
+        pairs = set(zip(u.tolist(), v.tolist()))
+        assert pairs == {(0, 1), (1, 2)}
+
+
+class TestStructureOps:
+    def test_connected_components_single(self):
+        g = simple_triangle()
+        assert g.connected_components().max() == 0
+
+    def test_connected_components_multi(self):
+        g = WeightedGraph(5, [0, 2], [1, 3])
+        labels = g.connected_components()
+        assert labels[0] == labels[1]
+        assert labels[2] == labels[3]
+        assert len({labels[0], labels[2], labels[4]}) == 3
+
+    def test_contract_merges_weights(self):
+        g = WeightedGraph(
+            4,
+            [0, 1, 2, 0],
+            [1, 2, 3, 3],
+            edge_weight=[1.0, 2.0, 3.0, 4.0],
+            edge_latency=[1e-3, 2e-3, 3e-3, 4e-3],
+            vertex_weight=[1.0, 2.0, 3.0, 4.0],
+        )
+        c = g.contract([0, 0, 1, 1])
+        assert c.coarse.num_vertices == 2
+        assert c.coarse.vwgt.tolist() == [3.0, 7.0]
+        # cross edges (1,2) w=2 and (0,3) w=4 merge into one: w=6, lat=min
+        u, v, w, lat = c.coarse.edge_list()
+        assert len(u) == 1
+        assert w[0] == pytest.approx(6.0)
+        assert lat[0] == pytest.approx(2e-3)
+
+    def test_contract_rejects_sparse_labels(self):
+        g = simple_triangle()
+        with pytest.raises(ValueError, match="dense"):
+            g.contract([0, 2, 2])
+
+    def test_contract_project_roundtrip(self):
+        g = simple_triangle()
+        c = g.contract([0, 0, 1])
+        part = c.project(np.array([5, 9]))
+        assert part.tolist() == [5, 5, 9]
+
+    def test_collapse_below_latency(self):
+        g = simple_triangle()
+        c = g.collapse_below_latency(1.5e-3)  # collapses the 1 ms edge
+        assert c.coarse.num_vertices == 2
+        # remaining latencies all >= threshold
+        _, _, _, lat = c.coarse.edge_list()
+        assert np.all(lat >= 1.5e-3)
+
+    def test_collapse_threshold_below_min_is_noop(self):
+        g = simple_triangle()
+        c = g.collapse_below_latency(0.5e-3)
+        assert c.coarse.num_vertices == 3
+
+    def test_collapse_everything(self):
+        g = simple_triangle()
+        c = g.collapse_below_latency(1.0)
+        assert c.coarse.num_vertices == 1
+        assert c.coarse.total_vertex_weight == pytest.approx(3.0)
+
+    def test_collapse_guarantees_mll(self, two_cluster_graph):
+        c = two_cluster_graph.collapse_below_latency(1e-3)
+        assert c.coarse.num_vertices == 2
+        part = c.project(np.array([0, 1]))
+        assert two_cluster_graph.min_cut_latency(part) == pytest.approx(5e-3)
+
+
+class TestConversions:
+    def test_networkx_roundtrip(self):
+        g = simple_triangle()
+        nx_g = g.to_networkx()
+        g2 = WeightedGraph.from_networkx(nx_g)
+        assert g2.num_vertices == g.num_vertices
+        assert g2.num_edges == g.num_edges
+        u1, v1, w1, l1 = g.edge_list()
+        u2, v2, w2, l2 = g2.edge_list()
+        assert np.allclose(w1, w2)
+        assert np.allclose(l1, l2)
+
+    def test_from_networkx_requires_dense_ids(self):
+        import networkx as nx
+
+        h = nx.Graph()
+        h.add_edge("a", "b")
+        with pytest.raises(ValueError):
+            WeightedGraph.from_networkx(h)
+
+    def test_with_weights_replaces_vertex(self):
+        g = simple_triangle()
+        g2 = g.with_weights(vertex_weight=[5.0, 5.0, 5.0])
+        assert g2.total_vertex_weight == pytest.approx(15.0)
+        assert g.total_vertex_weight == pytest.approx(3.0)  # original intact
+
+    def test_with_weights_replaces_edges(self):
+        g = simple_triangle()
+        u, v, w, lat = g.edge_list()
+        g2 = g.with_weights(edge_weight=w * 10)
+        _, _, w2, lat2 = g2.edge_list()
+        assert np.allclose(w2, w * 10)
+        assert np.allclose(lat2, lat)  # latencies preserved

@@ -1,0 +1,107 @@
+"""Tests for OSPF shortest-path routing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.routing import OspfRouting, ospf_link_metric
+from repro.topology import Network, NodeKind
+
+
+def diamond_net():
+    """0 -(1ms)- 1 -(1ms)- 3 ; 0 -(5ms)- 2 -(1ms)- 3 : short path via 1."""
+    net = Network()
+    for _ in range(4):
+        net.add_node(NodeKind.ROUTER)
+    net.add_link(0, 1, 1e9, 1e-3)
+    net.add_link(1, 3, 1e9, 1e-3)
+    net.add_link(0, 2, 1e9, 5e-3)
+    net.add_link(2, 3, 1e9, 1e-3)
+    return net
+
+
+class TestMetric:
+    def test_latency_dominates(self):
+        assert ospf_link_metric(1e-3, 1e9) < ospf_link_metric(2e-3, 1e9)
+
+    def test_bandwidth_tiebreak(self):
+        assert ospf_link_metric(1e-3, 10e9) < ospf_link_metric(1e-3, 100e6)
+
+    def test_tiebreak_is_small(self):
+        # Bandwidth must never override a latency difference.
+        assert ospf_link_metric(1e-3, 10e9) > ospf_link_metric(0.9e-3, 100e6)
+
+
+class TestNextHop:
+    def test_prefers_short_path(self):
+        ospf = OspfRouting(diamond_net(), [0, 1, 2, 3])
+        assert ospf.next_hop(0, 3) == 1
+
+    def test_next_hop_to_self_is_none(self):
+        ospf = OspfRouting(diamond_net(), [0, 1, 2, 3])
+        assert ospf.next_hop(2, 2) is None
+
+    def test_unreachable_outside_domain(self):
+        net = diamond_net()
+        iso = net.add_node(NodeKind.ROUTER)
+        ospf = OspfRouting(net, [0, 1, 2, 3, iso])
+        assert ospf.next_hop(0, iso) is None
+
+    def test_destination_not_member_raises(self):
+        ospf = OspfRouting(diamond_net(), [0, 1, 2])
+        with pytest.raises(KeyError):
+            ospf.next_hop(0, 3)
+
+    def test_paths_never_leave_member_set(self):
+        # Restrict to {0, 2, 3}: route 0->3 must go via 2 despite cost.
+        ospf = OspfRouting(diamond_net(), [0, 2, 3])
+        assert ospf.next_hop(0, 3) == 2
+
+
+class TestPathAndDistance:
+    def test_path_endpoints(self):
+        ospf = OspfRouting(diamond_net(), [0, 1, 2, 3])
+        path = ospf.path(0, 3)
+        assert path == [0, 1, 3]
+
+    def test_distance_additive(self):
+        ospf = OspfRouting(diamond_net(), [0, 1, 2, 3])
+        d = ospf.distance(0, 3)
+        assert d == pytest.approx(2e-3, rel=0.01)
+
+    def test_distance_zero_to_self(self):
+        ospf = OspfRouting(diamond_net(), [0, 1, 2, 3])
+        assert ospf.distance(1, 1) == 0.0
+
+    def test_distance_unreachable_is_inf(self):
+        net = diamond_net()
+        iso = net.add_node(NodeKind.ROUTER)
+        ospf = OspfRouting(net, [0, 1, 2, 3, iso])
+        assert ospf.distance(0, iso) == np.inf
+        assert ospf.path(0, iso) is None
+
+    def test_triangle_inequality_on_flat_net(self, flat_net):
+        members = list(range(flat_net.num_nodes))
+        ospf = OspfRouting(flat_net, members)
+        rng = np.random.default_rng(0)
+        ids = rng.choice(flat_net.num_nodes, size=6, replace=False)
+        for a in ids[:3]:
+            for b in ids[3:]:
+                d_ab = ospf.distance(int(a), int(b))
+                for c in ids:
+                    if c in (a, b):
+                        continue
+                    assert d_ab <= ospf.distance(int(a), int(c)) + ospf.distance(
+                        int(c), int(b)
+                    ) + 1e-12
+
+    def test_symmetric_distances(self, flat_net):
+        ospf = OspfRouting(flat_net, list(range(flat_net.num_nodes)))
+        assert ospf.distance(3, 77) == pytest.approx(ospf.distance(77, 3))
+
+    def test_trees_cached(self):
+        ospf = OspfRouting(diamond_net(), [0, 1, 2, 3])
+        ospf.next_hop(0, 3)
+        ospf.next_hop(1, 3)
+        assert ospf.cached_destinations() == [3]

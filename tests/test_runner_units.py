@@ -1,0 +1,134 @@
+"""Unit tests for the experiment runner's evaluation step in isolation.
+
+``evaluate_mappings`` is normally fed by full simulation runs; here it is
+driven with hand-built traces so that the metric mechanics (window-max
+cost, imbalance, PE) are pinned down precisely.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+import pytest
+
+from repro.cluster import ClusterSpec
+from repro.core import Approach, NetworkMapping, PartitionEvaluation
+from repro.core.evaluate import PartitionEvaluation as PE_cls
+from repro.experiments.runner import evaluate_mappings
+
+
+@dataclass
+class FakeKernel:
+    times: np.ndarray
+    nodes: np.ndarray
+
+    def trace(self):
+        return self.times, self.nodes
+
+
+@dataclass
+class FakeSim:
+    tx: tuple[np.ndarray, np.ndarray, np.ndarray]
+
+    def transmissions(self):
+        return self.tx
+
+
+def mk_mapping(approach, assignment, num_engines, mll_s):
+    evaluation = PE_cls(
+        mll_s=mll_s,
+        es=0.5,
+        ec=0.9,
+        efficiency=0.45,
+        predicted_imbalance=0.1,
+        part_weights=np.ones(num_engines),
+        edge_cut=1.0,
+    )
+    return NetworkMapping(
+        approach=approach,
+        assignment=np.asarray(assignment, dtype=np.int64),
+        num_engines=num_engines,
+        evaluation=evaluation,
+        tmll_s=0.0,
+    )
+
+
+@pytest.fixture()
+def cluster():
+    return ClusterSpec(name="unit", num_engine_nodes=2)
+
+
+class TestEvaluateMappings:
+    def _fixtures(self, n_events=1000, duration=1.0, seed=0):
+        rng = np.random.default_rng(seed)
+        times = np.sort(rng.uniform(0, duration, n_events))
+        nodes = rng.integers(0, 4, n_events)
+        kernel = FakeKernel(times, nodes)
+        sim = FakeSim(
+            (np.empty(0), np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64))
+        )
+        return kernel, sim
+
+    def test_balanced_beats_skewed(self, cluster):
+        kernel, sim = self._fixtures()
+        balanced = mk_mapping(Approach.HPROF, [0, 1, 0, 1], 2, 1e-2)
+        skewed = mk_mapping(Approach.TOP, [0, 0, 0, 1], 2, 1e-2)
+        rows = evaluate_mappings(
+            kernel, sim, {Approach.HPROF: balanced, Approach.TOP: skewed},
+            cluster, 2, 1.0,
+        )
+        t = {r.approach: r.sim_time_s for r in rows}
+        imb = {r.approach: r.measured_imbalance for r in rows}
+        assert t[Approach.HPROF] < t[Approach.TOP]
+        assert imb[Approach.HPROF] < imb[Approach.TOP]
+
+    def test_larger_mll_fewer_windows_less_sync(self, cluster):
+        kernel, sim = self._fixtures()
+        coarse = mk_mapping(Approach.HTOP, [0, 1, 0, 1], 2, 0.1)
+        fine = mk_mapping(Approach.TOP, [0, 1, 0, 1], 2, 0.001)
+        rows = evaluate_mappings(
+            kernel, sim, {Approach.HTOP: coarse, Approach.TOP: fine}, cluster, 2, 1.0
+        )
+        t = {r.approach: r.sim_time_s for r in rows}
+        assert t[Approach.HTOP] < t[Approach.TOP]
+        sync = {r.approach: r.prediction.sync_s for r in rows}
+        assert sync[Approach.HTOP] == pytest.approx(sync[Approach.TOP] / 100, rel=0.2)
+
+    def test_infinite_mll_single_window(self, cluster):
+        kernel, sim = self._fixtures()
+        lone = mk_mapping(Approach.TOP, [0, 0, 0, 0], 1, float("inf"))
+        rows = evaluate_mappings(kernel, sim, {Approach.TOP: lone}, cluster, 1, 1.0)
+        assert rows[0].prediction.num_windows == 1
+        assert rows[0].prediction.sync_s == 0.0
+
+    def test_pe_decreases_with_engines_under_fixed_work(self, cluster):
+        kernel, sim = self._fixtures()
+        from dataclasses import replace
+
+        rows2 = evaluate_mappings(
+            kernel, sim, {Approach.TOP: mk_mapping(Approach.TOP, [0, 1, 0, 1], 2, 1e-2)},
+            cluster, 2, 1.0,
+        )
+        cluster8 = replace(cluster, num_engine_nodes=8)
+        rows8 = evaluate_mappings(
+            kernel, sim,
+            {Approach.TOP: mk_mapping(Approach.TOP, [0, 1, 2, 3], 8, 1e-2)},
+            cluster8, 8, 1.0,
+        )
+        # Same total work spread over 4x the engines with the same MLL:
+        # efficiency must drop (sync grows, per-engine work shrinks).
+        assert rows8[0].parallel_eff < rows2[0].parallel_eff
+
+    def test_remote_traffic_charged(self, cluster):
+        rng = np.random.default_rng(1)
+        times = np.sort(rng.uniform(0, 1.0, 100))
+        nodes = rng.integers(0, 4, 100)
+        kernel = FakeKernel(times, nodes)
+        tx_t = np.array([0.5, 0.6])
+        tx_f = np.array([0, 2])  # LP0 -> LP1 and LP0 -> LP1 under [0,0,1,1]
+        tx_to = np.array([2, 0])
+        sim = FakeSim((tx_t, tx_f, tx_to))
+        mapping = mk_mapping(Approach.PROF, [0, 0, 1, 1], 2, 1e-2)
+        rows = evaluate_mappings(kernel, sim, {Approach.PROF: mapping}, cluster, 2, 1.0)
+        assert rows[0].prediction.remote_per_lp.sum() == 2

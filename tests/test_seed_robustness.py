@@ -1,0 +1,70 @@
+"""Cross-seed robustness of the paper's core orderings.
+
+The figure benchmarks assert orderings at seed 0; this test repeats the
+single-AS experiment at micro scale over two more seeds and checks that
+the load-bearing orderings (hierarchical MLL dominance, HPROF time and
+efficiency advantages) are not seed artifacts.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Approach
+from repro.experiments import ExperimentScale, run_experiment
+
+MICRO = ExperimentScale(
+    name="robustness",
+    flat_routers=120,
+    flat_hosts=60,
+    num_ases=8,
+    routers_per_as=12,
+    multi_hosts=48,
+    http_clients=36,
+    http_servers=10,
+    http_mean_gap_s=0.4,
+    num_engines=8,
+    app_processes=4,
+    scalapack_iterations=3,
+    duration_s=6.0,
+    profile_duration_s=2.5,
+    event_cost_s=75e-6,
+    remote_event_cost_s=190e-6,
+)
+
+APPROACHES = [Approach.HPROF, Approach.HTOP, Approach.TOP2]
+
+
+@pytest.fixture(scope="module", params=[11, 23])
+def result(request):
+    return run_experiment(
+        "single-as", "scalapack", approaches=list(APPROACHES),
+        scale=MICRO, seed=request.param,
+    )
+
+
+class TestOrderingsAcrossSeeds:
+    def test_hierarchical_mll_dominates(self, result):
+        mll = {r.approach: r.achieved_mll_ms for r in result.rows}
+        assert mll[Approach.HPROF] >= mll[Approach.TOP2]
+        assert mll[Approach.HTOP] >= mll[Approach.TOP2]
+
+    def test_hprof_not_slower_than_top2(self, result):
+        t = {r.approach: r.sim_time_s for r in result.rows}
+        assert t[Approach.HPROF] <= t[Approach.TOP2] * 1.02
+
+    def test_hprof_balance_no_worse_than_htop(self, result):
+        # At micro scale with a 2.5 s profile the estimates are noisy and
+        # HPROF may trade a sliver of balance for synchronization (its E
+        # metric optimizes the product); allow a 10 % band — the strict
+        # ordering is asserted at benchmark scale (Figs. 8/12).
+        imb = {r.approach: r.measured_imbalance for r in result.rows}
+        assert imb[Approach.HPROF] <= imb[Approach.HTOP] * 1.10
+
+    def test_hprof_pe_at_least_top2(self, result):
+        pe = {r.approach: r.parallel_eff for r in result.rows}
+        assert pe[Approach.HPROF] >= pe[Approach.TOP2]
+
+    def test_workload_healthy(self, result):
+        assert result.http_responses > 0
+        assert result.total_events > 10_000

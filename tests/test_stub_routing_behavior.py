@@ -1,0 +1,111 @@
+"""Behavioral tests for stub-AS default routing (paper step 6c/6d).
+
+Default routing is deliberately blind: a stub ships all external traffic
+to its provider regardless of the global routing state (that is the point
+— no full BGP table in the stub). These tests pin that behavior,
+including what happens around withdrawals and multi-homing.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.routing import ForwardingPlane
+from repro.routing.bgp import BeaconExperiment, configure_bgp
+from repro.topology import ASTier, generate_multi_as_network
+
+
+@pytest.fixture(scope="module")
+def env():
+    net = generate_multi_as_network(num_ases=14, routers_per_as=10, num_hosts=40, seed=5)
+    bgp = configure_bgp(net)
+    fib = ForwardingPlane(net, bgp)
+    return net, bgp, fib
+
+
+def _find_stub(net, multihomed=False):
+    for dom in net.as_domains.values():
+        if dom.tier is ASTier.STUB:
+            if multihomed and len({p for _, p in dom.default_routes}) < 2:
+                continue
+            return dom
+    return None
+
+
+class TestDefaultRouting:
+    def test_external_traffic_exits_via_provider(self, env):
+        net, bgp, fib = env
+        stub = _find_stub(net)
+        assert stub is not None
+        src = stub.routers[0]
+        # A destination neither local nor a direct neighbor of the stub.
+        target_as = next(
+            a for a in net.as_domains
+            if a != stub.as_id and a not in stub.neighbor_ases
+        )
+        dst = net.as_domains[target_as].routers[0]
+        as_path = fib.as_level_path(src, dst)
+        assert as_path is not None
+        assert as_path[1] in stub.providers
+
+    def test_direct_peer_bypasses_default(self, env):
+        net, bgp, fib = env
+        # A stub with a peer gets peer routes directly, not via provider.
+        for dom in net.as_domains.values():
+            if dom.tier is ASTier.STUB and dom.peers:
+                peer = next(iter(dom.peers))
+                if peer not in dom.border_links:
+                    continue
+                src = dom.routers[0]
+                dst = net.as_domains[peer].routers[0]
+                as_path = fib.as_level_path(src, dst)
+                assert as_path == [dom.as_id, peer]
+                return
+        pytest.skip("no stub with a directly-linked peer at this seed")
+
+    def test_multihomed_stub_has_backup(self, env):
+        net, bgp, fib = env
+        stub = _find_stub(net, multihomed=True)
+        if stub is None:
+            pytest.skip("no multi-homed stub at this seed")
+        providers = {p for _, p in stub.default_routes}
+        assert len(providers) >= 2  # primary + backup (paper step 6d)
+
+    def test_default_is_blind_to_withdrawal(self, env):
+        """Withdrawing a remote prefix does not change the stub's first
+        hop — default routing has no per-prefix state. The traffic then
+        dies deeper in the network (unroutable at the provider), which is
+        exactly what blind defaults do."""
+        net, bgp, fib = env
+        stub = _find_stub(net)
+        target_as = next(
+            a for a in net.as_domains
+            if a != stub.as_id and a not in stub.neighbor_ases
+        )
+        src = stub.routers[0]
+        dst = net.as_domains[target_as].routers[0]
+        first_hop_before = fib.next_hop(src, dst)
+
+        beacon = BeaconExperiment(bgp, target_as)
+        beacon.withdraw()
+        fresh_fib = ForwardingPlane(net, bgp)  # no stale cache
+        assert fresh_fib.next_hop(src, dst) == first_hop_before
+        # But the provider (which relies on real BGP) drops it eventually:
+        assert fresh_fib.node_path(src, dst) is None
+        beacon.announce()
+
+    def test_reannounce_restores_end_to_end(self, env):
+        net, bgp, fib = env
+        stub = _find_stub(net)
+        target_as = next(
+            a for a in net.as_domains
+            if a != stub.as_id and a not in stub.neighbor_ases
+        )
+        src = stub.routers[0]
+        dst = net.as_domains[target_as].routers[0]
+        beacon = BeaconExperiment(bgp, target_as)
+        beacon.withdraw()
+        beacon.announce()
+        fresh = ForwardingPlane(net, bgp)
+        path = fresh.node_path(src, dst)
+        assert path is not None and path[-1] == dst

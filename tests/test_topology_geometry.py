@@ -1,0 +1,82 @@
+"""Tests for the geographic plane and latency derivation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.topology import (
+    MILES_TO_METERS,
+    SIGNAL_SPEED_MPS,
+    Plane,
+    latency_from_miles,
+    pairwise_distance_miles,
+)
+
+
+class TestLatency:
+    def test_continental_span_about_40ms(self):
+        assert latency_from_miles(5000.0) == pytest.approx(40e-3, rel=0.05)
+
+    def test_zero_distance(self):
+        assert latency_from_miles(0.0) == 0.0
+
+    def test_linear_in_distance(self):
+        assert latency_from_miles(200.0) == pytest.approx(2 * latency_from_miles(100.0))
+
+    def test_vectorized(self):
+        lat = latency_from_miles(np.array([100.0, 200.0]))
+        assert lat.shape == (2,)
+        assert lat[1] == pytest.approx(2 * lat[0])
+
+    def test_physical_constants(self):
+        # One mile of fiber at 2e8 m/s.
+        assert latency_from_miles(1.0) == pytest.approx(MILES_TO_METERS / SIGNAL_SPEED_MPS)
+
+
+class TestPlane:
+    def test_random_points_in_bounds(self, rng):
+        plane = Plane(1000.0, 500.0)
+        pts = plane.random_points(200, rng)
+        assert pts.shape == (200, 2)
+        assert pts[:, 0].max() <= 1000.0
+        assert pts[:, 1].max() <= 500.0
+        assert pts.min() >= 0.0
+
+    def test_clustered_points_in_bounds(self, rng):
+        plane = Plane()
+        pts = plane.clustered_points(300, rng)
+        assert pts.shape == (300, 2)
+        assert pts.min() >= 0.0
+        assert pts[:, 0].max() <= plane.width_miles
+
+    def test_clustered_points_actually_cluster(self, rng):
+        plane = Plane()
+        clustered = plane.clustered_points(400, rng, num_clusters=4, cluster_radius_miles=20.0)
+        uniform = plane.random_points(400, rng)
+        # Mean nearest-neighbor distance should be much smaller when clustered.
+        def mean_nn(pts):
+            d = np.linalg.norm(pts[:, None, :] - pts[None, :, :], axis=2)
+            np.fill_diagonal(d, np.inf)
+            return d.min(axis=1).mean()
+
+        assert mean_nn(clustered) < 0.5 * mean_nn(uniform)
+
+    def test_clustered_zero_count(self, rng):
+        assert Plane().clustered_points(0, rng).shape == (0, 2)
+
+    def test_region_points_near_center(self, rng):
+        plane = Plane()
+        pts = plane.region_points(100, rng, center=(2500.0, 2500.0), radius_miles=50.0)
+        dist = np.linalg.norm(pts - np.array([2500.0, 2500.0]), axis=1)
+        assert np.median(dist) < 100.0
+
+    def test_region_points_clipped(self, rng):
+        plane = Plane()
+        pts = plane.region_points(100, rng, center=(0.0, 0.0), radius_miles=100.0)
+        assert pts.min() >= 0.0
+
+    def test_pairwise_distance(self):
+        pts = np.array([[0.0, 0.0], [3.0, 4.0]])
+        d = pairwise_distance_miles(pts, np.array([0]), np.array([1]))
+        assert d[0] == pytest.approx(5.0)
