@@ -6,10 +6,12 @@ Usage::
     python -m repro figures [--scale small] [--seed 0]
     python -m repro sweep [--scale small] [--network single-as]
     python -m repro synccost
+    python -m repro lint src/repro [--format json] [--strict]
 
 ``figures`` runs all four (network, application) experiments and prints
 the paper's Figures 6-13 tables; ``sweep`` prints the Tmll sweep behind
-HPROF (ablation 1); ``synccost`` prints the Figure 5 model.
+HPROF (ablation 1); ``synccost`` prints the Figure 5 model; ``lint``
+runs the simlint static analysis (:mod:`repro.analysis`).
 """
 
 from __future__ import annotations
@@ -127,6 +129,12 @@ def cmd_claims(args) -> int:
     return 0 if all(c.holds for c in checks) else 1
 
 
+def cmd_lint(args) -> int:
+    from .analysis.cli import run_lint
+
+    return run_lint(args)
+
+
 def cmd_synccost(args) -> int:
     from .cluster import SyncCostModel
 
@@ -173,6 +181,14 @@ def main(argv: list[str] | None = None) -> int:
 
     p_sync = sub.add_parser("synccost", help="print the Figure 5 sync cost model")
     p_sync.set_defaults(fn=cmd_synccost)
+
+    p_lint = sub.add_parser(
+        "lint", help="run simlint static analysis (exit 1 on error findings)"
+    )
+    from .analysis.cli import add_lint_arguments
+
+    add_lint_arguments(p_lint)
+    p_lint.set_defaults(fn=cmd_lint)
 
     args = parser.parse_args(argv)
     return args.fn(args)

@@ -1,0 +1,56 @@
+"""Static analysis (``simlint``): code lints and artifact validators.
+
+Two halves behind one CLI (``python -m repro lint``):
+
+1. **Code lints** — an AST rule framework with simulator-specific rules
+   (unseeded RNG, wall-clock reads, float ``==`` on timestamps, mutable
+   default arguments, ``schedule()`` without node attribution). See
+   :mod:`repro.analysis.rules_determinism` and
+   :mod:`repro.analysis.rules_simulation`.
+2. **Artifact validators** — invariant checks over generated artifacts:
+   topologies (:mod:`repro.analysis.topology_check`), AS relationship /
+   BGP policy structure (:mod:`repro.analysis.bgp_check`), and partition
+   assignments (:mod:`repro.analysis.partition_check`). Construction
+   boundaries (maBrite, BGP configuration, hierarchical partitioning)
+   call the validators so a bad artifact fails loudly at build time
+   instead of producing silently wrong results.
+
+Both halves report through the shared :class:`repro.analysis.Finding`
+model, so CI can gate on one JSON document.
+"""
+
+from .astlint import lint_file, lint_paths, lint_source
+from .bgp_check import BgpPolicyError, check_bgp_policy, validate_bgp_policy
+from .findings import Finding, Severity, findings_to_json, format_findings, max_severity
+from .partition_check import (
+    PartitionValidationError,
+    check_partition,
+    validate_partition,
+)
+from .rules import LintRule, ModuleContext, all_rules, get_rule, rule
+from .topology_check import TopologyValidationError, check_topology, validate_topology
+
+__all__ = [
+    "Finding",
+    "Severity",
+    "LintRule",
+    "ModuleContext",
+    "rule",
+    "all_rules",
+    "get_rule",
+    "lint_source",
+    "lint_file",
+    "lint_paths",
+    "format_findings",
+    "findings_to_json",
+    "max_severity",
+    "check_topology",
+    "validate_topology",
+    "TopologyValidationError",
+    "check_bgp_policy",
+    "validate_bgp_policy",
+    "BgpPolicyError",
+    "check_partition",
+    "validate_partition",
+    "PartitionValidationError",
+]

@@ -1,0 +1,130 @@
+"""Partition artifact validator: assignment-vector invariants.
+
+A partition is an ``assignment`` vector mapping each graph vertex
+(simulated node) to an engine id in ``0..k-1``. The validators catch the
+failure modes a buggy partitioner produces: unassigned or out-of-range
+vertices, empty engines (wasted hardware, divide-by-zero in efficiency
+metrics), and weight-accounting drift. Rule ids use ``PART4xx``.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+from .findings import Finding, Severity, format_findings
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..partition.graph import WeightedGraph
+
+__all__ = ["PartitionValidationError", "check_partition", "validate_partition"]
+
+_ARTIFACT = "<partition>"
+
+
+class PartitionValidationError(ValueError):
+    """Raised by :func:`validate_partition` when error findings exist."""
+
+    def __init__(self, findings: list[Finding]) -> None:
+        super().__init__("invalid partition:\n" + format_findings(findings))
+        self.findings = findings
+
+
+def _finding(rule_id: str, message: str, severity: Severity = Severity.ERROR) -> Finding:
+    return Finding(
+        rule_id=rule_id, severity=severity, path=_ARTIFACT, line=0, col=0, message=message
+    )
+
+
+def check_partition(
+    graph: "WeightedGraph",
+    assignment: Sequence[int] | np.ndarray,
+    num_parts: int,
+) -> list[Finding]:
+    """Validate an assignment vector against its graph; returns findings.
+
+    Checks (one rule id each):
+
+    - ``PART401`` coverage: one entry per vertex, every entry >= 0
+      (every simulated router assigned to an engine),
+    - ``PART402`` range: every entry < ``num_parts``,
+    - ``PART403`` occupancy: no empty part (each engine hosts >= 1
+      vertex) — skipped when the graph has fewer vertices than parts,
+    - ``PART404`` weight accounting: per-part weights sum to the graph's
+      total vertex weight (relative tolerance 1e-9).
+    """
+    findings: list[Finding] = []
+    part = np.asarray(assignment, dtype=np.int64)
+    n = graph.num_vertices
+
+    if part.ndim != 1 or part.shape[0] != n:
+        findings.append(
+            _finding(
+                "PART401",
+                f"assignment has shape {part.shape}, expected ({n},): "
+                "every vertex needs exactly one engine",
+            )
+        )
+        return findings  # remaining checks are meaningless on a bad shape
+
+    unassigned = np.flatnonzero(part < 0)
+    if unassigned.size:
+        findings.append(
+            _finding(
+                "PART401",
+                f"{unassigned.size} unassigned vertices (first few: "
+                f"{unassigned[:5].tolist()})",
+            )
+        )
+    out_of_range = np.flatnonzero(part >= num_parts)
+    if out_of_range.size:
+        findings.append(
+            _finding(
+                "PART402",
+                f"{out_of_range.size} vertices assigned to parts >= {num_parts} "
+                f"(first few: {part[out_of_range[:5]].tolist()})",
+            )
+        )
+    if unassigned.size or out_of_range.size:
+        return findings
+
+    counts = np.bincount(part, minlength=num_parts)
+    empties = np.flatnonzero(counts == 0)
+    if empties.size and n >= num_parts:
+        findings.append(
+            _finding(
+                "PART403",
+                f"{empties.size} empty parts of {num_parts} "
+                f"(ids: {empties[:8].tolist()}): engines would sit idle",
+            )
+        )
+
+    weights = graph.partition_weights(part, num_parts)
+    total = float(weights.sum())
+    expected = graph.total_vertex_weight
+    if not np.isclose(total, expected, rtol=1e-9, atol=1e-9):
+        findings.append(
+            _finding(
+                "PART404",
+                f"partition weights sum to {total!r} but the graph's total "
+                f"vertex weight is {expected!r}",
+            )
+        )
+
+    return findings
+
+
+def validate_partition(
+    graph: "WeightedGraph",
+    assignment: Sequence[int] | np.ndarray,
+    num_parts: int,
+) -> None:
+    """Raise :class:`PartitionValidationError` on any error finding."""
+    findings = [
+        f
+        for f in check_partition(graph, assignment, num_parts)
+        if f.severity >= Severity.ERROR
+    ]
+    if findings:
+        raise PartitionValidationError(findings)

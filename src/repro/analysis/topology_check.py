@@ -1,0 +1,153 @@
+"""Topology artifact validator: structural invariants of a Network.
+
+Every downstream subsystem (routing, simulation, partitioning) assumes
+these invariants silently; a violation produced by a buggy generator or
+a hand-built network used to surface only as wrong results. Rule ids
+use the ``TOPO2xx`` range.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from .findings import Finding, Severity, format_findings
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..topology.models import Network
+
+__all__ = ["TopologyValidationError", "check_topology", "validate_topology"]
+
+_ARTIFACT = "<topology>"
+
+
+class TopologyValidationError(ValueError):
+    """Raised by :func:`validate_topology` when error findings exist."""
+
+    def __init__(self, findings: list[Finding]) -> None:
+        super().__init__("invalid topology:\n" + format_findings(findings))
+        self.findings = findings
+
+
+def _finding(rule_id: str, message: str, severity: Severity = Severity.ERROR) -> Finding:
+    return Finding(
+        rule_id=rule_id, severity=severity, path=_ARTIFACT, line=0, col=0, message=message
+    )
+
+
+def check_topology(net: "Network") -> list[Finding]:
+    """Validate a :class:`repro.topology.Network`; returns findings.
+
+    Checks (one rule id each):
+
+    - ``TOPO201`` connectivity: every node reachable from node 0,
+    - ``TOPO202`` link attributes: positive latency and bandwidth,
+    - ``TOPO203`` symmetric border links: an AS-boundary link recorded by
+      AS *a* toward *b* must be mirrored by *b* toward *a* and must be a
+      real physical link,
+    - ``TOPO204`` duplicate parallel links with conflicting attributes,
+    - ``TOPO205`` AS membership: routers/hosts listed in a domain carry
+      that domain's ``as_id``, and every node's AS (when domains exist)
+      is registered.
+    """
+    findings: list[Finding] = []
+
+    if not net.is_connected():
+        findings.append(
+            _finding(
+                "TOPO201",
+                f"network is disconnected ({net.num_nodes} nodes, "
+                f"{net.num_links} links): some nodes are unreachable",
+            )
+        )
+
+    for link in net.links:
+        if link.latency_s <= 0:
+            findings.append(
+                _finding(
+                    "TOPO202",
+                    f"link {link.link_id} ({link.u}-{link.v}) has non-positive "
+                    f"latency {link.latency_s!r}",
+                )
+            )
+        if link.bandwidth_bps <= 0:
+            findings.append(
+                _finding(
+                    "TOPO202",
+                    f"link {link.link_id} ({link.u}-{link.v}) has non-positive "
+                    f"bandwidth {link.bandwidth_bps!r}",
+                )
+            )
+
+    for as_id, dom in net.as_domains.items():
+        for nbr, pairs in dom.border_links.items():
+            mirror = net.as_domains.get(nbr)
+            for local, remote in pairs:
+                endpoints_exist = all(0 <= x < net.num_nodes for x in (local, remote))
+                if not endpoints_exist or net.link_between(local, remote) is None:
+                    findings.append(
+                        _finding(
+                            "TOPO203",
+                            f"AS {as_id} records border link ({local}, {remote}) "
+                            f"toward AS {nbr} but no physical link joins them",
+                        )
+                    )
+                if mirror is None or (remote, local) not in mirror.border_links.get(
+                    as_id, []
+                ):
+                    findings.append(
+                        _finding(
+                            "TOPO203",
+                            f"border link ({local}, {remote}) of AS {as_id} toward "
+                            f"AS {nbr} is not mirrored by AS {nbr}",
+                        )
+                    )
+
+    seen: dict[tuple[int, int], tuple[float, float]] = {}
+    for link in net.links:
+        key = (min(link.u, link.v), max(link.u, link.v))
+        attrs = (link.bandwidth_bps, link.latency_s)
+        if key in seen and seen[key] != attrs:
+            findings.append(
+                _finding(
+                    "TOPO204",
+                    f"parallel links between {key[0]} and {key[1]} disagree on "
+                    f"attributes: {seen[key]} vs {attrs}",
+                )
+            )
+        seen.setdefault(key, attrs)
+
+    if net.as_domains:
+        for as_id, dom in net.as_domains.items():
+            for member in list(dom.routers) + list(dom.hosts):
+                if not 0 <= member < net.num_nodes:
+                    findings.append(
+                        _finding(
+                            "TOPO205",
+                            f"AS {as_id} lists unknown node {member}",
+                        )
+                    )
+                elif net.nodes[member].as_id != as_id:
+                    findings.append(
+                        _finding(
+                            "TOPO205",
+                            f"node {member} is listed in AS {as_id} but carries "
+                            f"as_id {net.nodes[member].as_id}",
+                        )
+                    )
+        for node in net.nodes:
+            if node.as_id not in net.as_domains:
+                findings.append(
+                    _finding(
+                        "TOPO205",
+                        f"node {node.node_id} belongs to unregistered AS {node.as_id}",
+                    )
+                )
+
+    return findings
+
+
+def validate_topology(net: "Network") -> None:
+    """Raise :class:`TopologyValidationError` on any error-severity finding."""
+    findings = [f for f in check_topology(net) if f.severity >= Severity.ERROR]
+    if findings:
+        raise TopologyValidationError(findings)

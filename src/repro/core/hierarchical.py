@@ -158,6 +158,7 @@ def hierarchical_partition(
         tmll += tmll_step_s
 
     assert best_assignment is not None and best_eval is not None
+    graph.validate_partition(best_assignment, num_parts)
     return HierarchicalResult(
         assignment=best_assignment,
         num_parts=num_parts,

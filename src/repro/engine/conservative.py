@@ -150,7 +150,7 @@ class ConservativeEngine:
     def schedule(self, delay: float, fn: Callable[[], Any], node: int = -1) -> Event:
         """Schedule relative to the executing LP's current time."""
         base = self._lp_now if self._current_lp is not None else self.now
-        return self.schedule_at(base + delay, fn, node)
+        return self.schedule_at(base + delay, fn, node=node)
 
     # ------------------------------------------------------------------
     def _run_lp_window(self, lp: int, window_end: float) -> int:

@@ -207,7 +207,9 @@ class GridNpbApp:
         """Launch every source task at simulated time ``at``."""
         delay = max(0.0, at - self.agent.now)
         for tid in self.workflow.sources:
-            self.agent.schedule(delay, lambda t=tid: self._run_task(t))
+            self.agent.schedule(
+                delay, lambda t=tid: self._run_task(t), node=self.placement[tid]
+            )
 
     def _run_task(self, tid: int) -> None:
         task = self.workflow.tasks[tid]

@@ -83,7 +83,11 @@ class ScaLapackApp:
     # ------------------------------------------------------------------
     def start(self, at: float = 0.0) -> None:
         """Begin iteration 0 at simulated time ``at``."""
-        self.agent.schedule(max(0.0, at - self.agent.now), lambda: self._iteration(0))
+        self.agent.schedule(
+            max(0.0, at - self.agent.now),
+            lambda: self._iteration(0),
+            node=self.hosts[0],
+        )
 
     def _scaled(self, base: int, k: int) -> int:
         """Trailing-matrix shrink: iteration k moves ~(1 - k/iters) of data."""
@@ -122,7 +126,11 @@ class ScaLapackApp:
             pending["n"] -= 1
             if pending["n"] == 0:
                 # Compute phase, then the next iteration.
-                self.agent.schedule(self.compute_s, lambda: self._advance(k))
+                self.agent.schedule(
+                    self.compute_s,
+                    lambda: self._advance(k),
+                    node=self.hosts[(k + 1) % len(self.hosts)],
+                )
 
         for i, h in enumerate(self.hosts):
             peer = self.hosts[(i + 1) % len(self.hosts)]

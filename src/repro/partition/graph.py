@@ -230,6 +230,19 @@ class WeightedGraph:
             )
         return part
 
+    def validate_partition(self, part: Sequence[int] | np.ndarray, num_parts: int) -> None:
+        """Validate an assignment vector against this graph.
+
+        Delegates to :func:`repro.analysis.validate_partition` (coverage,
+        range, occupancy, and weight-accounting checks) and raises
+        :class:`repro.analysis.PartitionValidationError` on violation.
+        Partitioners call this at their construction boundary so a bad
+        assignment fails loudly instead of skewing metrics.
+        """
+        from ..analysis.partition_check import validate_partition
+
+        validate_partition(self, part, num_parts)
+
     def edge_cut(self, part: Sequence[int] | np.ndarray) -> float:
         """Total weight of edges whose endpoints land in different parts."""
         part = self._check_partition(part)

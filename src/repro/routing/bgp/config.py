@@ -34,7 +34,16 @@ def build_speakers(net: Network) -> dict[int, BgpSpeaker]:
 
 
 def configure_bgp(net: Network, max_iterations: int = 1000) -> BgpEngine:
-    """Build speakers from the network and run propagation to convergence."""
+    """Build speakers from the network and run propagation to convergence.
+
+    The AS-relationship structure is validated first
+    (:func:`repro.analysis.validate_bgp_policy`), so an asymmetric or
+    cyclic policy fails with a named diagnostic instead of diverging or
+    crashing mid-propagation.
+    """
+    from ...analysis.bgp_check import validate_bgp_policy
+
+    validate_bgp_policy(net)
     engine = BgpEngine(build_speakers(net))
     engine.run(max_iterations=max_iterations)
     return engine

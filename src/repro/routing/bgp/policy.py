@@ -20,6 +20,7 @@ from __future__ import annotations
 from .attributes import LOCAL_PREF, Route
 
 __all__ = [
+    "PolicyError",
     "export_allowed",
     "import_local_pref",
     "learned_relationship",
@@ -27,12 +28,39 @@ __all__ = [
 ]
 
 
+class PolicyError(KeyError):
+    """A route references an AS the local policy knows nothing about.
+
+    Subclasses ``KeyError`` so existing callers that guarded the old
+    bare-``KeyError`` behavior keep working, while the message now names
+    the AS ids involved (the static screening in
+    :mod:`repro.analysis.bgp_check` catches the same class of error
+    before propagation runs).
+    """
+
+    def __str__(self) -> str:  # KeyError would repr-quote the message
+        return str(self.args[0]) if self.args else ""
+
+
 def learned_relationship(route: Route, relationships: dict[int, str]) -> str:
     """How the AS holding ``route`` learned it: 'local', 'customer', 'peer',
-    or 'provider' — determined by who the next-hop AS is to us."""
+    or 'provider' — determined by who the next-hop AS is to us.
+
+    Raises :class:`PolicyError` when the route's next-hop AS is not in
+    ``relationships`` (an unknown neighbor — a misconfigured policy or a
+    corrupted RIB).
+    """
     if route.is_local:
         return "local"
-    return relationships[route.next_hop_as]
+    try:
+        return relationships[route.next_hop_as]
+    except KeyError:
+        known = sorted(relationships)
+        raise PolicyError(
+            f"route to prefix {route.prefix} (as_path {route.as_path}) has "
+            f"next-hop AS {route.next_hop_as}, which is not a known neighbor "
+            f"(known neighbor ASes: {known})"
+        ) from None
 
 
 def export_allowed(route: Route, to_relationship: str, relationships: dict[int, str]) -> bool:

@@ -291,4 +291,13 @@ def build_multi_as_network(
     if not stub_routers:  # tiny configurations may classify no stubs
         stub_routers = [r for rs in as_routers.values() for r in rs]
     attach_hosts(net, num_hosts, rng, router_ids=stub_routers)
+
+    # Construction-boundary validation: a generator bug (asymmetric
+    # relationship, unmirrored border link, disconnected AS) fails here
+    # with a named diagnostic instead of corrupting downstream results.
+    from ..analysis.bgp_check import validate_bgp_policy
+    from ..analysis.topology_check import validate_topology
+
+    validate_topology(net)
+    validate_bgp_policy(net)
     return net

@@ -1,0 +1,328 @@
+"""Per-rule tests for the simlint AST rules.
+
+Every rule gets one known-bad fixture asserting the *exact* rule id
+fires, one clean fixture, and suppression coverage. Fixture paths are
+synthetic but placed inside the rule's scope (e.g. ``repro/engine/``).
+"""
+
+from __future__ import annotations
+
+import textwrap
+
+import pytest
+
+from repro.analysis import Severity, all_rules, get_rule, lint_source
+
+
+def ids(findings):
+    return [f.rule_id for f in findings]
+
+
+def lint(src: str, path: str = "src/repro/engine/snippet.py"):
+    return lint_source(textwrap.dedent(src), path)
+
+
+class TestRuleRegistry:
+    def test_all_five_code_rules_registered(self):
+        registered = {r.rule_id for r in all_rules()}
+        assert {"SIM101", "SIM102", "SIM103", "SIM104", "SIM105"} <= registered
+
+    def test_get_rule_unknown_id(self):
+        with pytest.raises(KeyError, match="unknown rule"):
+            get_rule("SIM999")
+
+    def test_rules_carry_descriptions(self):
+        for r in all_rules():
+            assert r.description, f"{r.rule_id} has no description"
+
+
+class TestUnseededRandom:
+    def test_stdlib_global_rng_fires(self):
+        findings = lint(
+            """
+            import random
+
+            def jitter():
+                return random.random()
+            """
+        )
+        assert ids(findings) == ["SIM101"]
+        assert findings[0].severity is Severity.ERROR
+        assert "random.random" in findings[0].message
+
+    def test_numpy_legacy_global_fires(self):
+        findings = lint(
+            """
+            import numpy as np
+
+            def noise(n):
+                return np.random.rand(n)
+            """
+        )
+        assert ids(findings) == ["SIM101"]
+
+    def test_unseeded_default_rng_fires(self):
+        findings = lint(
+            """
+            import numpy as np
+
+            def make():
+                return np.random.default_rng()
+            """
+        )
+        assert ids(findings) == ["SIM101"]
+        assert "without a seed" in findings[0].message
+
+    def test_from_import_alias_resolved(self):
+        findings = lint(
+            """
+            from numpy.random import default_rng
+
+            def make():
+                return default_rng()
+            """
+        )
+        assert ids(findings) == ["SIM101"]
+
+    def test_seeded_default_rng_clean(self):
+        findings = lint(
+            """
+            import numpy as np
+
+            def make(seed):
+                return np.random.default_rng(seed)
+            """
+        )
+        assert findings == []
+
+    def test_generator_draws_clean(self):
+        findings = lint(
+            """
+            import numpy as np
+
+            def draw(rng: np.random.Generator):
+                return rng.random()
+            """
+        )
+        assert findings == []
+
+    def test_out_of_scope_path_clean(self):
+        findings = lint_source(
+            "import random\nx = random.random()\n",
+            "src/repro/experiments/report_helpers.py",
+        )
+        assert findings == []
+
+
+class TestWallClock:
+    def test_time_time_fires(self):
+        findings = lint(
+            """
+            import time
+
+            def handler():
+                return time.time()
+            """
+        )
+        assert ids(findings) == ["SIM102"]
+        assert "sim.now" in findings[0].message
+
+    def test_datetime_now_fires(self):
+        findings = lint(
+            """
+            from datetime import datetime
+
+            def handler():
+                return datetime.now()
+            """,
+            path="src/repro/netsim/handler.py",
+        )
+        assert ids(findings) == ["SIM102"]
+
+    def test_sim_now_clean(self):
+        findings = lint(
+            """
+            def handler(sim):
+                return sim.now
+            """
+        )
+        assert findings == []
+
+
+class TestFloatEqTime:
+    def test_timestamp_equality_fires(self):
+        findings = lint(
+            """
+            def same(ev, other):
+                return ev.time == other.arrival_time
+            """
+        )
+        assert ids(findings) == ["SIM103"]
+        assert findings[0].severity is Severity.WARNING
+
+    def test_not_eq_fires(self):
+        findings = lint(
+            """
+            def differs(a, deadline):
+                return a.now != deadline
+            """
+        )
+        assert ids(findings) == ["SIM103"]
+
+    def test_plain_float_compare_clean(self):
+        findings = lint(
+            """
+            def check(a, b):
+                return a.count == b.count and a.time <= b.time
+            """
+        )
+        assert findings == []
+
+    def test_string_comparison_clean(self):
+        findings = lint(
+            """
+            def kind_is_time(kind):
+                return kind == "time"
+            """
+        )
+        assert findings == []
+
+
+class TestMutableDefault:
+    def test_list_literal_fires(self):
+        findings = lint(
+            """
+            def collect(items=[]):
+                return items
+            """
+        )
+        assert ids(findings) == ["SIM104"]
+        assert "collect" in findings[0].message
+
+    def test_dict_constructor_fires(self):
+        findings = lint(
+            """
+            def configure(*, opts=dict()):
+                return opts
+            """
+        )
+        assert ids(findings) == ["SIM104"]
+
+    def test_none_default_clean(self):
+        findings = lint(
+            """
+            def collect(items=None):
+                return items or []
+            """
+        )
+        assert findings == []
+
+
+class TestScheduleNode:
+    def test_missing_node_fires(self):
+        findings = lint(
+            """
+            def arm(sim, fn):
+                sim.sched.schedule(0.1, fn)
+            """
+        )
+        assert ids(findings) == ["SIM105"]
+
+    def test_schedule_at_missing_node_fires(self):
+        findings = lint(
+            """
+            def arm(sim, fn):
+                sim.sched.schedule_at(2.0, fn)
+            """,
+            path="src/repro/online/helper.py",
+        )
+        assert ids(findings) == ["SIM105"]
+
+    def test_keyword_node_clean(self):
+        findings = lint(
+            """
+            def arm(sim, fn):
+                sim.sched.schedule(0.1, fn, node=4)
+            """
+        )
+        assert findings == []
+
+    def test_positional_node_clean(self):
+        findings = lint(
+            """
+            def arm(sim, fn):
+                sim.sched.schedule(0.1, fn, 4)
+            """
+        )
+        assert findings == []
+
+    def test_out_of_scope_clean(self):
+        findings = lint_source(
+            "def arm(sim, fn):\n    sim.sched.schedule(0.1, fn)\n",
+            "src/repro/experiments/driver.py",
+        )
+        assert findings == []
+
+
+class TestSuppression:
+    def test_inline_disable(self):
+        findings = lint(
+            """
+            import random
+
+            x = random.random()  # simlint: disable=SIM101
+            """
+        )
+        assert findings == []
+
+    def test_inline_disable_all(self):
+        findings = lint(
+            """
+            import time
+
+            t = time.time()  # simlint: disable=all
+            """
+        )
+        assert findings == []
+
+    def test_inline_disable_wrong_id_still_fires(self):
+        findings = lint(
+            """
+            import random
+
+            x = random.random()  # simlint: disable=SIM102
+            """
+        )
+        assert ids(findings) == ["SIM101"]
+
+    def test_file_level_disable(self):
+        findings = lint(
+            """
+            # simlint: disable-file=SIM101
+            import random
+
+            x = random.random()
+            y = random.choice([1, 2])
+            """
+        )
+        assert findings == []
+
+
+class TestDriver:
+    def test_syntax_error_reported_not_raised(self):
+        findings = lint_source("def broken(:\n", "src/repro/engine/bad.py")
+        assert ids(findings) == ["SIM000"]
+        assert findings[0].severity is Severity.ERROR
+
+    def test_multiple_rules_in_one_module(self):
+        findings = lint(
+            """
+            import random
+            import time
+
+            def handler(items=[]):
+                random.shuffle(items)
+                return time.time()
+            """
+        )
+        assert sorted(ids(findings)) == ["SIM101", "SIM102", "SIM104"]

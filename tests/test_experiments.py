@@ -128,6 +128,18 @@ class TestInstallWorkload:
         with pytest.raises(ValueError):
             install_workload(sim, Agent(sim), net, "hadoop", MICRO)
 
+    def test_explicit_rng_matches_seed_path(self):
+        """The explicit-Generator parameter replays the seed-derived split."""
+        net, fib = build_network("single-as", MICRO, seed=1)
+
+        def split(**kwargs):
+            k = SimKernel()
+            sim = NetworkSimulator(net, fib, k)
+            h = install_workload(sim, Agent(sim), net, "scalapack", MICRO, **kwargs)
+            return (h.clients, h.servers, h.app_hosts)
+
+        assert split(seed=9) == split(rng=np.random.default_rng(9))
+
 
 class TestRunExperiment:
     @pytest.fixture(scope="class")

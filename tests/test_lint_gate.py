@@ -1,0 +1,105 @@
+"""CI lint gate: the repository must pass its own static analysis.
+
+Runs ``python -m repro lint src/repro --format json`` as a subprocess
+(the exact command CI uses) and fails on any error-severity finding, so
+a determinism or scheduling regression fails ``pytest -x -q`` like any
+other test. Also covers the lint CLI surface itself.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src"
+
+
+def run_lint(*args: str) -> subprocess.CompletedProcess:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC) + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.run(
+        [sys.executable, "-m", "repro", "lint", *args],
+        capture_output=True,
+        text=True,
+        cwd=REPO_ROOT,
+        env=env,
+        timeout=180,
+    )
+
+
+class TestRepositoryIsClean:
+    def test_no_error_findings_on_src(self):
+        proc = run_lint("src/repro", "--format", "json")
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        payload = json.loads(proc.stdout)
+        errors = [
+            f for f in payload["findings"] if f["severity"] == "error"
+        ]
+        assert errors == [], f"lint errors in src/repro: {errors}"
+        assert payload["counts"]["error"] == 0
+
+    def test_no_warning_findings_on_src(self):
+        # The tree is currently warning-free too; keep it that way.
+        proc = run_lint("src/repro", "--format", "json", "--strict")
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+
+
+class TestLintCli:
+    def test_missing_path_exits_2(self):
+        proc = run_lint("no/such/dir")
+        assert proc.returncode == 2
+        assert "no such path" in proc.stdout
+
+    def test_unknown_rule_id_exits_2(self):
+        proc = run_lint("src/repro", "--select", "SIM999")
+        assert proc.returncode == 2
+
+    def test_list_rules(self):
+        proc = run_lint("src/repro", "--list-rules")
+        assert proc.returncode == 0
+        for rule_id in ("SIM101", "SIM102", "SIM103", "SIM104", "SIM105"):
+            assert rule_id in proc.stdout
+
+    def test_list_rules_needs_no_path(self):
+        proc = run_lint("--list-rules")
+        assert proc.returncode == 0
+        assert "SIM101" in proc.stdout
+
+    def test_no_path_no_list_rules_exits_2(self):
+        proc = run_lint()
+        assert proc.returncode == 2
+        assert "PATH" in proc.stdout
+
+    def test_bad_file_exits_1_human_format(self, tmp_path):
+        bad = tmp_path / "repro" / "engine" / "bad.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_text("import random\nx = random.random()\n")
+        proc = run_lint(str(bad))
+        assert proc.returncode == 1
+        assert "SIM101" in proc.stdout
+
+    def test_select_filters_rules(self, tmp_path):
+        bad = tmp_path / "repro" / "engine" / "bad.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_text("import random\nx = random.random()\n")
+        proc = run_lint(str(bad), "--select", "SIM104")
+        assert proc.returncode == 0
+        assert "clean" in proc.stdout
+
+
+@pytest.mark.parametrize("fmt", ["human", "json"])
+def test_formats_are_parseable(fmt, tmp_path):
+    clean = tmp_path / "ok.py"
+    clean.write_text("def f(x):\n    return x\n")
+    proc = run_lint(str(clean), "--format", fmt)
+    assert proc.returncode == 0
+    if fmt == "json":
+        json.loads(proc.stdout)
+    else:
+        assert "clean: no findings" in proc.stdout

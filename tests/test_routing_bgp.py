@@ -95,6 +95,15 @@ class TestPolicies:
         assert learned_relationship(mk_route(path=(2, 9)), self.RELS) == "customer"
         assert learned_relationship(mk_route(path=(4, 9)), self.RELS) == "provider"
 
+    def test_learned_relationship_unknown_next_hop(self):
+        from repro.routing.bgp.policy import PolicyError
+
+        with pytest.raises(PolicyError, match="next-hop AS 8.*known neighbor"):
+            learned_relationship(mk_route(path=(8, 9)), self.RELS)
+        # Backwards compatible: PolicyError is still a KeyError.
+        with pytest.raises(KeyError):
+            learned_relationship(mk_route(path=(8, 9)), self.RELS)
+
     def test_export_to_customer_everything(self):
         for path in [(), (2, 9), (3, 9), (4, 9)]:
             r = Route.originate(9) if not path else mk_route(path=path)
