@@ -3,9 +3,16 @@
 Each (network, application) experiment is expensive (a full packet-level
 simulation run); all figure benchmarks of one network kind share it.
 Scale is selected with ``REPRO_SCALE`` (default ``small``).
+
+Pass ``--obs-out DIR`` to record every cached experiment's observability
+snapshot (per-node/per-link counters, the Figure 3 rate series) as
+``DIR/<network>_<app>_seed<seed>_<scale>.json`` — the PROF/HPROF input
+of each benchmark run, captured live (see docs/observability.md).
 """
 
 from __future__ import annotations
+
+import os
 
 import pytest
 
@@ -13,6 +20,7 @@ from repro.core import Approach
 from repro.experiments import default_scale, run_experiment
 
 _cache: dict = {}
+_obs_dir: str | None = None
 
 #: Figures 7/11 include TOP and PROF (whose tiny MLL is the motivation for
 #: the hierarchical approaches), so every cached run maps all six.
@@ -26,11 +34,37 @@ ALL_APPROACHES = [
 ]
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--obs-out",
+        default=None,
+        metavar="DIR",
+        help="directory to write per-experiment observability snapshots (JSON)",
+    )
+
+
+def pytest_configure(config):
+    global _obs_dir
+    _obs_dir = config.getoption("--obs-out", default=None)
+    if _obs_dir:
+        os.makedirs(_obs_dir, exist_ok=True)
+
+
 def cached_experiment(network_kind: str, app_kind: str, seed: int = 0):
     key = (network_kind, app_kind, seed, default_scale().name)
     if key not in _cache:
+        obs_out = None
+        if _obs_dir:
+            obs_out = os.path.join(
+                _obs_dir,
+                f"{network_kind}_{app_kind}_seed{seed}_{default_scale().name}.json",
+            )
         _cache[key] = run_experiment(
-            network_kind, app_kind, approaches=list(ALL_APPROACHES), seed=seed
+            network_kind,
+            app_kind,
+            approaches=list(ALL_APPROACHES),
+            seed=seed,
+            obs_out=obs_out,
         )
     return _cache[key]
 

@@ -5,13 +5,17 @@ Usage::
     python -m repro experiment single-as scalapack [--scale small] [--seed 0]
     python -m repro figures [--scale small] [--seed 0]
     python -m repro sweep [--scale small] [--network single-as]
+    python -m repro trace single-as scalapack --out trace.json
     python -m repro synccost
     python -m repro lint src/repro [--format json] [--strict]
 
 ``figures`` runs all four (network, application) experiments and prints
 the paper's Figures 6-13 tables; ``sweep`` prints the Tmll sweep behind
-HPROF (ablation 1); ``synccost`` prints the Figure 5 model; ``lint``
-runs the simlint static analysis (:mod:`repro.analysis`).
+HPROF (ablation 1); ``trace`` runs a scenario under the observability
+registry, bridges the measurements into a :class:`TrafficProfile`, maps
+the network with a profile-based approach, and writes the instrument
+snapshot; ``synccost`` prints the Figure 5 model; ``lint`` runs the
+simlint static analysis (:mod:`repro.analysis`).
 """
 
 from __future__ import annotations
@@ -40,7 +44,8 @@ def cmd_experiment(args) -> int:
     from .experiments import format_bars, format_result, run_experiment
 
     scale = _resolve_scale(args)
-    result = run_experiment(args.network, args.app, scale=scale, seed=args.seed)
+    kwargs = {"obs_out": args.obs_out} if args.obs_out else {}
+    result = run_experiment(args.network, args.app, scale=scale, seed=args.seed, **kwargs)
     print(format_result(result))
     if args.bars:
         for metric in ("sim_time_s", "achieved_mll_ms", "load_imbalance",
@@ -115,6 +120,74 @@ def cmd_sweep(args) -> int:
     return 0
 
 
+def cmd_trace(args) -> int:
+    from .analysis.partition_check import validate_partition
+    from .core import Approach, MappingPipeline, build_weighted_graph
+    from .engine.kernel import SimKernel
+    from .experiments import build_network, install_workload
+    from .experiments.runner import cluster_for_scale
+    from .netsim.simulator import NetworkSimulator
+    from .obs import export, observed_run, profile_from_registry
+    from .online.agent import Agent
+
+    scale = _resolve_scale(args)
+    duration = args.duration if args.duration is not None else scale.profile_duration_s
+    approach = Approach[args.approach]
+    if not approach.uses_profile:
+        print(f"approach {approach.value} does not consume a profile; "
+              f"use PROF, PROF2, or HPROF")
+        return 2
+
+    net, fib = build_network(args.network, scale, seed=args.seed)
+    with observed_run() as reg:
+        kernel = SimKernel()
+        sim = NetworkSimulator(net, fib, kernel)
+        agent = Agent(sim)
+        install_workload(
+            sim, agent, net, args.app, scale, args.seed, duration_s=duration
+        )
+        kernel.run(until=duration)
+
+    profile = profile_from_registry(duration, reg)
+    pipeline = MappingPipeline(
+        net, scale.num_engines, cluster_for_scale(scale), seed=args.seed
+    )
+    mapping = pipeline.run(approach, profile)
+    graph = build_weighted_graph(net, approach, profile)
+    validate_partition(graph, mapping.assignment, scale.num_engines)
+
+    ev = mapping.evaluation
+    export.write_snapshot(
+        args.out,
+        reg,
+        meta={
+            "network": args.network,
+            "app": args.app,
+            "scale": scale.name,
+            "seed": args.seed,
+            "duration_s": duration,
+            "approach": approach.value,
+            "num_engines": scale.num_engines,
+            "partition": {
+                "efficiency": ev.efficiency,
+                "es": ev.es,
+                "ec": ev.ec,
+                "mll_ms": mapping.achieved_mll_ms,
+                "predicted_imbalance": ev.predicted_imbalance,
+            },
+        },
+        fmt=args.fmt,
+    )
+    print(f"traced {args.network}/{args.app} for {duration:g}s: "
+          f"{profile.total_events:.0f} node events, "
+          f"{profile.node_rate_bins.shape[0]} rate bins")
+    print(f"{approach.value} partition over {scale.num_engines} engines: "
+          f"E={ev.efficiency:.3f} (Es={ev.es:.3f}, Ec={ev.ec:.3f}), "
+          f"MLL={mapping.achieved_mll_ms:.3f} ms  [validators passed]")
+    print(f"snapshot written to {args.out}")
+    return 0
+
+
 def cmd_claims(args) -> int:
     from .experiments import evaluate_claims, format_claims, run_experiment
 
@@ -161,6 +234,8 @@ def main(argv: list[str] | None = None) -> int:
                        help="write the result as JSON")
     p_exp.add_argument("--bars", action="store_true",
                        help="also render ASCII bar charts per metric")
+    p_exp.add_argument("--obs-out", dest="obs_out", metavar="PATH", default=None,
+                       help="record the measured run's observability snapshot (JSON)")
     _add_scale(p_exp)
     p_exp.set_defaults(fn=cmd_experiment)
 
@@ -172,6 +247,27 @@ def main(argv: list[str] | None = None) -> int:
     p_sweep.add_argument("--network", default="single-as", choices=["single-as", "multi-as"])
     _add_scale(p_sweep)
     p_sweep.set_defaults(fn=cmd_sweep)
+
+    p_trace = sub.add_parser(
+        "trace",
+        help="run a scenario under the observability registry, write its snapshot",
+    )
+    p_trace.add_argument("network", choices=["single-as", "multi-as"])
+    p_trace.add_argument("app", nargs="?", default="scalapack",
+                         choices=["scalapack", "gridnpb"])
+    p_trace.add_argument("--out", metavar="PATH", default="obs_trace.json",
+                         help="snapshot output path (default: obs_trace.json)")
+    p_trace.add_argument("--format", dest="fmt", default="json",
+                         choices=["json", "prom"],
+                         help="snapshot format (default: json)")
+    p_trace.add_argument("--duration", type=float, default=None,
+                         help="simulated seconds to trace "
+                         "(default: the scale's profiling duration)")
+    p_trace.add_argument("--approach", default="PROF",
+                         choices=["PROF", "PROF2", "HPROF"],
+                         help="profile consumer to validate against (default: PROF)")
+    _add_scale(p_trace)
+    p_trace.set_defaults(fn=cmd_trace)
 
     p_claims = sub.add_parser(
         "claims", help="evaluate the paper's headline claims (exit 1 on failure)"

@@ -13,7 +13,7 @@ from typing import Iterator
 
 from .rules import ModuleContext, Severity, rule
 
-__all__ = ["check_unseeded_random", "check_wall_clock"]
+__all__ = ["check_unseeded_random", "check_wall_clock", "check_raw_perf_counter"]
 
 #: Functions of the stdlib ``random`` module that draw from (or mutate)
 #: the hidden global generator.
@@ -127,4 +127,34 @@ def check_wall_clock(ctx: ModuleContext) -> Iterator[tuple[ast.AST, str]]:
             yield node, (
                 f"wall-clock read `{dotted}()` in simulation code; "
                 "use the kernel's simulated time (`sim.now`) instead"
+            )
+
+
+_PERF_COUNTER_CALLS = frozenset({"time.perf_counter", "time.perf_counter_ns"})
+
+#: The sanctioned home of every raw ``perf_counter`` read in the package.
+_OBS_PACKAGE = "repro/obs"
+
+
+@rule("SIM106", "raw-perf-counter", Severity.ERROR, scope=("repro/",))
+def check_raw_perf_counter(ctx: ModuleContext) -> Iterator[tuple[ast.AST, str]]:
+    """Direct ``time.perf_counter`` use outside :mod:`repro.obs`.
+
+    Wall-clock measurement must flow through the observability layer
+    (``repro.obs.timers.SpanTimer`` / ``Stopwatch``) so that timing is
+    centrally guarded, snapshot-exportable, and absent from simulated
+    behavior. A raw ``perf_counter()`` call elsewhere bypasses the
+    registry's enable gate and scatters measurement state across the
+    codebase.
+    """
+    if _OBS_PACKAGE in ctx.rel_path:
+        return
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        dotted = ctx.dotted_name(node.func)
+        if dotted in _PERF_COUNTER_CALLS:
+            yield node, (
+                f"raw `{dotted}()` outside repro.obs; use "
+                "`repro.obs.timers.SpanTimer` or `Stopwatch` instead"
             )

@@ -11,12 +11,11 @@ in the hardware at hand instead of the modeled 2004 cluster.
 
 from __future__ import annotations
 
-import time
-
 import numpy as np
 
 from ..engine.conservative import ConservativeEngine
 from ..engine.kernel import SimKernel
+from ..obs.timers import Stopwatch
 from .syncmodel import ClusterSpec, SyncCostModel
 
 __all__ = [
@@ -36,9 +35,9 @@ def measure_event_cost(num_events: int = 20_000, repeats: int = 3) -> float:
         fn = _noop
         for i in range(num_events):
             kernel.schedule_at(i * 1e-6, fn, node=0)
-        t0 = time.perf_counter()
+        watch = Stopwatch()
         kernel.run()
-        samples.append((time.perf_counter() - t0) / num_events)
+        samples.append(watch.elapsed() / num_events)
     return float(np.median(samples))
 
 
@@ -57,9 +56,9 @@ def measure_barrier_cost(
     assignment = np.arange(num_lps, dtype=np.int64)
     for _ in range(max(1, repeats)):
         engine = ConservativeEngine(assignment, num_lps, lookahead=1.0)
-        t0 = time.perf_counter()
+        watch = Stopwatch()
         engine.run(until=float(num_windows))
-        samples.append((time.perf_counter() - t0) / num_windows)
+        samples.append(watch.elapsed() / num_windows)
     return float(np.median(samples))
 
 

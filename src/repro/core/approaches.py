@@ -86,6 +86,7 @@ def build_weighted_graph(
     if approach.uses_profile:
         if profile is None:
             raise ValueError(f"{approach.value} requires a traffic profile")
+        profile.validate_topology(net.num_nodes, net.num_links)
         vwgt = prof_vertex_weights(net, profile)
         ewgt = prof_edge_weights(net, profile, scheme=approach.conversion_scheme)
     elif approach.uses_placement:

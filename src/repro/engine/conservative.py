@@ -24,6 +24,8 @@ from typing import Any, Callable, Sequence
 
 import numpy as np
 
+from ..obs import names as obs_names
+from ..obs.registry import get_registry
 from .events import Event, EventQueue
 
 __all__ = ["LookaheadViolation", "WindowStats", "ConservativeEngine"]
@@ -101,6 +103,22 @@ class ConservativeEngine:
         self._events_this_window = np.zeros(self.num_lps, dtype=np.int64)
         self._remote_this_window = np.zeros(self.num_lps, dtype=np.int64)
 
+        # Observability hook points: instruments resolved once here (the
+        # only name lookups); per-window flushes are guarded writes.
+        reg = get_registry()
+        self._obs = reg
+        self._obs_events = reg.counter(obs_names.ENGINE_EVENTS)
+        self._obs_windows = reg.counter(obs_names.ENGINE_WINDOWS)
+        self._obs_violations = reg.counter(obs_names.ENGINE_LOOKAHEAD_VIOLATIONS)
+        self._obs_lp_events = reg.vector_counter(obs_names.ENGINE_LP_EVENTS, self.num_lps)
+        self._obs_lp_remote = reg.vector_counter(
+            obs_names.ENGINE_LP_REMOTE_SENDS, self.num_lps
+        )
+        self._obs_window_hist = reg.histogram(
+            obs_names.ENGINE_WINDOW_EVENTS_HIST, (1.0, 10.0, 100.0, 1e3, 1e4, 1e5)
+        )
+        self._obs_barrier = reg.timer(obs_names.ENGINE_BARRIER_WAIT)
+
     @property
     def current_time(self) -> float:
         """Simulated time within the executing LP (barrier time otherwise)."""
@@ -137,6 +155,7 @@ class ConservativeEngine:
         else:
             if time < self._window_end - 1e-15:
                 self.lookahead_violations += 1
+                self._obs_violations.inc()
                 if self.strict:
                     raise LookaheadViolation(
                         f"cross-LP event at t={time:.9f} lands inside the current "
@@ -190,10 +209,18 @@ class ConservativeEngine:
                 executed_total += n
             self._current_lp = None
             # Barrier: deliver cross-LP mail, advance global time.
+            barrier_token = self._obs_barrier.start()
             for lp, mail in enumerate(self._mailboxes):
                 for ev in mail:
                     self._queues[lp].push_event(ev)
                 mail.clear()
+            self._obs_barrier.stop(barrier_token)
+            if self._obs.enabled:
+                self._obs_windows.inc()
+                self._obs_events.inc(int(self._events_this_window.sum()))
+                self._obs_lp_events.add_array(self._events_this_window)
+                self._obs_lp_remote.add_array(self._remote_this_window)
+                self._obs_window_hist.observe(float(self._events_this_window.sum()))
             self.window_stats.append(
                 WindowStats(
                     window_index=window_index,

@@ -17,7 +17,6 @@ the mapping; only the parallel execution cost differs (see DESIGN.md).
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -34,6 +33,9 @@ from ..engine.kernel import SimKernel
 from ..metrics.efficiency import parallel_efficiency
 from ..metrics.loadbalance import load_imbalance
 from ..netsim.simulator import NetworkSimulator
+from ..obs import export as obs_export
+from ..obs.registry import observed_run
+from ..obs.timers import Stopwatch
 from ..online.agent import Agent
 from ..profilers.traffic import TrafficProfile
 from ..routing.bgp.config import configure_bgp
@@ -213,9 +215,16 @@ def run_experiment(
     approaches: list[Approach] | None = None,
     scale: ExperimentScale | None = None,
     seed: int = 0,
+    obs_out: str | None = None,
 ) -> ExperimentResult:
-    """End-to-end experiment for one (network, application) pair."""
-    t_start = time.perf_counter()
+    """End-to-end experiment for one (network, application) pair.
+
+    With ``obs_out`` set, the measured run executes under an enabled
+    observability registry and its snapshot (counters, per-node/per-link
+    vectors, the Figure 3 rate series) is written to that path as JSON —
+    the ``--obs-out`` plumbing the benchmarks expose.
+    """
+    watch = Stopwatch()
     scale = scale if scale is not None else default_scale()
     approaches = approaches if approaches is not None else list(DEFAULT_APPROACHES)
 
@@ -230,9 +239,26 @@ def run_experiment(
     if any(a.uses_profile for a in approaches):
         profile = run_profiling_simulation(net, fib, profile_setup, scale.profile_duration_s)
 
-    kernel, sim, handles = run_workload_simulation(
-        net, fib, app_kind, scale, scale.duration_s, seed
-    )
+    if obs_out is not None:
+        with observed_run() as reg:
+            kernel, sim, handles = run_workload_simulation(
+                net, fib, app_kind, scale, scale.duration_s, seed
+            )
+        obs_export.write_snapshot(
+            obs_out,
+            reg,
+            meta={
+                "network": network_kind,
+                "app": app_kind,
+                "scale": scale.name,
+                "seed": seed,
+                "duration_s": scale.duration_s,
+            },
+        )
+    else:
+        kernel, sim, handles = run_workload_simulation(
+            net, fib, app_kind, scale, scale.duration_s, seed
+        )
 
     cluster = cluster_for_scale(scale)
     pipeline = MappingPipeline(net, scale.num_engines, cluster, seed)
@@ -249,7 +275,7 @@ def run_experiment(
         total_events=kernel.events_executed,
         duration_s=scale.duration_s,
         rows=rows,
-        wall_seconds=time.perf_counter() - t_start,
+        wall_seconds=watch.elapsed(),
         http_responses=handles.http.stats.responses_completed,
         apps_finished=handles.apps_finished,
     )

@@ -51,6 +51,9 @@ class TransmitResult:
     accepted: bool
     start_time: float = 0.0
     arrival_time: float = 0.0
+    #: bytes already queued ahead of this packet when it was offered
+    #: (the queue-depth signal observability turns into high-water marks)
+    backlog_bytes: float = 0.0
 
 
 @dataclass
@@ -112,7 +115,7 @@ class LinkRuntime:
         backlog_bytes = (start - now) * self.link.bandwidth_bps / 8.0
         if backlog_bytes > self.link.queue_bytes or self._early_drop(backlog_bytes):
             self.packets_dropped[d] += 1
-            return TransmitResult(accepted=False)
+            return TransmitResult(accepted=False, backlog_bytes=backlog_bytes)
         tx_time = packet.size_bytes * 8.0 / self.link.bandwidth_bps
         finish = start + tx_time
         self.busy_until[d] = finish
@@ -122,6 +125,7 @@ class LinkRuntime:
             accepted=True,
             start_time=start,
             arrival_time=finish + self.link.latency_s,
+            backlog_bytes=backlog_bytes,
         )
 
     @property

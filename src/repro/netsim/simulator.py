@@ -15,6 +15,8 @@ from typing import Any, Callable, Protocol as TypingProtocol
 
 import numpy as np
 
+from ..obs import names as obs_names
+from ..obs.registry import get_registry
 from ..routing.fib import ForwardingPlane
 from ..topology.models import Network
 from .link import LinkRuntime
@@ -100,6 +102,28 @@ class NetworkSimulator:
         self.tx_from: list[int] = []
         self.tx_to: list[int] = []
 
+        # Observability hook points. Instruments are resolved once here;
+        # the per-event path below performs one `enabled` check and no
+        # dict lookups (see docs/observability.md).
+        reg = get_registry()
+        self._obs = reg
+        num_links = len(net.links)
+        self._obs_node_events = reg.vector_counter(
+            obs_names.NETSIM_NODE_EVENTS, net.num_nodes
+        )
+        self._obs_rate_bins = reg.series(obs_names.NETSIM_NODE_RATE_BINS, net.num_nodes)
+        self._obs_link_bytes = reg.vector_counter(obs_names.NETSIM_LINK_BYTES, num_links)
+        self._obs_link_packets = reg.vector_counter(
+            obs_names.NETSIM_LINK_PACKETS, num_links
+        )
+        self._obs_link_drops = reg.vector_counter(obs_names.NETSIM_LINK_DROPS, num_links)
+        self._obs_queue_hwm = reg.max_gauge(obs_names.NETSIM_LINK_QUEUE_HWM, num_links)
+        self._obs_sent = reg.counter(obs_names.NETSIM_PACKETS_SENT)
+        self._obs_delivered = reg.counter(obs_names.NETSIM_PACKETS_DELIVERED)
+        self._obs_dropped_queue = reg.counter(obs_names.NETSIM_PACKETS_DROPPED_QUEUE)
+        self._obs_dropped_ttl = reg.counter(obs_names.NETSIM_PACKETS_DROPPED_TTL)
+        self._obs_unroutable = reg.counter(obs_names.NETSIM_PACKETS_UNROUTABLE)
+
         # Transport demux: (flow_id, node, role) -> endpoint. The role
         # ('snd'/'rcv') disambiguates colocated endpoints of one flow
         # (loopback transfers put both on the same node).
@@ -149,6 +173,7 @@ class NetworkSimulator:
         """
         packet.created_at = self.now
         self.counters.packets_sent += 1
+        self._obs_sent.inc()
         if packet.src == packet.dst:
             self.sched.schedule_at(
                 self.now + LOOPBACK_LATENCY_S,
@@ -161,26 +186,39 @@ class NetworkSimulator:
     def _handle_at(self, node: int, packet: Packet) -> None:
         """Process a packet at ``node``: deliver locally or forward."""
         self.node_packets[node] += 1
+        if self._obs.enabled:
+            self._obs_node_events.inc(node)
+            self._obs_rate_bins.observe(self.now, node)
         if node == packet.dst:
             self._deliver(node, packet)
             return
         if packet.ttl <= 0:
             self.counters.packets_dropped_ttl += 1
+            self._obs_dropped_ttl.inc()
             return
         next_node = self.fib.next_hop(node, packet.dst)
         if next_node is None:
             self.counters.packets_unroutable += 1
+            self._obs_unroutable.inc()
             return
         link = self.net.link_between(node, next_node)
         assert link is not None, "forwarding plane returned a non-adjacent hop"
         runtime = self.links[link.link_id]
         depart = self.now + (self.hop_processing_s if node != packet.src else 0.0)
         result = runtime.transmit(node, packet, depart)
+        if self._obs.enabled:
+            self._obs_queue_hwm.observe(link.link_id, result.backlog_bytes)
         if not result.accepted:
             self.counters.packets_dropped_queue += 1
+            if self._obs.enabled:
+                self._obs_dropped_queue.inc()
+                self._obs_link_drops.inc(link.link_id)
             return
         packet.ttl -= 1
         packet.hops += 1
+        if self._obs.enabled:
+            self._obs_link_packets.inc(link.link_id)
+            self._obs_link_bytes.inc(link.link_id, packet.size_bytes)
         if self.record_transmissions:
             self.tx_times.append(result.start_time)
             self.tx_from.append(node)
@@ -193,6 +231,7 @@ class NetworkSimulator:
 
     def _deliver(self, node: int, packet: Packet) -> None:
         self.counters.packets_delivered += 1
+        self._obs_delivered.inc()
         if packet.protocol is Protocol.TCP:
             # ACK-bearing packets (cumulative ACKs, SYN-ACK) go to the data
             # sender; data and SYN go to the receiver.

@@ -1,0 +1,252 @@
+"""Counting instruments: counters, vectors, high-water gauges, histograms.
+
+Every instrument follows the same two-layer shape:
+
+- the **public write method** (``inc`` / ``add`` / ``observe``) checks
+  the owning registry's ``enabled`` flag and returns immediately when
+  instrumentation is off — no state is touched;
+- the **private ``_record`` method** performs the actual mutation.
+
+The split is load-bearing: the overhead guard test monkeypatches the
+``_record`` layer to *prove* a disabled run never writes, and the write
+path never performs a dict lookup (instruments are resolved by name once
+at construction — see :mod:`repro.obs.registry`).
+
+All recorded quantities are simulated-domain values (event counts,
+bytes, simulated seconds), so instrument state is exactly reproducible
+across runs with the same seed.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .registry import Registry
+
+__all__ = ["Counter", "VectorCounter", "MaxGauge", "Histogram", "BinnedSeries"]
+
+
+class Counter:
+    """A named scalar monotonic counter."""
+
+    __slots__ = ("name", "_reg", "_value")
+
+    def __init__(self, name: str, registry: "Registry") -> None:
+        self.name = name
+        self._reg = registry
+        self._value = 0.0
+
+    def inc(self, n: float = 1.0) -> None:
+        """Add ``n`` (default 1) when the registry is enabled."""
+        if self._reg.enabled:
+            self._record(n)
+
+    def _record(self, n: float) -> None:
+        self._value += n
+
+    @property
+    def value(self) -> float:
+        """The accumulated count."""
+        return self._value
+
+    def reset(self) -> None:
+        """Zero the counter."""
+        self._value = 0.0
+
+
+class VectorCounter:
+    """A fixed-size array of per-index monotonic counters.
+
+    Used for per-node event counts, per-link byte/packet/drop totals,
+    and per-LP engine counters — anywhere the index is a dense id.
+    """
+
+    __slots__ = ("name", "_reg", "_values")
+
+    def __init__(self, name: str, registry: "Registry", size: int) -> None:
+        if size < 0:
+            raise ValueError("size must be non-negative")
+        self.name = name
+        self._reg = registry
+        self._values = np.zeros(int(size), dtype=np.float64)
+
+    def inc(self, index: int, n: float = 1.0) -> None:
+        """Add ``n`` to slot ``index`` when the registry is enabled."""
+        if self._reg.enabled:
+            self._record(index, n)
+
+    def add_array(self, values: np.ndarray) -> None:
+        """Element-wise add a whole array (per-window engine flushes)."""
+        if self._reg.enabled:
+            self._record_array(values)
+
+    def _record(self, index: int, n: float) -> None:
+        self._values[index] += n
+
+    def _record_array(self, values: np.ndarray) -> None:
+        self._values += values
+
+    @property
+    def size(self) -> int:
+        """Number of slots."""
+        return int(self._values.shape[0])
+
+    @property
+    def values(self) -> np.ndarray:
+        """The live value array (copy before mutating a snapshot)."""
+        return self._values
+
+    @property
+    def total(self) -> float:
+        """Sum over all slots."""
+        return float(self._values.sum())
+
+    def reset(self) -> None:
+        """Zero every slot."""
+        self._values[:] = 0.0
+
+
+class MaxGauge:
+    """Per-index high-water marks (e.g. queue-depth maxima per link)."""
+
+    __slots__ = ("name", "_reg", "_values")
+
+    def __init__(self, name: str, registry: "Registry", size: int) -> None:
+        if size < 0:
+            raise ValueError("size must be non-negative")
+        self.name = name
+        self._reg = registry
+        self._values = np.zeros(int(size), dtype=np.float64)
+
+    def observe(self, index: int, value: float) -> None:
+        """Raise slot ``index`` to ``value`` if it is a new maximum."""
+        if self._reg.enabled and value > self._values[index]:
+            self._record(index, value)
+
+    def _record(self, index: int, value: float) -> None:
+        self._values[index] = value
+
+    @property
+    def size(self) -> int:
+        """Number of slots."""
+        return int(self._values.shape[0])
+
+    @property
+    def values(self) -> np.ndarray:
+        """The live high-water array (copy before mutating a snapshot)."""
+        return self._values
+
+    def reset(self) -> None:
+        """Zero every high-water mark."""
+        self._values[:] = 0.0
+
+
+class Histogram:
+    """A fixed-bucket histogram (upper bounds, +Inf overflow bucket).
+
+    ``bounds`` are the inclusive upper edges; an observation lands in the
+    first bucket whose bound is >= the value, or in the overflow bucket.
+    Exported in Prometheus' cumulative-``le`` convention.
+    """
+
+    __slots__ = ("name", "_reg", "bounds", "_counts", "_sum")
+
+    def __init__(self, name: str, registry: "Registry", bounds: tuple[float, ...]) -> None:
+        bounds = tuple(float(b) for b in bounds)
+        if not bounds:
+            raise ValueError("need at least one bucket bound")
+        if list(bounds) != sorted(bounds):
+            raise ValueError("bucket bounds must be sorted ascending")
+        self.name = name
+        self._reg = registry
+        self.bounds = bounds
+        self._counts = np.zeros(len(bounds) + 1, dtype=np.int64)
+        self._sum = 0.0
+
+    def observe(self, value: float) -> None:
+        """Record one observation when the registry is enabled."""
+        if self._reg.enabled:
+            self._record(value)
+
+    def _record(self, value: float) -> None:
+        self._counts[bisect_left(self.bounds, value)] += 1
+        self._sum += value
+
+    @property
+    def counts(self) -> np.ndarray:
+        """Per-bucket counts (last slot is the overflow bucket)."""
+        return self._counts
+
+    @property
+    def count(self) -> int:
+        """Total number of observations."""
+        return int(self._counts.sum())
+
+    @property
+    def sum(self) -> float:
+        """Sum of all observed values."""
+        return self._sum
+
+    def reset(self) -> None:
+        """Zero all buckets."""
+        self._counts[:] = 0
+        self._sum = 0.0
+
+
+class BinnedSeries:
+    """Per-index event counts binned over simulated time.
+
+    This is the raw material of the paper's Figure 3 ("load variation
+    over the lifetime of simulation"): ``observe(t, i)`` accumulates one
+    event for index ``i`` (a node) into the time bin ``t // bin_s``.
+    Bins grow on demand, so the series needs no end-time up front.
+    """
+
+    __slots__ = ("name", "_reg", "size", "bin_s", "_bins")
+
+    def __init__(self, name: str, registry: "Registry", size: int, bin_s: float) -> None:
+        if size < 0:
+            raise ValueError("size must be non-negative")
+        if bin_s <= 0:
+            raise ValueError("bin_s must be positive")
+        self.name = name
+        self._reg = registry
+        self.size = int(size)
+        self.bin_s = float(bin_s)
+        self._bins: list[np.ndarray] = []
+
+    def observe(self, t: float, index: int, n: float = 1.0) -> None:
+        """Accumulate ``n`` events for ``index`` at simulated time ``t``."""
+        if self._reg.enabled:
+            self._record(t, index, n)
+
+    def _record(self, t: float, index: int, n: float) -> None:
+        b = int(t / self.bin_s)
+        bins = self._bins
+        while len(bins) <= b:
+            bins.append(np.zeros(self.size, dtype=np.float64))
+        bins[b][index] += n
+
+    @property
+    def num_bins(self) -> int:
+        """Number of materialized time bins."""
+        return len(self._bins)
+
+    def matrix(self) -> np.ndarray:
+        """Counts as a dense ``[num_bins, size]`` array (copy)."""
+        if not self._bins:
+            return np.zeros((0, self.size), dtype=np.float64)
+        return np.stack(self._bins)
+
+    def rates(self) -> tuple[np.ndarray, np.ndarray]:
+        """``(bin_start_times, rates[bins, size])`` in events/second."""
+        starts = np.arange(self.num_bins, dtype=np.float64) * self.bin_s
+        return starts, self.matrix() / self.bin_s
+
+    def reset(self) -> None:
+        """Drop all bins."""
+        self._bins.clear()

@@ -1,0 +1,84 @@
+"""Canonical instrument names shared by hook points and consumers.
+
+Instrumented modules (engine, netsim, BGP) and consumers (the profile
+bridge, exporters, tests) must agree on names; defining them once here
+keeps the contract greppable and typo-proof. Naming convention:
+``<subsystem>.<object>.<quantity>``, dotted — exporters translate to
+their target format's conventions (Prometheus underscores).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ENGINE_EVENTS",
+    "ENGINE_WINDOWS",
+    "ENGINE_LP_EVENTS",
+    "ENGINE_LP_REMOTE_SENDS",
+    "ENGINE_WINDOW_EVENTS_HIST",
+    "ENGINE_BARRIER_WAIT",
+    "ENGINE_LOOKAHEAD_VIOLATIONS",
+    "NETSIM_NODE_EVENTS",
+    "NETSIM_NODE_RATE_BINS",
+    "NETSIM_LINK_BYTES",
+    "NETSIM_LINK_PACKETS",
+    "NETSIM_LINK_DROPS",
+    "NETSIM_LINK_QUEUE_HWM",
+    "NETSIM_PACKETS_SENT",
+    "NETSIM_PACKETS_DELIVERED",
+    "NETSIM_PACKETS_DROPPED_QUEUE",
+    "NETSIM_PACKETS_DROPPED_TTL",
+    "NETSIM_PACKETS_UNROUTABLE",
+    "BGP_UPDATES_SENT",
+    "BGP_UPDATES_RECEIVED",
+    "BGP_DECISIONS",
+    "BGP_ITERATIONS",
+    "BGP_CONVERGENCE",
+]
+
+# --- conservative parallel engine ------------------------------------
+#: total events executed (scalar)
+ENGINE_EVENTS = "engine.events.executed"
+#: synchronization windows completed (scalar)
+ENGINE_WINDOWS = "engine.windows.completed"
+#: events executed per LP, accumulated over windows (vector[num_lps])
+ENGINE_LP_EVENTS = "engine.lp.events"
+#: cross-LP events sent per LP (vector[num_lps])
+ENGINE_LP_REMOTE_SENDS = "engine.lp.remote_sends"
+#: distribution of per-window total event counts (histogram)
+ENGINE_WINDOW_EVENTS_HIST = "engine.window.events"
+#: wall-clock spent delivering cross-LP mail at barriers (span timer)
+ENGINE_BARRIER_WAIT = "engine.barrier.wait"
+#: tolerated lookahead violations (scalar; strict engines raise instead)
+ENGINE_LOOKAHEAD_VIOLATIONS = "engine.lookahead.violations"
+
+# --- packet-level network simulator ----------------------------------
+#: packets handled per node — the PROF load signal (vector[num_nodes])
+NETSIM_NODE_EVENTS = "netsim.node.events"
+#: per-node event counts binned over simulated time — Figure 3 (series)
+NETSIM_NODE_RATE_BINS = "netsim.node.rate_bins"
+#: bytes carried per link, both directions (vector[num_links])
+NETSIM_LINK_BYTES = "netsim.link.bytes"
+#: packets carried per link (vector[num_links])
+NETSIM_LINK_PACKETS = "netsim.link.packets"
+#: packets dropped per link (vector[num_links])
+NETSIM_LINK_DROPS = "netsim.link.drops"
+#: queue-backlog high-water mark per link, bytes (max gauge[num_links])
+NETSIM_LINK_QUEUE_HWM = "netsim.link.queue_hwm_bytes"
+#: aggregate packet counters (scalars)
+NETSIM_PACKETS_SENT = "netsim.packets.sent"
+NETSIM_PACKETS_DELIVERED = "netsim.packets.delivered"
+NETSIM_PACKETS_DROPPED_QUEUE = "netsim.packets.dropped_queue"
+NETSIM_PACKETS_DROPPED_TTL = "netsim.packets.dropped_ttl"
+NETSIM_PACKETS_UNROUTABLE = "netsim.packets.unroutable"
+
+# --- BGP machinery ----------------------------------------------------
+#: route announcements exported to neighbors (scalar)
+BGP_UPDATES_SENT = "bgp.updates.sent"
+#: announcements surviving receiver-side loop filtering (scalar)
+BGP_UPDATES_RECEIVED = "bgp.updates.received"
+#: decision-process (best-route selection) invocations (scalar)
+BGP_DECISIONS = "bgp.decisions"
+#: synchronous propagation rounds until the last fixed point (scalar)
+BGP_ITERATIONS = "bgp.iterations"
+#: wall-clock span of each convergence run (span timer)
+BGP_CONVERGENCE = "bgp.convergence"

@@ -1,0 +1,263 @@
+"""Process-global instrument registry for runtime observability.
+
+The registry is the single rendezvous point between *instrumented code*
+(the engines, the packet simulator, BGP) and *consumers* (the profile
+bridge, exporters, the ``trace`` CLI). Design constraints, in order:
+
+1. **Cheap when disabled.** Instrumented code resolves its instruments
+   once, at construction time (that is where the name -> instrument
+   dict lookup happens); every hot-path write afterwards is a single
+   attribute load plus a boolean guard. A disabled registry therefore
+   costs one predictable branch per hook point and performs *no state
+   writes at all* (``tests/test_obs_overhead.py`` enforces this).
+2. **Zero dependencies.** Only the standard library and numpy.
+3. **Deterministic.** Counters, gauges, histograms, and series record
+   *simulated* quantities and are exactly reproducible; only span
+   timers read the wall clock (:mod:`repro.obs.timers` is the one
+   sanctioned call site of ``time.perf_counter`` — simlint rule SIM106
+   flags any other).
+
+Instruments are accumulated per process; call :meth:`Registry.reset`
+(or use :func:`observed_run`) to scope a snapshot to one run.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator
+
+from .counters import BinnedSeries, Counter, Histogram, MaxGauge, VectorCounter
+from .timers import SpanTimer
+
+__all__ = [
+    "Registry",
+    "get_registry",
+    "enable",
+    "disable",
+    "reset",
+    "observed_run",
+    "DEFAULT_BIN_S",
+]
+
+#: Default simulated-time bin width of per-node event-rate series
+#: (Figure 3's "load variation" granularity at laptop scales).
+DEFAULT_BIN_S = 0.5
+
+
+class Registry:
+    """Named instruments behind one enable flag.
+
+    Parameters
+    ----------
+    enabled:
+        Initial state; the process-global registry starts disabled so
+        un-instrumented workloads pay only the guard branch.
+    bin_s:
+        Default bin width (simulated seconds) for :class:`BinnedSeries`
+        instruments created without an explicit ``bin_s``.
+    """
+
+    def __init__(self, enabled: bool = False, bin_s: float = DEFAULT_BIN_S) -> None:
+        if bin_s <= 0:
+            raise ValueError("bin_s must be positive")
+        self.enabled = enabled
+        self.bin_s = bin_s
+        self._counters: dict[str, Counter] = {}
+        self._vectors: dict[str, VectorCounter] = {}
+        self._gauges: dict[str, MaxGauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+        self._timers: dict[str, SpanTimer] = {}
+        self._series: dict[str, BinnedSeries] = {}
+
+    # ------------------------------------------------------------------
+    # State control
+    # ------------------------------------------------------------------
+    def enable(self) -> None:
+        """Turn instrumentation on (writes start recording)."""
+        self.enabled = True
+
+    def disable(self) -> None:
+        """Turn instrumentation off (writes become no-ops)."""
+        self.enabled = False
+
+    def reset(self) -> None:
+        """Zero every instrument, keeping registrations and sizes."""
+        for group in self._groups():
+            for inst in group.values():
+                inst.reset()
+
+    def clear(self) -> None:
+        """Drop every instrument registration entirely."""
+        for group in self._groups():
+            group.clear()
+
+    def _groups(self) -> tuple[dict, ...]:
+        return (
+            self._counters,
+            self._vectors,
+            self._gauges,
+            self._histograms,
+            self._timers,
+            self._series,
+        )
+
+    # ------------------------------------------------------------------
+    # Instrument factories (idempotent by name; dict lookup happens here,
+    # at construction time, never on the write path)
+    # ------------------------------------------------------------------
+    def counter(self, name: str) -> Counter:
+        """Get or create the scalar monotonic counter ``name``."""
+        inst = self._counters.get(name)
+        if inst is None:
+            inst = self._counters[name] = Counter(name, self)
+        return inst
+
+    def vector_counter(self, name: str, size: int) -> VectorCounter:
+        """Get or create the fixed-size vector counter ``name``.
+
+        A pre-existing instrument with a *different* size is replaced
+        (a new simulation over a different topology owns the name); the
+        caller is expected to :meth:`reset` between runs it wants to
+        keep separate.
+        """
+        inst = self._vectors.get(name)
+        if inst is None or inst.size != size:
+            inst = self._vectors[name] = VectorCounter(name, self, size)
+        return inst
+
+    def max_gauge(self, name: str, size: int) -> MaxGauge:
+        """Get or create the per-index high-water-mark gauge ``name``."""
+        inst = self._gauges.get(name)
+        if inst is None or inst.size != size:
+            inst = self._gauges[name] = MaxGauge(name, self, size)
+        return inst
+
+    def histogram(self, name: str, bounds: tuple[float, ...]) -> Histogram:
+        """Get or create a histogram with the given upper bucket bounds."""
+        inst = self._histograms.get(name)
+        if inst is None or inst.bounds != tuple(bounds):
+            inst = self._histograms[name] = Histogram(name, self, bounds)
+        return inst
+
+    def timer(self, name: str) -> SpanTimer:
+        """Get or create the wall-clock span timer ``name``."""
+        inst = self._timers.get(name)
+        if inst is None:
+            inst = self._timers[name] = SpanTimer(name, self)
+        return inst
+
+    def series(self, name: str, size: int, bin_s: float | None = None) -> BinnedSeries:
+        """Get or create a per-index binned time series (Figure 3 data)."""
+        bin_s = bin_s if bin_s is not None else self.bin_s
+        inst = self._series.get(name)
+        if inst is None or inst.size != size or inst.bin_s != bin_s:
+            inst = self._series[name] = BinnedSeries(name, self, size, bin_s)
+        return inst
+
+    # ------------------------------------------------------------------
+    # Read access (consumers)
+    # ------------------------------------------------------------------
+    def get_counter(self, name: str) -> Counter:
+        """Look up an existing counter; KeyError with the known names."""
+        return _lookup(self._counters, name, "counter")
+
+    def get_vector(self, name: str) -> VectorCounter:
+        """Look up an existing vector counter by name."""
+        return _lookup(self._vectors, name, "vector counter")
+
+    def get_gauge(self, name: str) -> MaxGauge:
+        """Look up an existing high-water gauge by name."""
+        return _lookup(self._gauges, name, "max gauge")
+
+    def get_histogram(self, name: str) -> Histogram:
+        """Look up an existing histogram by name."""
+        return _lookup(self._histograms, name, "histogram")
+
+    def get_timer(self, name: str) -> SpanTimer:
+        """Look up an existing span timer by name."""
+        return _lookup(self._timers, name, "timer")
+
+    def get_series(self, name: str) -> BinnedSeries:
+        """Look up an existing binned series by name."""
+        return _lookup(self._series, name, "series")
+
+    def counters(self) -> dict[str, Counter]:
+        """All scalar counters by name (live references)."""
+        return dict(self._counters)
+
+    def vectors(self) -> dict[str, VectorCounter]:
+        """All vector counters by name (live references)."""
+        return dict(self._vectors)
+
+    def gauges(self) -> dict[str, MaxGauge]:
+        """All high-water gauges by name (live references)."""
+        return dict(self._gauges)
+
+    def histograms(self) -> dict[str, Histogram]:
+        """All histograms by name (live references)."""
+        return dict(self._histograms)
+
+    def timers(self) -> dict[str, SpanTimer]:
+        """All span timers by name (live references)."""
+        return dict(self._timers)
+
+    def series_map(self) -> dict[str, BinnedSeries]:
+        """All binned series by name (live references)."""
+        return dict(self._series)
+
+
+def _lookup(group: dict, name: str, kind: str):
+    try:
+        return group[name]
+    except KeyError:
+        raise KeyError(
+            f"no {kind} named {name!r} is registered; known: {sorted(group)}"
+        ) from None
+
+
+#: The process-global registry every instrumented component binds to.
+_GLOBAL = Registry()
+
+
+def get_registry() -> Registry:
+    """The process-global :class:`Registry` (disabled by default)."""
+    return _GLOBAL
+
+
+def enable() -> None:
+    """Enable the process-global registry."""
+    _GLOBAL.enable()
+
+
+def disable() -> None:
+    """Disable the process-global registry."""
+    _GLOBAL.disable()
+
+
+def reset() -> None:
+    """Zero every instrument of the process-global registry."""
+    _GLOBAL.reset()
+
+
+@contextmanager
+def observed_run(registry: Registry | None = None, reset_first: bool = True) -> Iterator[Registry]:
+    """Enable (and by default reset) a registry for the duration of a run.
+
+    The canonical way to scope a snapshot to one simulation::
+
+        with observed_run() as reg:
+            kernel.run(until=duration)
+        data = export.snapshot(reg)   # reads are fine after exit
+
+    The previous enabled state is restored on exit, so nesting inside an
+    already-observed region does not switch observability off.
+    """
+    reg = registry if registry is not None else _GLOBAL
+    was_enabled = reg.enabled
+    if reset_first:
+        reg.reset()
+    reg.enable()
+    try:
+        yield reg
+    finally:
+        reg.enabled = was_enabled

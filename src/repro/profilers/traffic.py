@@ -30,14 +30,67 @@ class TrafficProfile:
     link_packets: np.ndarray
     #: profiled simulated duration (seconds)
     duration_s: float
+    #: optional binned per-node event counts ``[bins, num_nodes]``
+    #: (Figure 3's load-variation series; filled by the obs bridge)
+    node_rate_bins: np.ndarray | None = None
+    #: bin width of ``node_rate_bins`` in simulated seconds (0 when absent)
+    rate_bin_s: float = 0.0
 
     def __post_init__(self) -> None:
         if self.duration_s <= 0:
             raise ValueError("profile duration must be positive")
         for name in ("node_events", "link_bytes", "link_packets"):
-            arr = getattr(self, name)
-            if np.any(np.asarray(arr) < 0):
+            arr = np.asarray(getattr(self, name))
+            if arr.ndim != 1:
+                raise ValueError(
+                    f"{name} must be a 1-D per-{'node' if name == 'node_events' else 'link'} "
+                    f"array, got shape {arr.shape}"
+                )
+            if np.any(arr < 0):
                 raise ValueError(f"{name} must be non-negative")
+        if len(self.link_bytes) != len(self.link_packets):
+            raise ValueError(
+                f"link_bytes ({len(self.link_bytes)} links) and link_packets "
+                f"({len(self.link_packets)} links) describe different link sets"
+            )
+        if self.node_rate_bins is not None:
+            bins = np.asarray(self.node_rate_bins)
+            if bins.ndim != 2 or bins.shape[1] != len(self.node_events):
+                raise ValueError(
+                    f"node_rate_bins must have shape [bins, {len(self.node_events)}], "
+                    f"got {bins.shape}"
+                )
+            if self.rate_bin_s <= 0:
+                raise ValueError("rate_bin_s must be positive when node_rate_bins is given")
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes the profile describes."""
+        return len(self.node_events)
+
+    @property
+    def num_links(self) -> int:
+        """Number of links the profile describes."""
+        return len(self.link_bytes)
+
+    def validate_topology(self, num_nodes: int, num_links: int) -> None:
+        """Cross-check the profile's shape against a topology's.
+
+        A profile recorded on one network silently mis-weights another:
+        raises ``ValueError`` naming the mismatched dimension instead of
+        letting the weight builders index out of bounds (or worse, *not*
+        out of bounds on a differently-sized network).
+        """
+        if self.num_nodes != num_nodes:
+            raise ValueError(
+                f"profile covers {self.num_nodes} nodes but the topology has "
+                f"{num_nodes}; it was measured on a different network"
+            )
+        if self.num_links != num_links:
+            raise ValueError(
+                f"profile covers {self.num_links} links but the topology has "
+                f"{num_links}; it was measured on a different network"
+            )
 
     @classmethod
     def from_simulation(cls, sim, duration_s: float) -> "TrafficProfile":
@@ -68,6 +121,10 @@ class TrafficProfile:
             link_bytes=self.link_bytes * factor,
             link_packets=self.link_packets * factor,
             duration_s=self.duration_s,
+            node_rate_bins=(
+                None if self.node_rate_bins is None else self.node_rate_bins * factor
+            ),
+            rate_bin_s=self.rate_bin_s,
         )
 
 

@@ -16,6 +16,8 @@ follows the paper's structure:
 
 from __future__ import annotations
 
+import hashlib
+
 from ..topology.models import ASTier, Network
 from .bgp.engine import BgpEngine
 from .ospf import OspfRouting
@@ -122,6 +124,20 @@ class ForwardingPlane:
         if node == local:
             return remote
         return ospf.next_hop(node, local)
+
+    def digest(self) -> str:
+        """SHA-256 over the resolved forwarding decisions, order-independent.
+
+        Hashes every ``(node, dest) -> next_hop`` entry the run actually
+        resolved (the lazily filled cache), sorted by key, so two runs
+        that made the same forwarding decisions produce the same hex
+        digest regardless of resolution order. The regression-fingerprint
+        test uses this as the routing component of a run's identity.
+        """
+        h = hashlib.sha256()
+        for (node, dest), nxt in sorted(self._cache.items()):
+            h.update(f"{node},{dest}->{-1 if nxt is None else nxt};".encode())
+        return h.hexdigest()
 
     # ------------------------------------------------------------------
     def node_path(self, src: int, dst: int, max_hops: int | None = None) -> list[int] | None:

@@ -23,9 +23,11 @@ def lint(src: str, path: str = "src/repro/engine/snippet.py"):
 
 
 class TestRuleRegistry:
-    def test_all_five_code_rules_registered(self):
+    def test_all_code_rules_registered(self):
         registered = {r.rule_id for r in all_rules()}
-        assert {"SIM101", "SIM102", "SIM103", "SIM104", "SIM105"} <= registered
+        assert {
+            "SIM101", "SIM102", "SIM103", "SIM104", "SIM105", "SIM106"
+        } <= registered
 
     def test_get_rule_unknown_id(self):
         with pytest.raises(KeyError, match="unknown rule"):
@@ -260,6 +262,89 @@ class TestScheduleNode:
         findings = lint_source(
             "def arm(sim, fn):\n    sim.sched.schedule(0.1, fn)\n",
             "src/repro/experiments/driver.py",
+        )
+        assert findings == []
+
+
+class TestRawPerfCounter:
+    def test_perf_counter_outside_obs_fires(self):
+        findings = lint(
+            """
+            import time
+
+            def measure():
+                return time.perf_counter()
+            """,
+            path="src/repro/experiments/timing.py",
+        )
+        assert ids(findings) == ["SIM106"]
+        assert findings[0].severity is Severity.ERROR
+        assert "repro.obs" in findings[0].message
+
+    def test_perf_counter_ns_fires(self):
+        findings = lint(
+            """
+            import time
+
+            def measure():
+                return time.perf_counter_ns()
+            """,
+            path="src/repro/cluster/calibrate_helper.py",
+        )
+        assert ids(findings) == ["SIM106"]
+
+    def test_from_import_alias_fires(self):
+        findings = lint(
+            """
+            from time import perf_counter
+
+            def measure():
+                return perf_counter()
+            """,
+            path="src/repro/metrics/bench.py",
+        )
+        assert ids(findings) == ["SIM106"]
+
+    def test_engine_path_fires_both_wall_clock_rules(self):
+        # In engine/ code a raw perf_counter violates both the simulated-time
+        # rule (SIM102) and the obs boundary (SIM106).
+        findings = lint(
+            """
+            import time
+
+            def handler():
+                return time.perf_counter()
+            """
+        )
+        assert sorted(ids(findings)) == ["SIM102", "SIM106"]
+
+    def test_obs_package_is_sanctioned(self):
+        findings = lint(
+            """
+            import time
+
+            def read():
+                return time.perf_counter()
+            """,
+            path="src/repro/obs/timers.py",
+        )
+        assert findings == []
+
+    def test_outside_repro_clean(self):
+        findings = lint_source(
+            "import time\nt = time.perf_counter()\n",
+            "scripts/bench.py",
+        )
+        assert findings == []
+
+    def test_suppression(self):
+        findings = lint(
+            """
+            import time
+
+            t = time.perf_counter()  # simlint: disable=SIM106
+            """,
+            path="src/repro/experiments/timing.py",
         )
         assert findings == []
 

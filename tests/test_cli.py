@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 from repro.__main__ import main
@@ -83,3 +85,61 @@ class TestExperimentCommand:
         monkeypatch.setattr("repro.experiments.format_result", lambda r: "")
         main(["experiment", "single-as", "scalapack", "--scale", "medium"])
         assert seen["scale"] == "medium"
+
+    def test_obs_out_flag_forwarded_to_runner(self, monkeypatch, capsys, tmp_path):
+        seen = {}
+
+        def fake_run(network, app, scale=None, seed=0, obs_out=None):
+            seen["obs_out"] = obs_out
+            return object()
+
+        monkeypatch.setattr("repro.experiments.run_experiment", fake_run)
+        monkeypatch.setattr("repro.experiments.format_result", lambda r: "")
+        out = tmp_path / "snap.json"
+        assert main(
+            ["experiment", "single-as", "scalapack", "--obs-out", str(out)]
+        ) == 0
+        assert seen["obs_out"] == str(out)
+
+
+class TestTraceCommand:
+    def test_trace_writes_validated_snapshot(self, capsys, tmp_path):
+        out = tmp_path / "trace.json"
+        rc = main(
+            ["trace", "single-as", "scalapack", "--duration", "0.25",
+             "--out", str(out)]
+        )
+        assert rc == 0
+        printed = capsys.readouterr().out
+        assert "[validators passed]" in printed
+        assert "node events" in printed
+
+        data = json.loads(out.read_text())
+        assert data["version"] == 1
+        assert data["meta"]["network"] == "single-as"
+        assert data["meta"]["approach"] == "PROF"
+        assert "efficiency" in data["meta"]["partition"]
+        assert data["counters"]["netsim.packets.sent"] > 0
+        node_events = data["vectors"]["netsim.node.events"]
+        assert node_events["sum"] > 0
+        assert data["series"]["netsim.node.rate_bins"]["num_bins"] >= 1
+
+    def test_trace_prometheus_format(self, capsys, tmp_path):
+        out = tmp_path / "trace.prom"
+        rc = main(
+            ["trace", "single-as", "--duration", "0.25", "--out", str(out),
+             "--format", "prom"]
+        )
+        assert rc == 0
+        text = out.read_text()
+        assert "# TYPE repro_netsim_packets_sent counter" in text
+
+    def test_trace_validates_network_choice(self):
+        with pytest.raises(SystemExit):
+            main(["trace", "mesh"])
+
+    def test_trace_rejects_topology_only_approach(self):
+        # TOP needs no profile; the trace subcommand only accepts the
+        # profile consumers.
+        with pytest.raises(SystemExit):
+            main(["trace", "single-as", "--approach", "TOP"])

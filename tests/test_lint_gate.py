@@ -63,7 +63,7 @@ class TestLintCli:
     def test_list_rules(self):
         proc = run_lint("src/repro", "--list-rules")
         assert proc.returncode == 0
-        for rule_id in ("SIM101", "SIM102", "SIM103", "SIM104", "SIM105"):
+        for rule_id in ("SIM101", "SIM102", "SIM103", "SIM104", "SIM105", "SIM106"):
             assert rule_id in proc.stdout
 
     def test_list_rules_needs_no_path(self):

@@ -1,0 +1,272 @@
+"""Unit tests for the observability layer: registry, instruments,
+exporters, and the registry -> TrafficProfile bridge."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.obs import (
+    DEFAULT_BIN_S,
+    Registry,
+    Stopwatch,
+    export,
+    names,
+    observed_run,
+    profile_from_registry,
+    rate_series_from_registry,
+)
+from repro.obs.registry import get_registry
+
+
+@pytest.fixture
+def reg():
+    return Registry(enabled=True)
+
+
+class TestRegistryLifecycle:
+    def test_starts_disabled_by_default(self):
+        assert Registry().enabled is False
+
+    def test_global_registry_is_a_singleton(self):
+        assert get_registry() is get_registry()
+
+    def test_factories_are_idempotent_by_name(self, reg):
+        assert reg.counter("a") is reg.counter("a")
+        assert reg.vector_counter("v", 4) is reg.vector_counter("v", 4)
+        assert reg.timer("t") is reg.timer("t")
+
+    def test_vector_resized_on_topology_change(self, reg):
+        small = reg.vector_counter("v", 4)
+        big = reg.vector_counter("v", 9)
+        assert big is not small
+        assert big.size == 9
+        assert reg.get_vector("v") is big
+
+    def test_lookup_unknown_name_lists_known(self, reg):
+        reg.counter("known.counter")
+        with pytest.raises(KeyError, match="known.counter"):
+            reg.get_counter("nope")
+
+    def test_reset_zeroes_but_keeps_registrations(self, reg):
+        c = reg.counter("c")
+        v = reg.vector_counter("v", 3)
+        c.inc(5)
+        v.inc(1, 2.0)
+        reg.reset()
+        assert c.value == 0
+        assert v.total == 0
+        assert reg.get_counter("c") is c
+
+    def test_clear_drops_registrations(self, reg):
+        reg.counter("c")
+        reg.clear()
+        with pytest.raises(KeyError):
+            reg.get_counter("c")
+
+    def test_invalid_bin_width_rejected(self):
+        with pytest.raises(ValueError, match="bin_s"):
+            Registry(bin_s=0.0)
+
+
+class TestInstruments:
+    def test_counter_accumulates_only_when_enabled(self, reg):
+        c = reg.counter("c")
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+        reg.disable()
+        c.inc(100)
+        assert c.value == 3.5
+
+    def test_vector_counter_inc_and_add_array(self, reg):
+        v = reg.vector_counter("v", 3)
+        v.inc(0)
+        v.inc(2, 4.0)
+        v.add_array(np.array([1.0, 1.0, 1.0]))
+        np.testing.assert_allclose(v.values, [2.0, 1.0, 5.0])
+        assert v.total == 8.0
+
+    def test_max_gauge_keeps_high_water_mark(self, reg):
+        g = reg.max_gauge("g", 2)
+        g.observe(0, 5.0)
+        g.observe(0, 3.0)
+        g.observe(1, 7.0)
+        np.testing.assert_allclose(g.values, [5.0, 7.0])
+
+    def test_histogram_bucketing_and_overflow(self, reg):
+        h = reg.histogram("h", (1.0, 10.0, 100.0))
+        for value in (0.5, 1.0, 5.0, 50.0, 1000.0):
+            h.observe(value)
+        assert h.counts.tolist() == [2, 1, 1, 1]
+        assert h.count == 5
+        assert h.sum == pytest.approx(1056.5)
+
+    def test_histogram_rejects_unsorted_bounds(self, reg):
+        with pytest.raises(ValueError, match="sorted"):
+            reg.histogram("bad", (10.0, 1.0))
+
+    def test_binned_series_bins_by_simulated_time(self, reg):
+        s = reg.series("s", 2, bin_s=1.0)
+        s.observe(0.2, 0)
+        s.observe(0.9, 1)
+        s.observe(2.5, 0, 3.0)
+        mat = s.matrix()
+        assert mat.shape == (3, 2)
+        np.testing.assert_allclose(mat[0], [1.0, 1.0])
+        np.testing.assert_allclose(mat[1], [0.0, 0.0])
+        np.testing.assert_allclose(mat[2], [3.0, 0.0])
+        starts, rates = s.rates()
+        np.testing.assert_allclose(starts, [0.0, 1.0, 2.0])
+        np.testing.assert_allclose(rates, mat)  # bin_s=1 -> rates == counts
+
+    def test_series_default_bin_width_comes_from_registry(self, reg):
+        assert reg.series("s", 2).bin_s == DEFAULT_BIN_S
+
+    def test_span_timer_protocol(self, reg):
+        t = reg.timer("t")
+        token = t.start()
+        assert token >= 0.0
+        t.stop(token)
+        with t.span():
+            pass
+        assert t.count == 2
+        assert t.total_s >= 0.0
+        assert t.mean_s == t.total_s / 2
+
+    def test_span_timer_disabled_token_is_noop(self, reg):
+        t = reg.timer("t")
+        reg.disable()
+        token = t.start()
+        assert token == -1.0
+        t.stop(token)
+        assert t.count == 0
+
+    def test_stopwatch_is_registry_independent(self):
+        watch = Stopwatch()
+        assert watch.elapsed() >= 0.0
+        watch.restart()
+        assert watch.elapsed() >= 0.0
+
+
+class TestObservedRun:
+    def test_enables_resets_and_restores(self):
+        reg = Registry(enabled=False)
+        c = reg.counter("c")
+        c._record(7)  # simulate stale state from a previous run
+        with observed_run(reg) as inner:
+            assert inner is reg
+            assert reg.enabled
+            assert c.value == 0  # reset_first zeroed the stale state
+            c.inc()
+        assert reg.enabled is False
+        assert c.value == 1  # reads remain valid after exit
+
+    def test_nested_observation_stays_enabled(self):
+        reg = Registry(enabled=True)
+        with observed_run(reg, reset_first=False):
+            pass
+        assert reg.enabled is True
+
+
+class TestExport:
+    def _populated(self) -> Registry:
+        reg = Registry(enabled=True)
+        reg.counter("pkts.sent").inc(3)
+        v = reg.vector_counter("node.events", 2)
+        v.inc(0, 2.0)
+        v.inc(1, 1.0)
+        reg.max_gauge("queue.hwm", 1).observe(0, 9.5)
+        reg.histogram("win.events", (1.0, 10.0)).observe(5.0)
+        t = reg.timer("barrier.wait")
+        t.stop(t.start())
+        reg.series("rate", 2, bin_s=1.0).observe(0.5, 1)
+        return reg
+
+    def test_json_snapshot_roundtrip(self, tmp_path):
+        reg = self._populated()
+        path = tmp_path / "snap.json"
+        export.write_snapshot(str(path), reg, meta={"seed": 7})
+        data = json.loads(path.read_text())
+        assert data["version"] == 1
+        assert data["meta"] == {"seed": 7}
+        assert data["counters"]["pkts.sent"] == 3
+        assert data["vectors"]["node.events"]["values"] == [2.0, 1.0]
+        assert data["gauges"]["queue.hwm"]["values"] == [9.5]
+        assert data["histograms"]["win.events"]["bucket_counts"] == [0, 1, 0]
+        assert data["timers"]["barrier.wait"]["count"] == 1
+        assert data["series"]["rate"]["bins"] == [[0.0, 1.0]]
+
+    def test_prometheus_exposition(self):
+        text = export.to_prometheus(self._populated())
+        assert "# TYPE repro_pkts_sent counter" in text
+        assert "repro_pkts_sent 3" in text
+        assert 'repro_node_events{index="1"} 1' in text
+        assert 'repro_win_events_bucket{le="+Inf"} 1' in text
+        assert "repro_barrier_wait_spans_total 1" in text
+        # cumulative-le convention: the 10.0 bucket includes the 1.0 bucket
+        assert 'repro_win_events_bucket{le="10"} 1' in text
+
+    def test_prom_format_via_write_snapshot(self, tmp_path):
+        path = tmp_path / "snap.prom"
+        export.write_snapshot(str(path), self._populated(), fmt="prom")
+        assert path.read_text().startswith("# TYPE")
+
+    def test_unknown_format_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="unknown snapshot format"):
+            export.write_snapshot(str(tmp_path / "x"), self._populated(), fmt="xml")
+
+
+class TestProfileBridge:
+    def _simulated_registry(self, num_nodes=4, num_links=3) -> Registry:
+        reg = Registry(enabled=True)
+        nodes = reg.vector_counter(names.NETSIM_NODE_EVENTS, num_nodes)
+        link_b = reg.vector_counter(names.NETSIM_LINK_BYTES, num_links)
+        link_p = reg.vector_counter(names.NETSIM_LINK_PACKETS, num_links)
+        series = reg.series(names.NETSIM_NODE_RATE_BINS, num_nodes, bin_s=1.0)
+        for node, t in ((0, 0.1), (1, 0.2), (1, 1.4), (3, 1.9)):
+            nodes.inc(node)
+            series.observe(t, node)
+        link_b.inc(0, 1500.0)
+        link_p.inc(0)
+        return reg
+
+    def test_bridge_builds_consistent_profile(self):
+        reg = self._simulated_registry()
+        profile = profile_from_registry(2.0, reg)
+        assert profile.num_nodes == 4
+        assert profile.num_links == 3
+        assert profile.total_events == 4
+        assert profile.node_rate_bins.shape == (2, 4)
+        # the binned series and the totals agree observation-for-observation
+        np.testing.assert_allclose(
+            profile.node_rate_bins.sum(axis=0), profile.node_events
+        )
+        assert profile.rate_bin_s == 1.0
+
+    def test_bridge_rejects_empty_run(self):
+        reg = self._simulated_registry()
+        reg.reset()
+        with pytest.raises(ValueError, match="zero node events"):
+            profile_from_registry(2.0, reg)
+
+    def test_bridge_without_instrumented_simulator(self):
+        with pytest.raises(KeyError, match="netsim.node.events"):
+            profile_from_registry(1.0, Registry(enabled=True))
+
+    def test_rate_series_grouped_by_assignment(self):
+        reg = self._simulated_registry()
+        starts, grouped = rate_series_from_registry(
+            reg, groups=np.array([0, 0, 1, 1]), num_groups=2
+        )
+        np.testing.assert_allclose(starts, [0.0, 1.0])
+        assert grouped.shape == (2, 2)
+        # bin 0 holds nodes 0+1 (group 0); bin 1 holds node 1 (g0) + 3 (g1)
+        np.testing.assert_allclose(grouped, [[2.0, 0.0], [1.0, 1.0]])
+
+    def test_rate_series_group_length_mismatch(self):
+        reg = self._simulated_registry()
+        with pytest.raises(ValueError, match="4 nodes"):
+            rate_series_from_registry(reg, groups=np.array([0, 1]))

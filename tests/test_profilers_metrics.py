@@ -58,6 +58,75 @@ class TestTrafficProfile:
         assert p.node_events[0] == 0
 
 
+class TestProfileValidation:
+    """The shape/consistency cross-checks added with the obs bridge."""
+
+    def _profile(self, **overrides):
+        kwargs = dict(
+            node_events=np.array([10.0, 0.0, 5.0]),
+            link_bytes=np.array([100.0, 200.0]),
+            link_packets=np.array([1.0, 2.0]),
+            duration_s=2.0,
+        )
+        kwargs.update(overrides)
+        return TrafficProfile(**kwargs)
+
+    def test_shape_properties(self):
+        p = self._profile()
+        assert p.num_nodes == 3
+        assert p.num_links == 2
+
+    def test_non_1d_arrays_rejected_with_clear_message(self):
+        with pytest.raises(ValueError, match="node_events must be a 1-D"):
+            self._profile(node_events=np.ones((3, 2)))
+        with pytest.raises(ValueError, match="link_bytes must be a 1-D"):
+            self._profile(link_bytes=np.ones((2, 2)))
+
+    def test_link_array_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="different link sets"):
+            self._profile(link_packets=np.array([1.0, 2.0, 3.0]))
+
+    def test_negative_link_traffic_rejected(self):
+        with pytest.raises(ValueError, match="link_packets must be non-negative"):
+            self._profile(link_packets=np.array([1.0, -2.0]))
+
+    def test_rate_bins_must_match_node_count(self):
+        good = self._profile(
+            node_rate_bins=np.zeros((4, 3)), rate_bin_s=0.5
+        )
+        assert good.node_rate_bins.shape == (4, 3)
+        with pytest.raises(ValueError, match=r"\[bins, 3\]"):
+            self._profile(node_rate_bins=np.zeros((4, 2)), rate_bin_s=0.5)
+        with pytest.raises(ValueError, match=r"\[bins, 3\]"):
+            self._profile(node_rate_bins=np.zeros(3), rate_bin_s=0.5)
+
+    def test_rate_bins_need_positive_bin_width(self):
+        with pytest.raises(ValueError, match="rate_bin_s"):
+            self._profile(node_rate_bins=np.zeros((4, 3)))
+
+    def test_scaled_preserves_rate_bins(self):
+        p = self._profile(node_rate_bins=np.ones((2, 3)), rate_bin_s=0.5)
+        s = p.scaled(4.0)
+        np.testing.assert_allclose(s.node_rate_bins, 4.0)
+        assert s.rate_bin_s == 0.5
+
+    def test_validate_topology_accepts_matching_network(self):
+        self._profile().validate_topology(num_nodes=3, num_links=2)
+
+    def test_validate_topology_names_the_mismatched_dimension(self):
+        with pytest.raises(ValueError, match="covers 3 nodes.*has 7"):
+            self._profile().validate_topology(num_nodes=7, num_links=2)
+        with pytest.raises(ValueError, match="covers 2 links.*has 9"):
+            self._profile().validate_topology(num_nodes=3, num_links=9)
+
+    def test_weight_builder_rejects_foreign_profile(self, flat_net):
+        from repro.core import Approach, build_weighted_graph
+
+        foreign = self._profile()  # 3 nodes; flat_net is bigger
+        with pytest.raises(ValueError, match="different network"):
+            build_weighted_graph(flat_net, Approach.PROF, foreign)
+
+
 class TestRateSeries:
     def test_binning(self):
         times = np.array([0.1, 0.2, 1.1, 2.9])
