@@ -6,6 +6,7 @@ Usage::
     python -m repro figures [--scale small] [--seed 0]
     python -m repro sweep [--scale small] [--network single-as]
     python -m repro trace single-as scalapack --out trace.json
+    python -m repro trace --timeline --out timeline.json
     python -m repro synccost
     python -m repro lint src/repro [--format json] [--strict]
 
@@ -14,7 +15,10 @@ the paper's Figures 6-13 tables; ``sweep`` prints the Tmll sweep behind
 HPROF (ablation 1); ``trace`` runs a scenario under the observability
 registry, bridges the measurements into a :class:`TrafficProfile`, maps
 the network with a profile-based approach, and writes the instrument
-snapshot; ``synccost`` prints the Figure 5 model; ``lint`` runs the
+snapshot (with ``--timeline`` it instead replays the scenario on the
+parallel engine under the structured tracer and prints straggler blame,
+the critical path, and what-if mapping scores alongside a Chrome trace
+JSON); ``synccost`` prints the Figure 5 model; ``lint`` runs the
 simlint static analysis (:mod:`repro.analysis`).
 """
 
@@ -38,6 +42,12 @@ def _resolve_scale(args):
     from .experiments import SCALES, default_scale
 
     return SCALES[args.scale] if args.scale else default_scale()
+
+
+def _default_trace_capacity() -> int:
+    from .obs.trace import DEFAULT_TRACE_CAPACITY
+
+    return DEFAULT_TRACE_CAPACITY
 
 
 def cmd_experiment(args) -> int:
@@ -121,6 +131,102 @@ def cmd_sweep(args) -> int:
 
 
 def cmd_trace(args) -> int:
+    if args.timeline:
+        return _cmd_trace_timeline(args)
+    return _cmd_trace_snapshot(args)
+
+
+def _cmd_trace_timeline(args) -> int:
+    """The causal-timeline mode: traced parallel run, blame, what-if."""
+    import numpy as np
+
+    from .core import Approach, MappingPipeline
+    from .core.mapping import run_profiling_simulation
+    from .experiments import build_network, install_workload
+    from .experiments.parallel import predict_from_window_stats, run_traced_workload
+    from .experiments.runner import cluster_for_scale
+    from .obs import blame
+    from .obs.registry import Registry
+    from .obs.trace_export import write_chrome_trace
+    from .obs.whatif import format_whatif_table, score_mappings
+
+    scale = _resolve_scale(args)
+    duration = args.duration if args.duration is not None else scale.profile_duration_s
+    approach = Approach[args.approach]
+    cluster = cluster_for_scale(scale)
+
+    net, fib = build_network(args.network, scale, seed=args.seed)
+
+    def setup(sim, agent):
+        install_workload(
+            sim, agent, net, args.app, scale, args.seed,
+            duration_s=scale.profile_duration_s,
+        )
+
+    profile = run_profiling_simulation(net, fib, setup, scale.profile_duration_s)
+    pipeline = MappingPipeline(net, scale.num_engines, cluster, seed=args.seed)
+    candidates = pipeline.run_all(
+        [Approach.TOP, Approach.PROF, Approach.HTOP, Approach.HPROF], profile
+    )
+    base = candidates[approach]
+
+    engine, sim, handles, reg, tr = run_traced_workload(
+        net, fib, args.app, scale, base, duration, cluster,
+        seed=args.seed, trace_capacity=args.trace_capacity,
+    )
+
+    report = blame.analyze(tr, num_lps=engine.num_lps)
+    sync_cost = cluster.sync_cost_s(scale.num_engines)
+    write_chrome_trace(args.out, tr, sync_cost_s=sync_cost)
+    prediction = predict_from_window_stats(engine, cluster)
+
+    print(f"timeline: {args.network}/{args.app} under {approach.value} "
+          f"on {scale.num_engines} engines, {duration:g}s simulated")
+    print(f"windows {report.num_windows}, events {engine.events_executed}; "
+          f"modeled wall-clock {prediction.total_s * 1e3:.3f} ms "
+          f"(critical compute {report.critical_s * 1e3:.3f} ms + "
+          f"sync {prediction.sync_s * 1e3:.3f} ms); "
+          f"aggregate LP idle at barriers {report.total_wait_s * 1e3:.3f} ms")
+    if report.num_windows:
+        # Barrier-wait distribution through the histogram instrument so
+        # the p-line exercises the same quantile path a scrape would.
+        wait_ms = report.window_wait_s * 1e3
+        top = max(float(wait_ms.max()), 1e-9)
+        hist = Registry(enabled=True).histogram(
+            "timeline.window_wait_ms",
+            tuple(top * k / 16.0 for k in range(1, 17)),
+        )
+        for w in wait_ms:
+            hist.observe(float(w))
+        print(f"barrier wait per window: p50 {hist.quantile(0.5):.4f} ms, "
+              f"p95 {hist.quantile(0.95):.4f} ms, "
+              f"p99 {hist.quantile(0.99):.4f} ms")
+    print()
+    print(blame.format_blame_table(report))
+    print(f"critical path: {len(report.critical_path)} windows, "
+          f"handoff fraction {report.handoff_fraction:.2f}")
+    node_share = blame.node_blame(tr, report, base.assignment, net.num_nodes)
+    if node_share.sum() > 0:
+        hot = np.argsort(node_share)[::-1][:5]
+        print("hot nodes (blame share): " + ", ".join(
+            f"node {int(n)} {node_share[n] * 1e3:.3f} ms"
+            for n in hot if node_share[n] > 0
+        ))
+    print()
+    print("what-if mapping replay (modeled wall-clock of this run):")
+    scores = score_mappings(
+        tr, {a.value: m for a, m in candidates.items()}, cluster, duration
+    )
+    print(format_whatif_table(scores))
+    if tr.dropped_records:
+        print(f"note: trace overflowed ({tr.dropped_records} dropped); "
+              f"analyses cover the retained suffix")
+    print(f"chrome trace written to {args.out} "
+          f"(load in chrome://tracing or ui.perfetto.dev)")
+    return 0
+
+
+def _cmd_trace_snapshot(args) -> int:
     from .analysis.partition_check import validate_partition
     from .core import Approach, MappingPipeline, build_weighted_graph
     from .engine.kernel import SimKernel
@@ -250,22 +356,36 @@ def main(argv: list[str] | None = None) -> int:
 
     p_trace = sub.add_parser(
         "trace",
-        help="run a scenario under the observability registry, write its snapshot",
+        help="run a scenario under the observability instruments; write a "
+        "registry snapshot, or (--timeline) a causal window timeline with "
+        "straggler blame and what-if mapping replay",
     )
-    p_trace.add_argument("network", choices=["single-as", "multi-as"])
+    p_trace.add_argument("network", nargs="?", default="single-as",
+                         choices=["single-as", "multi-as"])
     p_trace.add_argument("app", nargs="?", default="scalapack",
                          choices=["scalapack", "gridnpb"])
+    p_trace.add_argument("--timeline", action="store_true",
+                         help="run on the parallel engine with the structured "
+                         "tracer: Chrome trace JSON to --out, per-LP blame "
+                         "table, critical path, what-if mapping scores")
     p_trace.add_argument("--out", metavar="PATH", default="obs_trace.json",
-                         help="snapshot output path (default: obs_trace.json)")
+                         help="output path (default: obs_trace.json); registry "
+                         "snapshot, or Chrome trace JSON with --timeline")
     p_trace.add_argument("--format", dest="fmt", default="json",
                          choices=["json", "prom"],
-                         help="snapshot format (default: json)")
+                         help="snapshot format (default: json; ignored with "
+                         "--timeline)")
     p_trace.add_argument("--duration", type=float, default=None,
                          help="simulated seconds to trace "
                          "(default: the scale's profiling duration)")
     p_trace.add_argument("--approach", default="PROF",
-                         choices=["PROF", "PROF2", "HPROF"],
-                         help="profile consumer to validate against (default: PROF)")
+                         choices=["TOP", "TOP2", "PROF", "PROF2", "HTOP", "HPROF"],
+                         help="mapping approach: the profile consumer to "
+                         "validate (snapshot mode) or the base mapping of the "
+                         "traced run (--timeline; default: PROF)")
+    p_trace.add_argument("--trace-capacity", type=int, default=None,
+                         help="per-channel trace ring capacity for --timeline "
+                         "(default: %d)" % _default_trace_capacity())
     _add_scale(p_trace)
     p_trace.set_defaults(fn=cmd_trace)
 

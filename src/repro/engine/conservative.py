@@ -26,6 +26,7 @@ import numpy as np
 
 from ..obs import names as obs_names
 from ..obs.registry import get_registry
+from ..obs.trace import get_tracer
 from .events import Event, EventQueue
 
 __all__ = ["LookaheadViolation", "WindowStats", "ConservativeEngine"]
@@ -118,6 +119,9 @@ class ConservativeEngine:
             obs_names.ENGINE_WINDOW_EVENTS_HIST, (1.0, 10.0, 100.0, 1e3, 1e4, 1e5)
         )
         self._obs_barrier = reg.timer(obs_names.ENGINE_BARRIER_WAIT)
+        # Structured trace hook points (same resolve-once contract): per
+        # executed event, per cross-LP mailbox edge, per barrier window.
+        self._trace = get_tracer()
 
     @property
     def current_time(self) -> float:
@@ -164,6 +168,8 @@ class ConservativeEngine:
                     )
             self._remote_this_window[self._current_lp] += 1
             self._mailboxes[target_lp].append(ev)
+            if self._trace.enabled:
+                self._trace.edge(self._current_lp, target_lp, self._lp_now, time)
         return ev
 
     def schedule(self, delay: float, fn: Callable[[], Any], node: int = -1) -> Event:
@@ -174,6 +180,7 @@ class ConservativeEngine:
     # ------------------------------------------------------------------
     def _run_lp_window(self, lp: int, window_end: float) -> int:
         queue = self._queues[lp]
+        tracer = self._trace
         executed = 0
         while True:
             t = queue.peek_time()
@@ -184,6 +191,8 @@ class ConservativeEngine:
             self._lp_now = ev.time
             ev.fn()
             executed += 1
+            if tracer.enabled:
+                tracer.event(ev.time, ev.node)
         return executed
 
     def run(self, until: float) -> int:
@@ -221,6 +230,14 @@ class ConservativeEngine:
                 self._obs_lp_events.add_array(self._events_this_window)
                 self._obs_lp_remote.add_array(self._remote_this_window)
                 self._obs_window_hist.observe(float(self._events_this_window.sum()))
+            if self._trace.enabled:
+                self._trace.window(
+                    window_index,
+                    self.now,
+                    window_end,
+                    self._events_this_window,
+                    self._remote_this_window,
+                )
             self.window_stats.append(
                 WindowStats(
                     window_index=window_index,

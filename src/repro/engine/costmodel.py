@@ -29,7 +29,22 @@ __all__ = [
     "predict_wallclock",
     "predict_from_trace",
     "sequential_time_estimate",
+    "window_for_mapping",
 ]
+
+
+def window_for_mapping(achieved_mll_s: float, duration_s: float) -> float:
+    """The synchronization-window length a mapping runs under.
+
+    The window equals the mapping's achieved MLL; an infinite MLL
+    (nothing cut — e.g. a single engine) means LPs never need to sync,
+    modeled as one window covering the whole run. This is the one
+    clamp rule shared by the parallel engine's lookahead, the figure
+    pipeline's scoring, and the what-if replay.
+    """
+    if duration_s <= 0:
+        raise ValueError("duration must be positive")
+    return duration_s if not np.isfinite(achieved_mll_s) else min(achieved_mll_s, duration_s)
 
 
 def _num_windows(end_time: float, window_s: float) -> int:

@@ -17,16 +17,22 @@ import numpy as np
 
 from ..core.mapping import NetworkMapping
 from ..engine.conservative import ConservativeEngine
-from ..engine.costmodel import WallclockPrediction, predict_wallclock
+from ..engine.costmodel import WallclockPrediction, predict_wallclock, window_for_mapping
 from ..cluster.syncmodel import ClusterSpec
 from ..netsim.simulator import NetworkSimulator
+from ..obs.registry import Registry, observed_run
+from ..obs.trace import TraceBuffer, get_tracer, traced_run
 from ..online.agent import Agent
 from ..routing.fib import ForwardingPlane
 from ..topology.models import Network
 from .config import ExperimentScale
 from .workloads import WorkloadHandles, install_workload
 
-__all__ = ["run_parallel_workload", "predict_from_window_stats"]
+__all__ = [
+    "run_parallel_workload",
+    "run_traced_workload",
+    "predict_from_window_stats",
+]
 
 
 def run_parallel_workload(
@@ -45,8 +51,7 @@ def run_parallel_workload(
     run length when nothing is cut), which the partition guarantees is a
     lower bound on every cross-LP link latency.
     """
-    mll = mapping.achieved_mll_s
-    lookahead = duration_s if not np.isfinite(mll) else min(mll, duration_s)
+    lookahead = window_for_mapping(mapping.achieved_mll_s, duration_s)
     engine = ConservativeEngine(
         mapping.assignment, mapping.num_engines, lookahead, strict=strict
     )
@@ -55,6 +60,36 @@ def run_parallel_workload(
     handles = install_workload(sim, agent, net, app_kind, scale, seed, duration_s)
     engine.run(until=duration_s)
     return engine, sim, handles
+
+
+def run_traced_workload(
+    net: Network,
+    fib: ForwardingPlane,
+    app_kind: str,
+    scale: ExperimentScale,
+    mapping: NetworkMapping,
+    duration_s: float,
+    cluster: ClusterSpec,
+    seed: int = 0,
+    strict: bool = True,
+    trace_capacity: int | None = None,
+) -> tuple[ConservativeEngine, NetworkSimulator, WorkloadHandles, Registry, TraceBuffer]:
+    """Execute the workload with both the registry and the tracer live.
+
+    The structured-trace variant of :func:`run_parallel_workload`: the
+    tracer's cost-model calibration is taken from ``cluster`` (so window
+    records carry comparable modeled busy times), both the registry and
+    the trace buffer are reset and enabled for the run, and their
+    post-run state is returned for blame analysis
+    (:mod:`repro.obs.blame`) and what-if replay (:mod:`repro.obs.whatif`).
+    """
+    tracer = get_tracer()
+    tracer.set_costs(cluster.event_cost_s, cluster.remote_event_cost_s)
+    with observed_run() as reg, traced_run(tracer, capacity=trace_capacity) as tr:
+        engine, sim, handles = run_parallel_workload(
+            net, fib, app_kind, scale, mapping, duration_s, seed=seed, strict=strict
+        )
+    return engine, sim, handles, reg, tr
 
 
 def predict_from_window_stats(

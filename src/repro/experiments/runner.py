@@ -19,8 +19,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-import numpy as np
-
 from ..cluster.syncmodel import ClusterSpec, teragrid_cluster
 from ..core.approaches import Approach
 from ..core.mapping import MappingPipeline, NetworkMapping, run_profiling_simulation
@@ -28,6 +26,7 @@ from ..engine.costmodel import (
     WallclockPrediction,
     predict_from_trace,
     sequential_time_estimate,
+    window_for_mapping,
 )
 from ..engine.kernel import SimKernel
 from ..metrics.efficiency import parallel_efficiency
@@ -177,10 +176,7 @@ def evaluate_mappings(
     rows: list[ApproachRow] = []
     tseq = sequential_time_estimate(len(times), cluster)
     for approach, mapping in mappings.items():
-        mll = mapping.achieved_mll_s
-        # An infinite MLL (nothing cut) means LPs never need to sync;
-        # one window covering the whole run models that.
-        window = duration_s if not np.isfinite(mll) else min(mll, duration_s)
+        window = window_for_mapping(mapping.achieved_mll_s, duration_s)
         pred = predict_from_trace(
             times,
             nodes,

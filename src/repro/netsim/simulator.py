@@ -17,6 +17,7 @@ import numpy as np
 
 from ..obs import names as obs_names
 from ..obs.registry import get_registry
+from ..obs.trace import get_tracer
 from ..routing.fib import ForwardingPlane
 from ..topology.models import Network
 from .link import LinkRuntime
@@ -123,6 +124,9 @@ class NetworkSimulator:
         self._obs_dropped_queue = reg.counter(obs_names.NETSIM_PACKETS_DROPPED_QUEUE)
         self._obs_dropped_ttl = reg.counter(obs_names.NETSIM_PACKETS_DROPPED_TTL)
         self._obs_unroutable = reg.counter(obs_names.NETSIM_PACKETS_UNROUTABLE)
+        # Structured trace hook point: per-hop transmission samples feed
+        # the what-if mapping replay (repro.obs.whatif).
+        self._trace = get_tracer()
 
         # Transport demux: (flow_id, node, role) -> endpoint. The role
         # ('snd'/'rcv') disambiguates colocated endpoints of one flow
@@ -223,6 +227,8 @@ class NetworkSimulator:
             self.tx_times.append(result.start_time)
             self.tx_from.append(node)
             self.tx_to.append(next_node)
+        if self._trace.enabled:
+            self._trace.tx(result.start_time, node, next_node)
         self.sched.schedule_at(
             result.arrival_time,
             lambda n=next_node, p=packet: self._handle_at(n, p),

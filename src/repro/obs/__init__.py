@@ -24,7 +24,7 @@ See ``docs/observability.md`` for the full catalogue of instruments.
 
 from __future__ import annotations
 
-from . import export, names
+from . import blame, export, names, trace_export
 from .counters import BinnedSeries, Counter, Histogram, MaxGauge, VectorCounter
 from .profile_bridge import profile_from_registry, rate_series_from_registry
 from .registry import (
@@ -37,6 +37,15 @@ from .registry import (
     reset,
 )
 from .timers import SpanTimer, Stopwatch
+from .trace import (
+    DEFAULT_TRACE_CAPACITY,
+    EdgeRecord,
+    SpanRecord,
+    TraceBuffer,
+    WindowRecord,
+    get_tracer,
+    traced_run,
+)
 
 __all__ = [
     "Registry",
@@ -57,4 +66,25 @@ __all__ = [
     "rate_series_from_registry",
     "export",
     "names",
+    "TraceBuffer",
+    "WindowRecord",
+    "EdgeRecord",
+    "SpanRecord",
+    "get_tracer",
+    "traced_run",
+    "DEFAULT_TRACE_CAPACITY",
+    "blame",
+    "whatif",
+    "trace_export",
 ]
+
+
+def __getattr__(name: str):
+    # `whatif` pulls in the mapping pipeline (repro.core); importing it
+    # eagerly here would close an import cycle through the instrumented
+    # modules (core -> netsim -> obs -> whatif -> core). Resolve lazily.
+    if name == "whatif":
+        import importlib
+
+        return importlib.import_module(".whatif", __name__)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

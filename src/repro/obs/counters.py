@@ -191,6 +191,33 @@ class Histogram:
         """Sum of all observed values."""
         return self._sum
 
+    def quantile(self, q: float) -> float:
+        """Estimate the ``q``-quantile by linear interpolation in buckets.
+
+        Follows the ``histogram_quantile`` convention: observations are
+        assumed uniform within their bucket, the first bucket's lower
+        edge is 0.0 when its bound is positive (the bound itself
+        otherwise), and a quantile landing in the +Inf overflow bucket
+        clamps to the highest finite bound — the histogram cannot say
+        more than "at least ``bounds[-1]``". Raises ``ValueError`` for
+        ``q`` outside [0, 1] or an empty histogram.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("q must be in [0, 1]")
+        total = self.count
+        if total == 0:
+            raise ValueError("cannot take a quantile of an empty histogram")
+        rank = q * total
+        cumulative = 0
+        for i, bound in enumerate(self.bounds):
+            in_bucket = int(self._counts[i])
+            if in_bucket and cumulative + in_bucket >= rank:
+                lower = self.bounds[i - 1] if i else (0.0 if bound > 0 else bound)
+                fraction = (rank - cumulative) / in_bucket
+                return lower + (bound - lower) * fraction
+            cumulative += in_bucket
+        return self.bounds[-1]
+
     def reset(self) -> None:
         """Zero all buckets."""
         self._counts[:] = 0

@@ -13,6 +13,7 @@ from __future__ import annotations
 import json
 import re
 
+from . import names as _names
 from .registry import Registry, get_registry
 
 __all__ = ["snapshot", "to_json", "to_prometheus", "write_snapshot"]
@@ -78,32 +79,40 @@ def _prom_name(name: str, prefix: str) -> str:
 def to_prometheus(registry: Registry | None = None, prefix: str = "repro") -> str:
     """The snapshot in Prometheus text exposition format.
 
-    Vectors and gauges emit one sample per index (label ``index``) plus
-    a ``_sum`` aggregate; histograms use the cumulative-``le`` bucket
-    convention; timers emit ``_seconds_total`` and ``_spans_total``.
-    Binned series are omitted — they are a profile artifact, not a
-    scrapeable metric (use the JSON snapshot for Figure 3 data).
+    Every metric family carries a ``# HELP`` line (text from
+    :data:`repro.obs.names.HELP`) followed by its ``# TYPE``. Vectors
+    and gauges emit one sample per index (label ``index``) plus a
+    ``_sum`` aggregate; histograms use the cumulative-``le`` bucket
+    convention; timers emit ``_seconds_total`` and ``_spans_total``
+    counter families. Binned series are omitted — they are a profile
+    artifact, not a scrapeable metric (use the JSON snapshot for
+    Figure 3 data).
     """
     reg = registry if registry is not None else get_registry()
     out: list[str] = []
+
+    def head(m: str, name: str, kind: str) -> None:
+        out.append(f"# HELP {m} {_prom_escape(_names.help_for(name))}")
+        out.append(f"# TYPE {m} {kind}")
+
     for name, c in sorted(reg.counters().items()):
         m = _prom_name(name, prefix)
-        out.append(f"# TYPE {m} counter")
+        head(m, name, "counter")
         out.append(f"{m} {_fmt(c.value)}")
     for name, v in sorted(reg.vectors().items()):
         m = _prom_name(name, prefix)
-        out.append(f"# TYPE {m} counter")
+        head(m, name, "counter")
         out.append(f"{m}_sum {_fmt(v.total)}")
         for i, val in enumerate(v.values):
             out.append(f'{m}{{index="{i}"}} {_fmt(val)}')
     for name, g in sorted(reg.gauges().items()):
         m = _prom_name(name, prefix)
-        out.append(f"# TYPE {m} gauge")
+        head(m, name, "gauge")
         for i, val in enumerate(g.values):
             out.append(f'{m}{{index="{i}"}} {_fmt(val)}')
     for name, h in sorted(reg.histograms().items()):
         m = _prom_name(name, prefix)
-        out.append(f"# TYPE {m} histogram")
+        head(m, name, "histogram")
         cumulative = 0
         for bound, n in zip(h.bounds, h.counts):
             cumulative += int(n)
@@ -113,10 +122,16 @@ def to_prometheus(registry: Registry | None = None, prefix: str = "repro") -> st
         out.append(f"{m}_count {h.count}")
     for name, t in sorted(reg.timers().items()):
         m = _prom_name(name, prefix)
-        out.append(f"# TYPE {m}_seconds_total counter")
+        head(f"{m}_seconds_total", name, "counter")
         out.append(f"{m}_seconds_total {_fmt(t.total_s)}")
+        head(f"{m}_spans_total", name, "counter")
         out.append(f"{m}_spans_total {t.count}")
     return "\n".join(out) + "\n"
+
+
+def _prom_escape(text: str) -> str:
+    """Escape a ``# HELP`` body per the text exposition format."""
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
 
 
 def _fmt(value: float) -> str:

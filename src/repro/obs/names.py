@@ -33,6 +33,8 @@ __all__ = [
     "BGP_DECISIONS",
     "BGP_ITERATIONS",
     "BGP_CONVERGENCE",
+    "HELP",
+    "help_for",
 ]
 
 # --- conservative parallel engine ------------------------------------
@@ -82,3 +84,38 @@ BGP_DECISIONS = "bgp.decisions"
 BGP_ITERATIONS = "bgp.iterations"
 #: wall-clock span of each convergence run (span timer)
 BGP_CONVERGENCE = "bgp.convergence"
+
+# --- exporter help text ----------------------------------------------
+#: One-line ``# HELP`` text per instrument, keyed by canonical name.
+#: The names-drift test asserts every constant above has an entry, so a
+#: new instrument cannot ship without scrape-side documentation.
+HELP: dict[str, str] = {
+    ENGINE_EVENTS: "Total events executed by the conservative engine.",
+    ENGINE_WINDOWS: "Synchronization windows completed.",
+    ENGINE_LP_EVENTS: "Events executed per logical process.",
+    ENGINE_LP_REMOTE_SENDS: "Cross-LP events sent per logical process.",
+    ENGINE_WINDOW_EVENTS_HIST: "Distribution of per-window total event counts.",
+    ENGINE_BARRIER_WAIT: "Wall-clock spent delivering cross-LP mail at barriers.",
+    ENGINE_LOOKAHEAD_VIOLATIONS: "Tolerated lookahead violations (strict engines raise).",
+    NETSIM_NODE_EVENTS: "Packets handled per node (the PROF load signal).",
+    NETSIM_NODE_RATE_BINS: "Per-node event counts binned over simulated time.",
+    NETSIM_LINK_BYTES: "Bytes carried per link, both directions.",
+    NETSIM_LINK_PACKETS: "Packets carried per link, both directions.",
+    NETSIM_LINK_DROPS: "Packets dropped per link.",
+    NETSIM_LINK_QUEUE_HWM: "Queue-backlog high-water mark per link in bytes.",
+    NETSIM_PACKETS_SENT: "Packets injected by transport endpoints.",
+    NETSIM_PACKETS_DELIVERED: "Packets delivered to their destination node.",
+    NETSIM_PACKETS_DROPPED_QUEUE: "Packets dropped at full link queues.",
+    NETSIM_PACKETS_DROPPED_TTL: "Packets dropped on TTL expiry.",
+    NETSIM_PACKETS_UNROUTABLE: "Packets with no forwarding-table next hop.",
+    BGP_UPDATES_SENT: "Route announcements exported to neighbors.",
+    BGP_UPDATES_RECEIVED: "Announcements surviving receiver-side loop filtering.",
+    BGP_DECISIONS: "Decision-process (best-route selection) invocations.",
+    BGP_ITERATIONS: "Synchronous propagation rounds to the last fixed point.",
+    BGP_CONVERGENCE: "Wall-clock span of each convergence run.",
+}
+
+
+def help_for(name: str) -> str:
+    """The ``# HELP`` line body for ``name`` (generic text if unknown)."""
+    return HELP.get(name, f"Instrument {name}.")

@@ -1,0 +1,314 @@
+"""Bounded structured trace: causal window records behind one guard branch.
+
+Where the registry (:mod:`repro.obs.registry`) aggregates — totals,
+histograms, high-water marks — the tracer keeps *individual records*:
+one record per barrier window, per cross-LP message edge, per executed
+event, per link transmission, per BGP convergence span. That is the raw
+material for straggler attribution (:mod:`repro.obs.blame`), the Chrome
+trace-event export (:mod:`repro.obs.trace_export`), and the what-if
+mapping replay (:mod:`repro.obs.whatif`).
+
+The tracer follows the registry's design contract exactly:
+
+1. **Cheap when disabled.** Instrumented code resolves the process-global
+   :class:`TraceBuffer` once at construction (:func:`get_tracer`); every
+   hot-path record afterwards is one attribute load plus one boolean
+   guard. Every public record method is guarded, and all mutation funnels
+   through the single private :meth:`TraceBuffer._append` —
+   ``tests/test_obs_overhead.py`` monkeypatches it to raise and proves a
+   disabled run appends nothing.
+2. **Bounded.** Each channel is a ring of at most ``capacity`` records;
+   appending to a full channel evicts the oldest record and increments
+   :attr:`TraceBuffer.dropped_records`. Analyses over an overflowed trace
+   operate on the retained suffix (and say so via ``dropped_records``).
+3. **Deterministic where it can be.** Window, edge, event, and
+   transmission records carry *simulated* quantities only. Span records
+   (BGP convergence) are wall-clock and use the sanctioned
+   ``perf_counter`` site (this module lives in ``repro/obs``, the one
+   package simlint SIM106 exempts).
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator
+
+import numpy as np
+
+__all__ = [
+    "WindowRecord",
+    "EdgeRecord",
+    "SpanRecord",
+    "TraceBuffer",
+    "get_tracer",
+    "traced_run",
+    "DEFAULT_TRACE_CAPACITY",
+]
+
+#: Default per-channel ring capacity. Sized so the laptop-scale demo
+#: scenarios fit without eviction while a runaway trace stays bounded
+#: (five channels of tuples/records, a few tens of MB worst case).
+DEFAULT_TRACE_CAPACITY = 262_144
+
+
+@dataclass(frozen=True)
+class WindowRecord:
+    """One barrier window as the conservative engine executed it."""
+
+    window_index: int
+    #: simulated window bounds
+    start: float
+    end: float
+    #: events executed per LP in this window
+    events_per_lp: np.ndarray
+    #: cross-LP events sent per LP in this window
+    remote_per_lp: np.ndarray
+    #: modeled busy time per LP (events*event_cost + remote*remote_cost,
+    #: the cost model of :mod:`repro.engine.costmodel`)
+    busy_s_per_lp: np.ndarray
+
+    @property
+    def num_lps(self) -> int:
+        """Number of logical processes in this window."""
+        return int(self.events_per_lp.shape[0])
+
+    @property
+    def straggler_lp(self) -> int:
+        """The LP whose modeled busy time bounds this window's wall time."""
+        return int(np.argmax(self.busy_s_per_lp))
+
+    @property
+    def max_busy_s(self) -> float:
+        """The window's modeled wall time (the straggler's busy time)."""
+        return float(self.busy_s_per_lp.max()) if self.busy_s_per_lp.size else 0.0
+
+    @property
+    def wait_s(self) -> float:
+        """Total modeled barrier wait: sum over LPs of (max busy - busy)."""
+        return float((self.max_busy_s - self.busy_s_per_lp).sum())
+
+
+@dataclass(frozen=True)
+class EdgeRecord:
+    """One cross-LP message: who sent what to whom, and when."""
+
+    src_lp: int
+    dst_lp: int
+    #: simulated time the sender created the event
+    send_time: float
+    #: simulated time the event executes on the destination LP
+    deliver_time: float
+
+
+@dataclass(frozen=True)
+class SpanRecord:
+    """A named wall-clock span (BGP convergence runs and the like)."""
+
+    kind: str
+    start_s: float
+    end_s: float
+    meta: dict = field(default_factory=dict)
+
+    @property
+    def elapsed_s(self) -> float:
+        """Span duration in wall-clock seconds."""
+        return self.end_s - self.start_s
+
+
+class TraceBuffer:
+    """Ring-buffered structured trace channels behind one enable flag.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum records retained per channel; the oldest record of a full
+        channel is evicted on append (counted in :attr:`dropped_records`).
+    enabled:
+        Initial state; the process-global tracer starts disabled so
+        untraced runs pay only the guard branch per hook point.
+    event_cost_s, remote_event_cost_s:
+        Cost-model calibration used to compute each window record's
+        modeled per-LP busy time; defaults match
+        :class:`repro.cluster.syncmodel.ClusterSpec`. Set per run with
+        :meth:`set_costs` (e.g. from the experiment scale's calibration).
+    """
+
+    def __init__(
+        self,
+        capacity: int = DEFAULT_TRACE_CAPACITY,
+        enabled: bool = False,
+        event_cost_s: float = 10e-6,
+        remote_event_cost_s: float = 25e-6,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = int(capacity)
+        self.enabled = enabled
+        self.event_cost_s = float(event_cost_s)
+        self.remote_event_cost_s = float(remote_event_cost_s)
+        self.windows: deque[WindowRecord] = deque()
+        self.edges: deque[EdgeRecord] = deque()
+        self.spans: deque[SpanRecord] = deque()
+        #: (time, node) per executed event — what-if replay raw material
+        self.events: deque[tuple[float, int]] = deque()
+        #: (time, from_node, to_node) per accepted link transmission
+        self.transmissions: deque[tuple[float, int, int]] = deque()
+        self.dropped_records = 0
+
+    # ------------------------------------------------------------------
+    # State control (mirrors the registry)
+    # ------------------------------------------------------------------
+    def enable(self) -> None:
+        """Turn tracing on (record methods start appending)."""
+        self.enabled = True
+
+    def disable(self) -> None:
+        """Turn tracing off (record methods become no-ops)."""
+        self.enabled = False
+
+    def reset(self) -> None:
+        """Drop every record and zero the drop counter."""
+        for channel in self._channels():
+            channel.clear()
+        self.dropped_records = 0
+
+    def set_costs(self, event_cost_s: float, remote_event_cost_s: float) -> None:
+        """Calibrate the modeled busy time of subsequent window records."""
+        if event_cost_s <= 0 or remote_event_cost_s <= 0:
+            raise ValueError("event costs must be positive")
+        self.event_cost_s = float(event_cost_s)
+        self.remote_event_cost_s = float(remote_event_cost_s)
+
+    def _channels(self) -> tuple[deque, ...]:
+        return (self.windows, self.edges, self.spans, self.events, self.transmissions)
+
+    def __len__(self) -> int:
+        return sum(len(c) for c in self._channels())
+
+    # ------------------------------------------------------------------
+    # Record methods (guarded public layer; all writes funnel to _append)
+    # ------------------------------------------------------------------
+    def window(
+        self,
+        window_index: int,
+        start: float,
+        end: float,
+        events_per_lp: np.ndarray,
+        remote_per_lp: np.ndarray,
+    ) -> None:
+        """Record one completed barrier window (engine barrier hook)."""
+        if self.enabled:
+            events = np.asarray(events_per_lp, dtype=np.int64).copy()
+            remote = np.asarray(remote_per_lp, dtype=np.int64).copy()
+            busy = events * self.event_cost_s + remote * self.remote_event_cost_s
+            self._append(
+                self.windows,
+                WindowRecord(int(window_index), float(start), float(end),
+                             events, remote, busy),
+            )
+
+    def edge(self, src_lp: int, dst_lp: int, send_time: float, deliver_time: float) -> None:
+        """Record one cross-LP message edge (engine mailbox hook)."""
+        if self.enabled:
+            self._append(
+                self.edges,
+                EdgeRecord(int(src_lp), int(dst_lp), float(send_time), float(deliver_time)),
+            )
+
+    def event(self, t: float, node: int) -> None:
+        """Record one executed event sample (engine execution hook)."""
+        if self.enabled:
+            self._append(self.events, (t, node))
+
+    def tx(self, t: float, from_node: int, to_node: int) -> None:
+        """Record one link transmission sample (netsim forwarding hook)."""
+        if self.enabled:
+            self._append(self.transmissions, (t, from_node, to_node))
+
+    def span_begin(self) -> float:
+        """Open a wall-clock span; returns a token (``-1.0`` when disabled)."""
+        if self.enabled:
+            return time.perf_counter()
+        return -1.0
+
+    def span_end(self, token: float, kind: str, **meta) -> None:
+        """Close the span opened by :meth:`span_begin` under ``kind``."""
+        if token >= 0.0 and self.enabled:
+            self._append(self.spans, SpanRecord(kind, token, time.perf_counter(), meta))
+
+    def _append(self, channel: deque, record) -> None:
+        if len(channel) >= self.capacity:
+            channel.popleft()
+            self.dropped_records += 1
+        channel.append(record)
+
+    # ------------------------------------------------------------------
+    # Array views (analysis consumers)
+    # ------------------------------------------------------------------
+    def event_samples(self) -> tuple[np.ndarray, np.ndarray]:
+        """Retained executed-event samples as ``(times, nodes)`` arrays."""
+        if not self.events:
+            return np.zeros(0, dtype=np.float64), np.zeros(0, dtype=np.int64)
+        times, nodes = zip(*self.events)
+        return (
+            np.asarray(times, dtype=np.float64),
+            np.asarray(nodes, dtype=np.int64),
+        )
+
+    def tx_samples(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Retained transmission samples as ``(times, from, to)`` arrays."""
+        if not self.transmissions:
+            z = np.zeros(0, dtype=np.int64)
+            return np.zeros(0, dtype=np.float64), z, z.copy()
+        times, src, dst = zip(*self.transmissions)
+        return (
+            np.asarray(times, dtype=np.float64),
+            np.asarray(src, dtype=np.int64),
+            np.asarray(dst, dtype=np.int64),
+        )
+
+
+#: The process-global tracer every instrumented component binds to.
+_GLOBAL = TraceBuffer()
+
+
+def get_tracer() -> TraceBuffer:
+    """The process-global :class:`TraceBuffer` (disabled by default)."""
+    return _GLOBAL
+
+
+@contextmanager
+def traced_run(
+    tracer: TraceBuffer | None = None,
+    reset_first: bool = True,
+    capacity: int | None = None,
+) -> Iterator[TraceBuffer]:
+    """Enable (and by default reset) a tracer for the duration of a run.
+
+    The canonical scoping for one traced simulation::
+
+        with traced_run() as tr:
+            engine.run(until=duration)
+        report = blame.analyze(tr, cluster)
+
+    The previous enabled state (and capacity, if overridden) is restored
+    on exit, so nesting inside an already-traced region keeps tracing on.
+    """
+    tr = tracer if tracer is not None else _GLOBAL
+    was_enabled = tr.enabled
+    old_capacity = tr.capacity
+    if capacity is not None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        tr.capacity = int(capacity)
+    if reset_first:
+        tr.reset()
+    tr.enable()
+    try:
+        yield tr
+    finally:
+        tr.enabled = was_enabled
+        tr.capacity = old_capacity

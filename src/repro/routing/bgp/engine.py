@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 
 from ...obs import names as obs_names
 from ...obs.registry import get_registry
+from ...obs.trace import get_tracer
 from .attributes import Route
 from .decision import best_route, decision_key
 from .policy import export_allowed, import_local_pref
@@ -70,6 +71,9 @@ class BgpEngine:
         self._obs_decisions = reg.counter(obs_names.BGP_DECISIONS)
         self._obs_iterations = reg.counter(obs_names.BGP_ITERATIONS)
         self._obs_convergence = reg.timer(obs_names.BGP_CONVERGENCE)
+        # Structured trace hook point: convergence spans with iteration
+        # counts land in the trace buffer's span channel.
+        self._trace = get_tracer()
         self._validate()
 
     def _validate(self) -> None:
@@ -134,11 +138,18 @@ class BgpEngine:
         hand-built pathological policies).
         """
         token = self._obs_convergence.start()
+        trace_token = self._trace.span_begin()
         for i in range(max_iterations):
             if not self._iterate_once():
                 self._converged = True
                 self.iterations = i + 1
                 self._obs_convergence.stop(token)
+                self._trace.span_end(
+                    trace_token,
+                    "bgp.convergence",
+                    iterations=self.iterations,
+                    speakers=len(self.speakers),
+                )
                 self._obs_iterations.inc(self.iterations)
                 return self.iterations
         raise RuntimeError(f"BGP did not converge within {max_iterations} iterations")

@@ -138,8 +138,38 @@ class TestTraceCommand:
         with pytest.raises(SystemExit):
             main(["trace", "mesh"])
 
-    def test_trace_rejects_topology_only_approach(self):
-        # TOP needs no profile; the trace subcommand only accepts the
-        # profile consumers.
-        with pytest.raises(SystemExit):
-            main(["trace", "single-as", "--approach", "TOP"])
+    def test_trace_rejects_topology_only_approach(self, capsys):
+        # TOP needs no profile, so snapshot mode has nothing to validate
+        # it against (exit 2). --timeline does accept it (base mapping).
+        assert main(["trace", "single-as", "--approach", "TOP"]) == 2
+        assert "does not consume a profile" in capsys.readouterr().out
+
+    def test_timeline_emits_blame_whatif_and_chrome_trace(self, capsys, tmp_path):
+        out = tmp_path / "timeline.json"
+        rc = main(["trace", "--timeline", "--duration", "0.2", "--out", str(out)])
+        assert rc == 0
+        printed = capsys.readouterr().out
+        # (b) the per-LP blame table with its sum cross-check
+        assert "blame sums to it exactly" in printed
+        assert "straggler wins" in printed
+        assert "barrier wait per window: p50" in printed
+        assert "critical path:" in printed
+        # (c) what-if scores for all four candidate mappings
+        assert "<== best" in printed
+        for label in ("TOP", "PROF", "HTOP", "HPROF"):
+            assert label in printed
+        # (a) a Perfetto-loadable Chrome trace-event document
+        doc = json.loads(out.read_text())
+        events = doc["traceEvents"]
+        assert any(e["ph"] == "M" for e in events)
+        slices = [e for e in events if e["ph"] == "X"]
+        assert slices and all("ts" in e and "dur" in e for e in slices)
+
+    def test_timeline_trace_capacity_bounds_the_ring(self, capsys, tmp_path):
+        out = tmp_path / "timeline.json"
+        rc = main(["trace", "--timeline", "--duration", "0.2",
+                   "--trace-capacity", "64", "--out", str(out)])
+        assert rc == 0
+        printed = capsys.readouterr().out
+        assert "trace overflowed" in printed
+        assert "retained suffix" in printed

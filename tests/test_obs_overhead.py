@@ -5,7 +5,9 @@ Two contracts from ``docs/observability.md``:
 1. **Disabled means no writes.** Every instrument splits its write path
    into a guarded public method and a private ``_record``; with the
    registry disabled, a full simulation run must never reach any
-   ``_record``. Monkeypatching all of them to raise proves it.
+   ``_record``. Monkeypatching all of them to raise proves it. The
+   structured tracer (:class:`repro.obs.trace.TraceBuffer`) follows the
+   same contract through its single ``_append`` write layer.
 2. **Enabled is cheap.** An instrumented >=1k-event run stays within a
    generous wall-clock factor of the uninstrumented run (the hot path is
    one attribute load + branch + numpy scalar add per hook point).
@@ -26,6 +28,7 @@ from repro.obs.counters import (
 )
 from repro.obs.registry import get_registry, observed_run
 from repro.obs.timers import SpanTimer, Stopwatch
+from repro.obs.trace import TraceBuffer, get_tracer
 from repro.routing import ForwardingPlane
 from repro.topology import Network, NodeKind
 
@@ -38,6 +41,7 @@ RECORD_METHODS = [
     (Histogram, "_record"),
     (BinnedSeries, "_record"),
     (SpanTimer, "_record"),
+    (TraceBuffer, "_append"),
 ]
 
 NUM_PACKETS = 300  # 4 events per packet -> comfortably over 1k events
@@ -69,7 +73,10 @@ def run_line_scenario():
 
 class TestDisabledMeansNoWrites:
     def test_disabled_run_never_reaches_a_record_method(self, monkeypatch):
+        # Both the aggregate registry AND the structured tracer are off:
+        # the run must not append a single trace record either.
         monkeypatch.setattr(get_registry(), "enabled", False)
+        monkeypatch.setattr(get_tracer(), "enabled", False)
         for cls, meth in RECORD_METHODS:
             def tripwire(self, *a, _cls=cls, _meth=meth, **kw):
                 raise AssertionError(

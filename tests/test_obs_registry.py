@@ -4,6 +4,7 @@ exporters, and the registry -> TrafficProfile bridge."""
 from __future__ import annotations
 
 import json
+import re
 
 import numpy as np
 import pytest
@@ -212,11 +213,84 @@ class TestExport:
     def test_prom_format_via_write_snapshot(self, tmp_path):
         path = tmp_path / "snap.prom"
         export.write_snapshot(str(path), self._populated(), fmt="prom")
-        assert path.read_text().startswith("# TYPE")
+        assert path.read_text().startswith("# HELP")
+
+    #: metric family sample line: name, optional one-label set, value
+    _SAMPLE = re.compile(
+        r'^[a-zA-Z_][a-zA-Z0-9_]*(\{(index|le)="[^"]+"\})? [0-9eE.+-]+$|'
+        r"^[a-zA-Z_][a-zA-Z0-9_]* [0-9eE.+-]+$"
+    )
+
+    def test_prometheus_help_type_sample_roundtrip(self):
+        """Every # TYPE has a preceding # HELP; samples are well-formed."""
+        text = export.to_prometheus(self._populated())
+        helped: set[str] = set()
+        typed: set[str] = set()
+        for line in text.strip().splitlines():
+            if line.startswith("# HELP "):
+                helped.add(line.split(" ", 3)[2])
+            elif line.startswith("# TYPE "):
+                name = line.split(" ", 3)[2]
+                assert name in helped, f"# TYPE {name} has no preceding # HELP"
+                typed.add(name)
+            else:
+                assert self._SAMPLE.match(line), f"malformed sample line: {line!r}"
+        assert typed == helped
+        # one family per instrument, two for the timer's counter pair
+        assert "repro_barrier_wait_seconds_total" in typed
+        assert "repro_barrier_wait_spans_total" in typed
+
+    def test_prometheus_help_uses_canonical_text(self):
+        reg = Registry(enabled=True)
+        reg.counter(names.ENGINE_EVENTS).inc()
+        text = export.to_prometheus(reg)
+        assert f"# HELP repro_engine_events_executed {names.HELP[names.ENGINE_EVENTS]}" in text
 
     def test_unknown_format_rejected(self, tmp_path):
         with pytest.raises(ValueError, match="unknown snapshot format"):
             export.write_snapshot(str(tmp_path / "x"), self._populated(), fmt="xml")
+
+
+class TestHistogramQuantile:
+    def _hist(self, bounds, observations):
+        reg = Registry(enabled=True)
+        h = reg.histogram("q.test", bounds)
+        for v in observations:
+            h.observe(v)
+        return h
+
+    def test_linear_interpolation_within_first_bucket(self):
+        h = self._hist((10.0, 20.0), (1.0, 2.0, 3.0, 4.0))
+        # Uniform-in-bucket assumption over (0, 10]: rank 2 of 4 -> 5.0
+        assert h.quantile(0.5) == pytest.approx(5.0)
+        assert h.quantile(1.0) == pytest.approx(10.0)
+        assert h.quantile(0.0) == pytest.approx(0.0)
+
+    def test_interpolation_uses_previous_bound_as_lower_edge(self):
+        h = self._hist((10.0, 20.0), (5.0, 15.0))
+        assert h.quantile(0.5) == pytest.approx(10.0)
+        assert h.quantile(0.75) == pytest.approx(15.0)
+        assert h.quantile(1.0) == pytest.approx(20.0)
+
+    def test_overflow_bucket_clamps_to_last_finite_bound(self):
+        # The +Inf bucket cannot be interpolated; the documented behavior
+        # is a clamp to bounds[-1] (the histogram knows nothing more).
+        h = self._hist((10.0, 20.0), (5.0, 100.0, 200.0))
+        assert h.quantile(0.9) == 20.0
+        assert h.quantile(1.0) == 20.0
+
+    def test_empty_and_out_of_range_raise(self):
+        h = self._hist((10.0,), ())
+        with pytest.raises(ValueError, match="empty"):
+            h.quantile(0.5)
+        with pytest.raises(ValueError, match="0, 1"):
+            self._hist((10.0,), (1.0,)).quantile(1.5)
+
+    def test_quantiles_are_monotone(self):
+        rng = np.random.default_rng(0)
+        h = self._hist((0.5, 1.0, 2.0, 4.0, 8.0), rng.exponential(2.0, 500))
+        qs = [h.quantile(q) for q in (0.1, 0.25, 0.5, 0.75, 0.9, 0.99)]
+        assert qs == sorted(qs)
 
 
 class TestProfileBridge:
