@@ -1,0 +1,33 @@
+"""Hot-path benchmarks: pending-event-set ops and per-hop packet cost.
+
+The `benchmark` fixture times the overhauled path; each test also runs
+the frozen pre-overhaul replica (`repro.bench.baseline`) once and
+asserts the overhaul's speedup still holds, with deliberately loose
+bounds — the committed ``BENCH_<date>.json`` trajectory
+(``python -m repro bench``) tracks the precise numbers, this guards the
+direction under pytest-benchmark's timing.
+"""
+
+from __future__ import annotations
+
+from repro.bench.micro import bench_hop_throughput, bench_queue_ops
+
+
+def test_queue_ops_adaptive_vs_legacy(benchmark):
+    r = benchmark(
+        lambda: bench_queue_ops("adaptive", prefill=4096, iterations=30_000)
+    )
+    legacy = bench_queue_ops("legacy", prefill=4096, iterations=30_000)
+    speedup = r["ops_s"] / legacy["ops_s"]
+    print(f"\nqueue ops: {r['ops_s']:,.0f}/s vs legacy {legacy['ops_s']:,.0f}/s "
+          f"({speedup:.2f}x)")
+    assert speedup > 2.0, "tuple-heap queue must stay well ahead of the legacy heap"
+
+
+def test_hop_throughput_vs_legacy(benchmark):
+    r = benchmark(lambda: bench_hop_throughput("new", packets=1_000, chain_nodes=33))
+    legacy = bench_hop_throughput("legacy", packets=1_000, chain_nodes=33)
+    speedup = r["packets_s"] / legacy["packets_s"]
+    print(f"\nhop throughput: {r['packets_s']:,.0f} hops/s vs legacy "
+          f"{legacy['packets_s']:,.0f} hops/s ({speedup:.2f}x)")
+    assert speedup > 1.2, "closure-free hop path must stay ahead of the legacy path"

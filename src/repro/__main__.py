@@ -9,6 +9,7 @@ Usage::
     python -m repro trace --timeline --out timeline.json
     python -m repro synccost
     python -m repro lint src/repro [--format json] [--strict]
+    python -m repro bench [--quick] [--out-dir .] [--threshold 0.8] [--seed 0]
 
 ``figures`` runs all four (network, application) experiments and prints
 the paper's Figures 6-13 tables; ``sweep`` prints the Tmll sweep behind
@@ -19,7 +20,10 @@ snapshot (with ``--timeline`` it instead replays the scenario on the
 parallel engine under the structured tracer and prints straggler blame,
 the critical path, and what-if mapping scores alongside a Chrome trace
 JSON); ``synccost`` prints the Figure 5 model; ``lint`` runs the
-simlint static analysis (:mod:`repro.analysis`).
+simlint static analysis (:mod:`repro.analysis`); ``bench`` runs the
+committed benchmark trajectory (:mod:`repro.bench`), writes
+``BENCH_<date>.json``, and exits 1 on a performance regression against
+the previous file.
 """
 
 from __future__ import annotations
@@ -314,6 +318,17 @@ def cmd_lint(args) -> int:
     return run_lint(args)
 
 
+def cmd_bench(args) -> int:
+    from .bench import format_bench, run_bench, write_bench
+
+    doc = run_bench(quick=args.quick, seed=args.seed)
+    path = write_bench(doc, args.out_dir, threshold=args.threshold)
+    print(format_bench(doc))
+    print(f"wrote {path}")
+    cmp = doc["comparison"]
+    return 1 if (cmp is not None and not cmp["ok"]) else 0
+
+
 def cmd_synccost(args) -> int:
     from .cluster import SyncCostModel
 
@@ -397,6 +412,23 @@ def main(argv: list[str] | None = None) -> int:
 
     p_sync = sub.add_parser("synccost", help="print the Figure 5 sync cost model")
     p_sync.set_defaults(fn=cmd_synccost)
+
+    p_bench = sub.add_parser(
+        "bench",
+        help="run the event/packet hot-path benchmarks, write BENCH_<date>.json, "
+        "compare against the previous file (exit 1 on regression)",
+    )
+    p_bench.add_argument("--quick", action="store_true",
+                         help="reduced workload for CI smoke runs (compared "
+                         "only against other --quick documents)")
+    p_bench.add_argument("--out-dir", default=".", metavar="DIR",
+                         help="where BENCH_<date>.json is written and previous "
+                         "files are looked up (default: repo root)")
+    p_bench.add_argument("--threshold", type=float, default=0.8,
+                         help="better-direction ratio below which a metric is "
+                         "a regression (default: 0.8)")
+    p_bench.add_argument("--seed", type=int, default=0)
+    p_bench.set_defaults(fn=cmd_bench)
 
     p_lint = sub.add_parser(
         "lint", help="run simlint static analysis (exit 1 on error findings)"

@@ -1,0 +1,254 @@
+"""The committed benchmark trajectory: ``python -m repro bench``.
+
+Runs the micro-benchmarks (queue ops, hop throughput — each against the
+frozen pre-PR replica in :mod:`repro.bench.baseline`) and the Figure-6
+macro scenario, writes the results as ``BENCH_<date>.json`` at the repo
+root, and compares them against the most recent previous ``BENCH_*.json``
+with a configurable regression threshold. Committing the file each time
+the hot path changes turns performance into a reviewed artifact with
+history, exactly like the regression fingerprints do for correctness.
+
+Document schema (``repro-bench/1``)::
+
+    {
+      "schema": "repro-bench/1",
+      "date": "YYYY-MM-DD",
+      "quick": false,             # --quick runs a reduced workload
+      "seed": 0,
+      "results": {                # flat metric -> float map
+        "queue.legacy_ops_s": ..., "queue.heap_ops_s": ...,
+        "queue.calendar_ops_s": ..., "queue.adaptive_ops_s": ...,
+        "hotpath.legacy_packets_s": ..., "hotpath.packets_s": ...,
+        "macro.fig6_events": ..., "macro.fig6_events_s": ...,
+        "macro.fig6_wall_s": ...
+      },
+      "speedups": {               # new path over the pre-PR baseline
+        "queue_ops": ...,         # tuple-entry heap vs the legacy heap
+        "queue_ops_adaptive": ..., # incl. the density-policy wrapper
+        "hop_throughput": ...
+      },
+      "comparison": null | {      # vs the previous committed file
+        "previous": "BENCH_....json", "threshold": 0.8,
+        "regressions": [{"metric", "previous", "current", "ratio"}],
+        "ok": true
+      }
+    }
+
+Metrics ending in ``wall_s`` are lower-is-better; every other metric is
+a rate (higher is better). A metric regresses when its better-direction
+ratio ``current/previous`` (inverted for wall clocks) falls below the
+threshold. ``quick`` documents are never used as comparison baselines
+for full runs (and vice versa) — the workloads differ.
+"""
+
+from __future__ import annotations
+
+import datetime
+import json
+from pathlib import Path
+
+from .macro import bench_fig6
+from .micro import bench_hop_throughput, bench_queue_ops
+
+__all__ = [
+    "SCHEMA",
+    "DEFAULT_THRESHOLD",
+    "run_bench",
+    "compare_bench",
+    "find_previous",
+    "write_bench",
+    "format_bench",
+]
+
+#: Schema tag written into (and required of) every benchmark document.
+SCHEMA = "repro-bench/1"
+#: Default better-direction ratio below which a metric is a regression.
+DEFAULT_THRESHOLD = 0.8
+
+#: Queue backends timed by the ops benchmark (legacy = pre-PR replica).
+_QUEUE_KINDS = ("legacy", "heap", "calendar", "adaptive")
+
+
+def run_bench(quick: bool = False, seed: int = 0) -> dict:
+    """Run every benchmark; returns the document (``comparison`` unset).
+
+    ``quick`` shrinks each workload by an order of magnitude for CI
+    smoke coverage — the resulting numbers are noisy and only compared
+    against other quick runs.
+    """
+    if quick:
+        q_prefill, q_iter = 1024, 6_000
+        hop_packets, chain_nodes = 300, 17
+        macro_duration: float | None = 0.5
+    else:
+        q_prefill, q_iter = 4096, 60_000
+        hop_packets, chain_nodes = 2_500, 33
+        macro_duration = None  # the scale's profiling duration
+    results: dict[str, float] = {}
+    for kind in _QUEUE_KINDS:
+        r = bench_queue_ops(kind, prefill=q_prefill, iterations=q_iter, seed=seed)
+        results[f"queue.{kind}_ops_s"] = r["ops_s"]
+    if not quick:
+        # Document the heap/calendar crossover (the AdaptiveQueue promote
+        # threshold) at a paper-scale backlog.
+        for kind in ("heap", "calendar"):
+            r = bench_queue_ops(kind, prefill=262_144, iterations=20_000, seed=seed)
+            results[f"queue.{kind}_large_ops_s"] = r["ops_s"]
+    for path in ("legacy", "new"):
+        r = bench_hop_throughput(
+            path, packets=hop_packets, chain_nodes=chain_nodes, seed=seed
+        )
+        key = "hotpath.legacy_packets_s" if path == "legacy" else "hotpath.packets_s"
+        results[key] = r["packets_s"]
+    macro = bench_fig6(scale_name="small", seed=seed, duration_s=macro_duration)
+    results["macro.fig6_events"] = float(macro["events"])
+    results["macro.fig6_events_s"] = macro["events_s"]
+    results["macro.fig6_wall_s"] = macro["wall_s"]
+    return {
+        "schema": SCHEMA,
+        "date": datetime.date.today().isoformat(),
+        "quick": quick,
+        "seed": seed,
+        "results": results,
+        "speedups": {
+            # queue_ops is the queue-for-queue comparison: the tuple-entry
+            # heap this PR introduced against the pre-PR dataclass-event
+            # heap it replaced. queue_ops_adaptive adds the density-policy
+            # wrapper the kernel runs by default (a ~5% bookkeeping tax in
+            # heap mode, repaid only at backlogs past the promote point).
+            "queue_ops": results["queue.heap_ops_s"]
+            / results["queue.legacy_ops_s"],
+            "queue_ops_adaptive": results["queue.adaptive_ops_s"]
+            / results["queue.legacy_ops_s"],
+            "hop_throughput": results["hotpath.packets_s"]
+            / results["hotpath.legacy_packets_s"],
+        },
+        "comparison": None,
+    }
+
+
+def _better_ratio(metric: str, previous: float, current: float) -> float:
+    """Ratio in the metric's better direction (>1 means improvement)."""
+    if previous <= 0.0 or current <= 0.0:
+        return 1.0
+    if metric.endswith("wall_s"):
+        return previous / current
+    return current / previous
+
+
+def compare_bench(doc: dict, prev_doc: dict, threshold: float) -> dict:
+    """Compare ``doc`` against a previous document; returns ``comparison``.
+
+    Only metrics present in both documents are compared; counters (the
+    raw ``macro.fig6_events``) are skipped — the event count is workload
+    determinism, checked by the fingerprint tests, not a performance
+    signal.
+    """
+    regressions = []
+    for metric, current in doc["results"].items():
+        if metric.endswith("_events"):
+            continue
+        previous = prev_doc.get("results", {}).get(metric)
+        if previous is None:
+            continue
+        ratio = _better_ratio(metric, previous, current)
+        if ratio < threshold:
+            regressions.append(
+                {
+                    "metric": metric,
+                    "previous": previous,
+                    "current": current,
+                    "ratio": ratio,
+                }
+            )
+    return {
+        "previous": prev_doc.get("_filename", "<unknown>"),
+        "threshold": threshold,
+        "regressions": regressions,
+        "ok": not regressions,
+    }
+
+
+def find_previous(
+    out_dir: str | Path, exclude: str | None = None, quick: bool = False
+) -> dict | None:
+    """Load the latest comparable ``BENCH_*.json`` in ``out_dir``.
+
+    "Latest" is by filename (the date-stamped name sorts correctly);
+    ``exclude`` skips the file about to be (re)written. Documents whose
+    ``quick`` flag differs from the requested run are not comparable.
+    """
+    out_dir = Path(out_dir)
+    candidates = sorted(
+        p for p in out_dir.glob("BENCH_*.json") if p.name != exclude
+    )
+    for path in reversed(candidates):
+        try:
+            with open(path) as f:
+                prev = json.load(f)
+        except (OSError, json.JSONDecodeError):
+            continue
+        if prev.get("schema") != SCHEMA or bool(prev.get("quick")) != quick:
+            continue
+        prev["_filename"] = path.name
+        return prev
+    return None
+
+
+def write_bench(
+    doc: dict,
+    out_dir: str | Path = ".",
+    threshold: float = DEFAULT_THRESHOLD,
+) -> Path:
+    """Compare against the previous trajectory point and write the file.
+
+    Fills ``doc["comparison"]`` in place (``None`` when no comparable
+    previous document exists) and writes ``BENCH_<date>.json`` into
+    ``out_dir``, overwriting a same-day file — reruns supersede.
+    """
+    out_dir = Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    name = f"BENCH_{doc['date']}.json"
+    prev = find_previous(out_dir, exclude=name, quick=bool(doc.get("quick")))
+    doc["comparison"] = (
+        compare_bench(doc, prev, threshold) if prev is not None else None
+    )
+    path = out_dir / name
+    with open(path, "w") as f:
+        json.dump(doc, f, indent=2, sort_keys=True)
+        f.write("\n")
+    return path
+
+
+def format_bench(doc: dict) -> str:
+    """Human-readable table of a benchmark document."""
+    lines = [
+        f"repro bench ({'quick' if doc['quick'] else 'full'}, "
+        f"seed {doc['seed']}, {doc['date']})",
+        f"{'metric':<28}{'value':>16}",
+    ]
+    for metric in sorted(doc["results"]):
+        value = doc["results"][metric]
+        lines.append(f"{metric:<28}{value:>16,.0f}")
+    sp = doc["speedups"]
+    lines.append(
+        f"speedup vs pre-PR baseline: queue ops {sp['queue_ops']:.2f}x "
+        f"(adaptive {sp.get('queue_ops_adaptive', sp['queue_ops']):.2f}x), "
+        f"hop throughput {sp['hop_throughput']:.2f}x"
+    )
+    cmp = doc.get("comparison")
+    if cmp is None:
+        lines.append("no previous comparable BENCH file — baseline run")
+    elif cmp["ok"]:
+        lines.append(
+            f"vs {cmp['previous']}: OK (no metric below "
+            f"{cmp['threshold']:.2f}x of previous)"
+        )
+    else:
+        lines.append(f"vs {cmp['previous']}: REGRESSIONS")
+        for r in cmp["regressions"]:
+            lines.append(
+                f"  {r['metric']}: {r['previous']:,.0f} -> {r['current']:,.0f} "
+                f"({r['ratio']:.2f}x, threshold {cmp['threshold']:.2f}x)"
+            )
+    return "\n".join(lines)

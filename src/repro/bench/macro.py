@@ -1,0 +1,56 @@
+"""Macro benchmark: the Figure-6 scenario end to end on the real kernel.
+
+The micro-benchmarks isolate the queue and the hop path; this one runs
+the actual paper scenario — the single-AS network with the ScaLapack
+workload plus HTTP background traffic — on the sequential kernel with
+tracing and transmission recording off, so the number is the simulator's
+honest events-per-second on a production-shaped event mix (TCP timers,
+app think time, packet hops all interleaved).
+
+Topology generation, routing convergence, and workload installation all
+happen *outside* the timed region: only the event loop is measured.
+"""
+
+from __future__ import annotations
+
+from ..engine.kernel import SimKernel
+from ..experiments import build_network, install_workload
+from ..experiments.config import SCALES
+from ..netsim.simulator import NetworkSimulator
+from ..obs.timers import Stopwatch
+from ..online.agent import Agent
+
+__all__ = ["bench_fig6"]
+
+
+def bench_fig6(
+    *,
+    scale_name: str = "small",
+    seed: int = 0,
+    duration_s: float | None = None,
+) -> dict:
+    """Wall-clock the single-AS/ScaLapack scenario (paper Figure 6).
+
+    ``duration_s`` defaults to the scale's profiling duration. Returns
+    the executed event count, the timed wall seconds of the run loop,
+    and the resulting events/s.
+    """
+    scale = SCALES[scale_name]
+    duration = duration_s if duration_s is not None else scale.profile_duration_s
+    net, fib = build_network("single-as", scale, seed=seed)
+    kernel = SimKernel()
+    sim = NetworkSimulator(net, fib, kernel)
+    agent = Agent(sim)
+    install_workload(sim, agent, net, "scalapack", scale, seed, duration_s=duration)
+    sw = Stopwatch()
+    kernel.run(until=duration)
+    wall_s = max(sw.elapsed(), 1e-9)
+    events = kernel.events_executed
+    return {
+        "scenario": "single-as/scalapack",
+        "scale": scale_name,
+        "duration_s": duration,
+        "events": events,
+        "wall_s": wall_s,
+        "events_s": events / wall_s,
+    }

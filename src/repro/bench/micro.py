@@ -1,0 +1,176 @@
+"""Micro-benchmarks: pending-event-set ops and the per-hop packet path.
+
+Two measurements, each run both on the overhauled hot path and on the
+frozen pre-PR replica (:mod:`repro.bench.baseline`) so every
+``BENCH_*.json`` carries a same-host speedup:
+
+- **queue ops** — the classic *hold model* (Jones 1986): prefill the
+  queue, then repeatedly pop the minimum and push it back a random
+  increment later, which keeps the population constant and exercises the
+  steady-state push/pop mix of a running simulation. Each backend is
+  driven the way its engine run loop drives it: the pre-PR loop peeked
+  (to test the ``until`` bound) and then popped, so the legacy replica
+  pays both traversals; the overhauled loop does one ``pop_until``;
+- **hop throughput** — a chain topology relay where every event is one
+  packet hop, isolating exactly what the simulator's inner loop pays per
+  packet: event creation, queue insertion, dispatch, link transmit.
+
+All randomness is seeded and precomputed outside the timed region.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..engine.calqueue import make_queue
+from ..engine.kernel import SimKernel
+from ..netsim.packet import Packet, Protocol, new_flow_id
+from ..netsim.simulator import NetworkSimulator
+from ..obs.timers import Stopwatch
+from ..routing.fib import ForwardingPlane
+from ..topology.models import Network, NodeKind
+from .baseline import LegacyEventQueue, LegacyHopSim, LegacyKernel
+
+__all__ = ["bench_queue_ops", "bench_hop_throughput", "build_chain"]
+
+
+def _noop() -> None:
+    """Do-nothing event callback: the queue benchmark measures the queue."""
+
+
+def bench_queue_ops(
+    kind: str,
+    *,
+    prefill: int = 4096,
+    iterations: int = 60_000,
+    seed: int = 0,
+    repeats: int = 3,
+) -> dict:
+    """Hold-model ops/s for one queue backend.
+
+    ``kind`` is ``"legacy"`` (the pre-PR dataclass-event heap) or any
+    :data:`repro.engine.calqueue.QUEUE_KINDS` entry. One iteration is
+    the queue work per executed event as the owning engine performs it —
+    legacy: peek (the run loop's bound test) + pop + push; overhauled:
+    ``pop_until`` + push — reported as 2 ops (one arrival, one
+    departure). The whole measurement runs ``repeats`` times on fresh
+    queues and the fastest wall clock wins (the ``timeit`` estimator:
+    noise from scheduling and GC only ever slows a run down).
+    """
+    rng = np.random.default_rng(seed)
+    base_times = rng.uniform(0.0, 1.0, size=prefill).tolist()
+    increments = rng.exponential(1e-3, size=iterations).tolist()
+    inf = float("inf")
+    best_wall_s = float("inf")
+    for _ in range(repeats):
+        if kind == "legacy":
+            queue = LegacyEventQueue()
+            for t in base_times:
+                queue.push(t, _noop)
+            sw = Stopwatch()
+            for inc in increments:
+                queue.peek_time()
+                ev = queue.pop()
+                queue.push(ev.time + inc, _noop)
+        else:
+            queue = make_queue(kind)
+            for t in base_times:
+                queue.push(t, _noop)
+            sw = Stopwatch()
+            for inc in increments:
+                ev = queue.pop_until(inf)
+                queue.push(ev.time + inc, _noop)
+        best_wall_s = min(best_wall_s, max(sw.elapsed(), 1e-9))
+    ops = 2 * iterations
+    return {
+        "kind": kind,
+        "prefill": prefill,
+        "ops": ops,
+        "wall_s": best_wall_s,
+        "ops_s": ops / best_wall_s,
+    }
+
+
+def build_chain(
+    num_nodes: int = 33,
+    bandwidth_bps: float = 1e9,
+    latency_s: float = 1e-4,
+    queue_bytes: int = 1 << 26,
+) -> tuple[Network, ForwardingPlane]:
+    """A single-AS chain of routers: node 0 — 1 — ... — ``num_nodes-1``.
+
+    Links are fat and short so the hop benchmark never drops: the
+    measurement is the per-hop event cost, not congestion behavior.
+    """
+    net = Network()
+    for _ in range(num_nodes):
+        net.add_node(NodeKind.ROUTER)
+    for u in range(num_nodes - 1):
+        net.add_link(u, u + 1, bandwidth_bps, latency_s, queue_bytes)
+    return net, ForwardingPlane(net)
+
+
+def bench_hop_throughput(
+    path: str,
+    *,
+    packets: int = 2_500,
+    chain_nodes: int = 33,
+    seed: int = 0,
+    repeats: int = 3,
+) -> dict:
+    """Packet hops per second relaying ``packets`` across a chain.
+
+    ``path`` is ``"new"`` (the real :class:`NetworkSimulator` on the
+    overhauled kernel) or ``"legacy"`` (the pre-PR closure/heap replica).
+    Both relay the identical seeded injection schedule end to end; the
+    chain is shorter than the packet TTL so every packet is delivered.
+    Runs ``repeats`` fresh simulations and keeps the fastest wall clock
+    (the ``timeit`` estimator — noise only ever slows a run down).
+    """
+    if chain_nodes - 1 >= 64:
+        raise ValueError("chain must be shorter than the packet TTL (64)")
+    if path not in ("legacy", "new"):
+        raise ValueError(f"unknown hot path {path!r}; expected 'new' or 'legacy'")
+    rng = np.random.default_rng(seed)
+    starts = np.sort(rng.uniform(0.0, 0.05, size=packets)).tolist()
+    dst = chain_nodes - 1
+
+    def mk_packet() -> Packet:
+        return Packet(
+            src=0, dst=dst, size_bytes=1000, protocol=Protocol.UDP,
+            flow_id=new_flow_id(),
+        )
+
+    best_wall_s = float("inf")
+    hops = 0
+    for _ in range(repeats):
+        net, fib = build_chain(chain_nodes)
+        if path == "legacy":
+            kernel = LegacyKernel()
+            sim = LegacyHopSim(net, fib, kernel)
+            for t in starts:
+                # The pre-PR idiom under test: a capturing lambda per event.
+                kernel.schedule_at(t, lambda p=mk_packet(): sim.inject(p))
+        else:
+            kernel = SimKernel()
+            sim = NetworkSimulator(net, fib, kernel)
+            for t in starts:
+                kernel.schedule_at(t, sim.inject, args=(mk_packet(),))
+
+        sw = Stopwatch()
+        kernel.run()
+        best_wall_s = min(best_wall_s, max(sw.elapsed(), 1e-9))
+        hops = int(sim.node_packets.sum())
+        delivered = sim.counters.packets_delivered
+        if delivered != packets:
+            raise RuntimeError(
+                f"hop benchmark lost packets ({delivered}/{packets} delivered); "
+                f"the chain must be drop-free for the comparison to be fair"
+            )
+    return {
+        "path": path,
+        "packets": packets,
+        "hops": hops,
+        "wall_s": best_wall_s,
+        "packets_s": hops / best_wall_s,
+    }

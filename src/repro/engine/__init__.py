@@ -6,6 +6,7 @@ parallel engine over a node->LP partition; :mod:`repro.engine.costmodel`
 converts either's per-window counters into modeled wall-clock time.
 """
 
+from .calqueue import AdaptiveQueue, CalendarQueue, make_queue
 from .conservative import ConservativeEngine, LookaheadViolation, WindowStats
 from .costmodel import (
     WallclockPrediction,
@@ -21,6 +22,9 @@ from .kernel import SimKernel
 __all__ = [
     "Event",
     "EventQueue",
+    "CalendarQueue",
+    "AdaptiveQueue",
+    "make_queue",
     "SimKernel",
     "ConservativeEngine",
     "LookaheadViolation",

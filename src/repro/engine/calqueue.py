@@ -1,0 +1,424 @@
+"""Calendar queue and density-adaptive pending-event set.
+
+A calendar queue (Brown 1988, the structure inside most production DES
+kernels, including DaSSF's) hashes events by timestamp into an array of
+buckets of width ``w`` — bucket ``floor(t / w) mod N`` — and pops by
+sweeping the calendar "year" in bucket order. When the schedule is dense
+and roughly uniform (the steady state of a packet-level simulation,
+where every link hop lands a lookahead-scale delay ahead), push and pop
+are O(1) amortized instead of the binary heap's O(log n).
+
+Design notes for this implementation:
+
+- **Exact ordering.** Entries are ``(time, seq, event)`` tuples and each
+  bucket is a small binary heap, so pops reproduce the engine-wide
+  ``(time, seq)`` total order bit-for-bit — equal timestamps hash to the
+  same bucket, where the unique ``seq`` breaks the tie. A differential
+  test (``tests/test_differential_determinism.py``) proves a full
+  simulation run is identical under heap and calendar backends.
+- **Float-safe due test.** Whether a bucket head is due *this* year is
+  decided by comparing virtual bucket indices (``floor(t / w)``), the
+  same expression used for placement — never by comparing ``t`` against
+  an accumulated bucket boundary, which is where classic float-drift
+  bugs live.
+- **Self-resizing.** The calendar rebuilds (double/halve the bucket
+  count, re-estimate the width from the live time span) when occupancy
+  leaves the [N/4, 2N] band; cancelled events are compacted away during
+  rebuilds.
+- **Sparse fallback.** :class:`AdaptiveQueue` starts every LP on the
+  binary heap and promotes to a calendar only once the observed backlog
+  is large enough that the calendar's O(1) ops actually beat C-level
+  ``heapq``'s O(log n) — a measured crossover around 128k pending
+  events in CPython (see docs/performance.md) — demoting again when the
+  backlog thins. Irregular/sparse schedules — BGP timers, app think
+  time — therefore never pay for empty-bucket scans.
+"""
+
+from __future__ import annotations
+
+from heapq import heapify, heappop, heappush
+from math import floor
+from typing import Any, Callable
+
+# _seq is shared with EventQueue so (time, seq) stays a single global
+# total order regardless of which backend created the event.
+from .events import Event, EventQueue, _seq as _global_seq
+
+__all__ = ["CalendarQueue", "AdaptiveQueue", "make_queue", "QUEUE_KINDS"]
+
+#: Recognized queue kinds for :func:`make_queue` (engine ``queue=`` arg).
+QUEUE_KINDS = ("heap", "calendar", "adaptive")
+
+_MIN_BUCKETS = 8
+_MAX_BUCKETS = 32768
+_MIN_WIDTH = 1e-12
+
+
+class CalendarQueue:
+    """Bucketed calendar pending-event set with lazy cancellation.
+
+    Drop-in for :class:`repro.engine.events.EventQueue`: identical
+    ``push/push_event/peek_time/pop/len`` surface and identical pop
+    order. ``len()`` counts queued entries including lazily cancelled
+    ones (they are discarded as they surface or at rebuilds), matching
+    the heap's semantics.
+    """
+
+    __slots__ = (
+        "_buckets",
+        "_nbuckets",
+        "_width",
+        "_vbucket",
+        "_size",
+        "rebuilds",
+    )
+
+    def __init__(self, width: float = 1e-3, nbuckets: int = _MIN_BUCKETS) -> None:
+        if width <= 0.0:
+            raise ValueError("bucket width must be positive")
+        if nbuckets < 1:
+            raise ValueError("need at least one bucket")
+        self._buckets: list[list[tuple[float, int, Event]]] = [
+            [] for _ in range(nbuckets)
+        ]
+        self._nbuckets = nbuckets
+        self._width = width
+        #: absolute (non-modular) virtual bucket index being drained;
+        #: invariant: every queued entry has vindex >= _vbucket.
+        self._vbucket = 0
+        self._size = 0
+        #: rebuild count (resize telemetry; AdaptiveQueue reads it)
+        self.rebuilds = 0
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._size
+
+    def __bool__(self) -> bool:
+        return self._size > 0
+
+    def _vindex(self, time: float) -> int:
+        return floor(time / self._width)
+
+    # ------------------------------------------------------------------
+    def push(
+        self,
+        time: float,
+        fn: Callable[..., Any],
+        node: int = -1,
+        args: tuple = (),
+    ) -> Event:
+        """Create and enqueue an event; returns it (for cancellation)."""
+        ev = Event(time, next(_global_seq), fn, args, node)
+        self._insert((time, ev.seq, ev))
+        return ev
+
+    def push_event(self, ev: Event) -> None:
+        """Enqueue an existing event object (used for mailbox delivery)."""
+        self._insert((ev.time, ev.seq, ev))
+
+    def _insert(self, entry: tuple[float, int, Event]) -> None:
+        if self._size >= 2 * self._nbuckets and self._nbuckets < _MAX_BUCKETS:
+            self._rebuild()
+        i = self._vindex(entry[0])
+        heappush(self._buckets[i % self._nbuckets], entry)
+        if self._size == 0 or i < self._vbucket:
+            # Rewind the sweep so an entry placed behind the cursor (legal
+            # whenever peek advanced past then-empty buckets) is not missed.
+            self._vbucket = i
+        self._size += 1
+
+    # ------------------------------------------------------------------
+    def _find_due_bucket(self) -> list[tuple[float, int, Event]] | None:
+        """Position the sweep on the bucket holding the earliest live
+        entry and return that bucket (None when the queue is empty).
+
+        Discards cancelled entries as they surface. Scans at most one
+        calendar year incrementally, then jumps straight to the globally
+        minimal bucket head — so runs with far-apart event clusters
+        (e.g. RTO timers seconds ahead of the packet horizon) skip the
+        empty years in O(nbuckets) instead of sweeping them.
+        """
+        while self._size:
+            nbuckets = self._nbuckets
+            for _ in range(nbuckets + 1):
+                bucket = self._buckets[self._vbucket % nbuckets]
+                while bucket and self._vindex(bucket[0][0]) <= self._vbucket:
+                    if bucket[0][2].cancelled:
+                        heappop(bucket)
+                        self._size -= 1
+                    else:
+                        return bucket
+                if not self._size:
+                    return None  # the sweep only discarded cancelled entries
+                self._vbucket += 1
+            # Nothing due within one year: jump to the earliest head.
+            tmin: float | None = None
+            for bucket in self._buckets:
+                if bucket and (tmin is None or bucket[0][0] < tmin):
+                    tmin = bucket[0][0]
+            if tmin is None:
+                break  # only cancelled entries remained and were discarded
+            self._vbucket = self._vindex(tmin)
+        return None
+
+    def peek_time(self) -> float | None:
+        """Timestamp of the earliest live event (None when empty)."""
+        bucket = self._find_due_bucket()
+        return bucket[0][0] if bucket is not None else None
+
+    def pop(self) -> Event | None:
+        """Remove and return the earliest live event (None when empty)."""
+        bucket = self._find_due_bucket()
+        if bucket is None:
+            return None
+        ev = heappop(bucket)[2]
+        self._size -= 1
+        if self._size < self._nbuckets // 4 and self._nbuckets > _MIN_BUCKETS:
+            self._rebuild()
+        return ev
+
+    def pop_until(self, bound: float) -> Event | None:
+        """Pop the earliest live event strictly before ``bound``.
+
+        Returns ``None`` when the queue is empty or the head is at or
+        past ``bound`` (the head stays queued). One call replaces the
+        peek-then-pop pair of the engine run loops — for the calendar
+        that saves a full sweep positioning per executed event.
+        """
+        bucket = self._find_due_bucket()
+        if bucket is None or bucket[0][0] >= bound:
+            return None
+        ev = heappop(bucket)[2]
+        self._size -= 1
+        if self._size < self._nbuckets // 4 and self._nbuckets > _MIN_BUCKETS:
+            self._rebuild()
+        return ev
+
+    # ------------------------------------------------------------------
+    def _rebuild(self, extra: list[tuple[float, int, Event]] | None = None) -> None:
+        """Resize the calendar around the current live population.
+
+        Re-estimates the bucket width from the live entries' time span
+        (targeting ~3 entries per occupied bucket under a uniform
+        spread), compacts cancelled entries away, and re-places
+        everything. O(n log n) but amortized across the pushes/pops that
+        moved occupancy out of band.
+        """
+        entries = [e for b in self._buckets for e in b if not e[2].cancelled]
+        if extra:
+            entries.extend(e for e in extra if not e[2].cancelled)
+        n = len(entries)
+        nbuckets = _MIN_BUCKETS
+        while nbuckets < n and nbuckets < _MAX_BUCKETS:
+            nbuckets *= 2
+        if n >= 2:
+            tmin = min(e[0] for e in entries)
+            tmax = max(e[0] for e in entries)
+            span = tmax - tmin
+            if span > 0.0:
+                self._width = max(span / n * 3.0, _MIN_WIDTH)
+        self._nbuckets = nbuckets
+        buckets: list[list[tuple[float, int, Event]]] = [[] for _ in range(nbuckets)]
+        width = self._width
+        vmin: int | None = None
+        for entry in entries:
+            i = floor(entry[0] / width)
+            buckets[i % nbuckets].append(entry)
+            if vmin is None or i < vmin:
+                vmin = i
+        for bucket in buckets:
+            heapify(bucket)
+        self._buckets = buckets
+        self._size = n
+        self._vbucket = vmin if vmin is not None else 0
+        self.rebuilds += 1
+
+    # ------------------------------------------------------------------
+    # Migration support (AdaptiveQueue moves entries between backends)
+    # ------------------------------------------------------------------
+    def drain_entries(self) -> list[tuple[float, int, Event]]:
+        """Remove and return all raw entries (cancelled ones included)."""
+        entries = [e for b in self._buckets for e in b]
+        self._buckets = [[] for _ in range(self._nbuckets)]
+        self._size = 0
+        return entries
+
+    def extend_entries(self, entries: list[tuple[float, int, Event]]) -> None:
+        """Bulk-load raw entries (single rebuild; O(n log n))."""
+        self._rebuild(extra=entries)
+
+
+class AdaptiveQueue:
+    """Per-LP pending-event set that picks its backend by event density.
+
+    Starts on the binary heap (optimal for the sparse, irregular
+    schedules of idle LPs, BGP timers, and app think time); once the
+    observed backlog stays above :data:`PROMOTE_SIZE` the entries
+    migrate to a :class:`CalendarQueue`, and they migrate back when the
+    backlog thins below :data:`DEMOTE_SIZE`. Density is re-evaluated
+    every :data:`CHECK_INTERVAL` pushes, with a minimum op distance
+    between switches so a backlog oscillating around a threshold cannot
+    thrash. Both backends pop the identical ``(time, seq)`` order, so a
+    migration can never change simulation outcomes.
+
+    Every per-event operation — ``push``, ``push_event``, ``pop``,
+    ``pop_until``, ``peek_time`` — is a *bind-through* instance
+    attribute, rebound on every migration: reads are the active
+    backend's bound methods, and in heap mode ``push`` is an inlined
+    copy of :meth:`EventQueue.push` (plus the density countdown) so the
+    hot path pays no inner delegation call. Callers must look the
+    attribute up per call — holding a reference across a migration
+    would address the drained backend.
+    """
+
+    #: backlog at/above which the heap promotes to a calendar. Set at the
+    #: measured hold-model crossover where the calendar's O(1) ops beat
+    #: C-level heapq's O(log n) (see docs/performance.md): below ~128k
+    #: pending events the heap is simply faster in CPython.
+    PROMOTE_SIZE = 131_072
+    #: backlog at/below which the calendar demotes to a heap (4x
+    #: hysteresis below the promote point)
+    DEMOTE_SIZE = 32_768
+    #: pushes between density evaluations
+    CHECK_INTERVAL = 256
+    #: minimum pushes between consecutive backend switches (hysteresis)
+    MIN_SWITCH_DISTANCE = 2048
+
+    __slots__ = (
+        "_impl",
+        "_heap_ref",
+        "kind",
+        "_pushes",
+        "_check_in",
+        "_last_switch",
+        "switches",
+        "push",
+        "push_event",
+        "pop",
+        "pop_until",
+        "peek_time",
+    )
+
+    def __init__(self) -> None:
+        self._impl: EventQueue | CalendarQueue = EventQueue()
+        #: current backend kind: ``"heap"`` or ``"calendar"``
+        self.kind = "heap"
+        self._pushes = 0
+        self._check_in = self.CHECK_INTERVAL
+        self._last_switch = 0
+        #: total backend migrations (telemetry for tests and the bench)
+        self.switches = 0
+        self._bind()
+
+    def _bind(self) -> None:
+        """Rebind the bind-through attributes to the active backend."""
+        impl = self._impl
+        self.pop = impl.pop
+        self.pop_until = impl.pop_until
+        self.peek_time = impl.peek_time
+        self.push_event = self._push_event_counting
+        if isinstance(impl, EventQueue):
+            self._heap_ref = impl._heap
+            self.push = self._push_heap_inline
+        else:
+            self._heap_ref = None
+            self.push = self._push_delegating
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._impl)
+
+    def __bool__(self) -> bool:
+        return bool(self._impl)
+
+    def _push_heap_inline(
+        self,
+        time: float,
+        fn: Callable[..., Any],
+        node: int = -1,
+        args: tuple = (),
+    ) -> Event:
+        """``push`` in heap mode: :meth:`EventQueue.push` inlined.
+
+        The duplication buys the removal of the inner delegation call on
+        the dominant path (every packet hop while the backlog is below
+        :data:`PROMOTE_SIZE`); the heap/calendar parity tests pin the
+        behavior to the backend's own ``push``.
+        """
+        seq = next(_global_seq)
+        ev = Event(time, seq, fn, args, node)
+        heappush(self._heap_ref, (time, seq, ev))
+        self._check_in -= 1
+        if self._check_in <= 0:
+            self._evaluate()
+        return ev
+
+    def _push_delegating(
+        self,
+        time: float,
+        fn: Callable[..., Any],
+        node: int = -1,
+        args: tuple = (),
+    ) -> Event:
+        """``push`` in calendar mode: delegate (bucket placement is not
+        worth inlining — calendar mode only runs at >100k backlogs where
+        the per-op cost is amortized)."""
+        ev = self._impl.push(time, fn, node, args)
+        self._check_in -= 1
+        if self._check_in <= 0:
+            self._evaluate()
+        return ev
+
+    def _push_event_counting(self, ev: Event) -> None:
+        """``push_event``: delegate + density countdown (mailbox path)."""
+        self._impl.push_event(ev)
+        self._check_in -= 1
+        if self._check_in <= 0:
+            self._evaluate()
+
+    # ------------------------------------------------------------------
+    def _evaluate(self) -> None:
+        self._pushes += self.CHECK_INTERVAL
+        self._check_in = self.CHECK_INTERVAL
+        if self._pushes - self._last_switch < self.MIN_SWITCH_DISTANCE:
+            return
+        size = len(self._impl)
+        if self.kind == "heap" and size >= self.PROMOTE_SIZE:
+            self._migrate("calendar")
+        elif self.kind == "calendar" and size <= self.DEMOTE_SIZE:
+            self._migrate("heap")
+
+    def _migrate(self, kind: str) -> None:
+        entries = self._impl.drain_entries()
+        new: EventQueue | CalendarQueue = (
+            CalendarQueue() if kind == "calendar" else EventQueue()
+        )
+        new.extend_entries(entries)
+        self._impl = new
+        self.kind = kind
+        self._bind()
+        self._last_switch = self._pushes
+        self.switches += 1
+
+    # ------------------------------------------------------------------
+    def drain_entries(self) -> list[tuple[float, int, Event]]:
+        """Remove and return all raw entries (cancelled ones included)."""
+        entries = self._impl.drain_entries()
+        self._bind()  # the heap backend replaces its list on drain
+        return entries
+
+    def extend_entries(self, entries: list[tuple[float, int, Event]]) -> None:
+        """Bulk-load raw entries into the current backend."""
+        self._impl.extend_entries(entries)
+
+
+def make_queue(kind: str) -> EventQueue | CalendarQueue | AdaptiveQueue:
+    """Build a pending-event set: ``heap`` | ``calendar`` | ``adaptive``."""
+    if kind == "heap":
+        return EventQueue()
+    if kind == "calendar":
+        return CalendarQueue()
+    if kind == "adaptive":
+        return AdaptiveQueue()
+    raise ValueError(f"unknown queue kind {kind!r}; expected one of {QUEUE_KINDS}")

@@ -27,7 +27,8 @@ import numpy as np
 from ..obs import names as obs_names
 from ..obs.registry import get_registry
 from ..obs.trace import get_tracer
-from .events import Event, EventQueue
+from .calqueue import make_queue
+from .events import Event, _seq
 
 __all__ = ["LookaheadViolation", "WindowStats", "ConservativeEngine"]
 
@@ -73,6 +74,11 @@ class ConservativeEngine:
         ``strict=False`` violations are counted but tolerated (events are
         delivered late at the next barrier — the accuracy erosion a real
         optimistic/approximate engine would suffer).
+    queue:
+        Per-LP pending-set backend: ``"adaptive"`` (default),
+        ``"heap"``, or ``"calendar"`` (see :mod:`repro.engine.calqueue`).
+        Every backend pops the identical ``(time, seq)`` order, so the
+        choice never changes simulation outcomes.
     """
 
     def __init__(
@@ -81,6 +87,7 @@ class ConservativeEngine:
         num_lps: int,
         lookahead: float,
         strict: bool = True,
+        queue: str = "adaptive",
     ) -> None:
         if lookahead <= 0:
             raise ValueError("lookahead must be positive")
@@ -94,7 +101,7 @@ class ConservativeEngine:
         self.strict = strict
 
         self.now: float = 0.0  # barrier time (start of current window)
-        self._queues = [EventQueue() for _ in range(self.num_lps)]
+        self._queues = [make_queue(queue) for _ in range(self.num_lps)]
         self._mailboxes: list[list[Event]] = [[] for _ in range(self.num_lps)]
         self._current_lp: int | None = None
         self._window_end: float = 0.0
@@ -143,21 +150,37 @@ class ConservativeEngine:
         """The LP owning ``node`` (engine-internal events run on LP 0)."""
         return 0 if node < 0 else int(self.assignment[node])
 
-    def schedule_at(self, time: float, fn: Callable[[], Any], node: int = -1) -> Event:
-        """Schedule ``fn`` at absolute ``time`` on the LP owning ``node``.
+    def schedule_at(
+        self, time: float, fn: Callable[..., Any], node: int = -1, args: tuple = ()
+    ) -> Event:
+        """Schedule ``fn(*args)`` at absolute ``time`` on the LP owning ``node``.
 
-        During window execution, scheduling onto a *different* LP checks
-        the lookahead: the event must not land before the current window
+        During window execution the causality floor is the *executing
+        LP's local clock* (``_lp_now``), not the barrier clock: an event
+        callback must not schedule into its own LP's past, or local
+        execution order silently inverts inside the window. At a barrier
+        (no LP executing) the floor is the global barrier time.
+        Scheduling onto a *different* LP additionally checks the
+        lookahead: the event must not land before the current window
         ends (it will be delivered at the barrier).
         """
-        if time < self.now:
-            raise ValueError("cannot schedule into the past")
+        if self._current_lp is None:
+            if time < self.now:
+                raise ValueError("cannot schedule into the past")
+        elif time < self._lp_now:
+            raise ValueError(
+                f"cannot schedule into the executing LP's past "
+                f"(t={time:.9f} < LP-local now {self._lp_now:.9f})"
+            )
         target_lp = self.lp_of(node)
-        ev = Event(time=time, seq=_next_seq(), fn=fn, node=node)
+        ev = Event(time, next(_seq), fn, args, node)
         if self._current_lp is None or target_lp == self._current_lp:
             self._queues[target_lp].push_event(ev)
         else:
-            if time < self._window_end - 1e-15:
+            # Relative tolerance: an absolute epsilon falls below one
+            # float ULP once simulated time passes ~0.01 s, turning
+            # legitimate window-boundary events into spurious violations.
+            if time < self._window_end - 1e-9 * self.lookahead:
                 self.lookahead_violations += 1
                 self._obs_violations.inc()
                 if self.strict:
@@ -172,10 +195,12 @@ class ConservativeEngine:
                 self._trace.edge(self._current_lp, target_lp, self._lp_now, time)
         return ev
 
-    def schedule(self, delay: float, fn: Callable[[], Any], node: int = -1) -> Event:
+    def schedule(
+        self, delay: float, fn: Callable[..., Any], node: int = -1, args: tuple = ()
+    ) -> Event:
         """Schedule relative to the executing LP's current time."""
         base = self._lp_now if self._current_lp is not None else self.now
-        return self.schedule_at(base + delay, fn, node=node)
+        return self.schedule_at(base + delay, fn, node=node, args=args)
 
     # ------------------------------------------------------------------
     def _run_lp_window(self, lp: int, window_end: float) -> int:
@@ -183,13 +208,11 @@ class ConservativeEngine:
         tracer = self._trace
         executed = 0
         while True:
-            t = queue.peek_time()
-            if t is None or t >= window_end:
+            ev = queue.pop_until(window_end)
+            if ev is None:
                 break
-            ev = queue.pop()
-            assert ev is not None
             self._lp_now = ev.time
-            ev.fn()
+            ev.fn(*ev.args)
             executed += 1
             if tracer.enabled:
                 tracer.event(ev.time, ev.node)
@@ -273,9 +296,3 @@ class ConservativeEngine:
         return total
 
     _lp_now: float = 0.0
-
-
-def _next_seq() -> int:
-    from .events import _seq
-
-    return next(_seq)

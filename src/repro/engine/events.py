@@ -3,13 +3,26 @@
 Events carry the simulated node they execute at — the engine's unit of
 spatial decomposition. Accounting per node is what lets the same run be
 re-evaluated under different partitions (node -> LP maps).
+
+Hot-path design (see docs/performance.md):
+
+- :class:`Event` is a ``__slots__`` class, not a dataclass: one event is
+  created per network packet hop, so construction cost is the floor of
+  the whole simulator's throughput.
+- Events dispatch *closure-free*: instead of capturing arguments in a
+  per-event lambda, callers pass a bound method plus an ``args`` tuple
+  and the executor invokes ``ev.fn(*ev.args)``. Same semantics, no
+  per-hop closure allocation.
+- :class:`EventQueue` keeps ``(time, seq, event)`` tuples on the heap so
+  every sift comparison is a C-level tuple comparison; ``seq`` is unique,
+  so a comparison never falls through to the event object and ordering
+  is exactly the historical ``(time, seq)`` total order.
 """
 
 from __future__ import annotations
 
-import heapq
 import itertools
-from dataclasses import dataclass, field
+from heapq import heapify, heappop, heappush
 from typing import Any, Callable
 
 __all__ = ["Event", "EventQueue"]
@@ -17,20 +30,39 @@ __all__ = ["Event", "EventQueue"]
 _seq = itertools.count()
 
 
-@dataclass(order=True)
 class Event:
     """A scheduled callback.
 
     Ordering is (time, seq): ties execute in scheduling order, which makes
     runs deterministic. ``node`` is the simulated entity the event belongs
-    to (-1 for engine-internal events).
+    to (-1 for engine-internal events). The executor runs ``fn(*args)``;
+    zero-argument callables (the pre-existing closure style) keep working
+    with the default empty ``args``.
     """
 
-    time: float
-    seq: int = field(compare=True)
-    fn: Callable[[], Any] = field(compare=False)
-    node: int = field(compare=False, default=-1)
-    cancelled: bool = field(compare=False, default=False)
+    __slots__ = ("time", "seq", "fn", "args", "node", "cancelled")
+
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        fn: Callable[..., Any],
+        args: tuple = (),
+        node: int = -1,
+    ) -> None:
+        self.time = time
+        self.seq = seq
+        self.fn = fn
+        self.args = args
+        self.node = node
+        self.cancelled = False
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = " cancelled" if self.cancelled else ""
+        return f"Event(t={self.time!r} seq={self.seq} node={self.node}{state})"
 
     def cancel(self) -> None:
         """Lazily cancel; the queue discards the event on pop."""
@@ -38,12 +70,21 @@ class Event:
 
 
 class EventQueue:
-    """Binary-heap pending event set with lazy cancellation."""
+    """Binary-heap pending event set with lazy cancellation.
+
+    Heap entries are ``(time, seq, event)`` tuples: ``heapq``'s sift
+    comparisons stay in C (tuple comparison short-circuits on the unique
+    ``(time, seq)`` prefix) instead of calling a Python ``__lt__`` per
+    level, which is the single largest win of the hot-path overhaul.
+    ``len()`` counts queued entries including lazily cancelled ones, and
+    ``peek_time``/``pop`` discard cancelled entries as they surface —
+    both unchanged from the original implementation.
+    """
 
     __slots__ = ("_heap",)
 
     def __init__(self) -> None:
-        self._heap: list[Event] = []
+        self._heap: list[tuple[float, int, Event]] = []
 
     def __len__(self) -> int:
         return len(self._heap)
@@ -51,26 +92,66 @@ class EventQueue:
     def __bool__(self) -> bool:
         return bool(self._heap)
 
-    def push(self, time: float, fn: Callable[[], Any], node: int = -1) -> Event:
+    def push(
+        self,
+        time: float,
+        fn: Callable[..., Any],
+        node: int = -1,
+        args: tuple = (),
+    ) -> Event:
         """Create and enqueue an event; returns it (for cancellation)."""
-        ev = Event(time=time, seq=next(_seq), fn=fn, node=node)
-        heapq.heappush(self._heap, ev)
+        seq = next(_seq)
+        ev = Event(time, seq, fn, args, node)
+        heappush(self._heap, (time, seq, ev))
         return ev
 
     def push_event(self, ev: Event) -> None:
         """Enqueue an existing event object (used for mailbox delivery)."""
-        heapq.heappush(self._heap, ev)
+        heappush(self._heap, (ev.time, ev.seq, ev))
 
     def peek_time(self) -> float | None:
         """Timestamp of the earliest live event (None when empty)."""
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
-        return self._heap[0].time if self._heap else None
+        heap = self._heap
+        while heap and heap[0][2].cancelled:
+            heappop(heap)
+        return heap[0][0] if heap else None
 
     def pop(self) -> Event | None:
         """Remove and return the earliest live event (None when empty)."""
-        while self._heap:
-            ev = heapq.heappop(self._heap)
+        heap = self._heap
+        while heap:
+            ev = heappop(heap)[2]
             if not ev.cancelled:
                 return ev
         return None
+
+    def pop_until(self, bound: float) -> Event | None:
+        """Pop the earliest live event strictly before ``bound``.
+
+        Returns ``None`` when the queue is empty or the head is at or
+        past ``bound`` (the head stays queued). One call replaces the
+        peek-then-pop pair of the engine run loops, halving queue
+        traversals per executed event.
+        """
+        heap = self._heap
+        while heap:
+            head = heap[0]
+            if head[0] >= bound:
+                return None
+            ev = heappop(heap)[2]
+            if not ev.cancelled:
+                return ev
+        return None
+
+    # ------------------------------------------------------------------
+    # Migration support (AdaptiveQueue moves entries between backends)
+    # ------------------------------------------------------------------
+    def drain_entries(self) -> list[tuple[float, int, Event]]:
+        """Remove and return all raw entries (cancelled ones included)."""
+        entries, self._heap = self._heap, []
+        return entries
+
+    def extend_entries(self, entries: list[tuple[float, int, Event]]) -> None:
+        """Bulk-load raw entries (heapify once; O(n))."""
+        self._heap.extend(entries)
+        heapify(self._heap)

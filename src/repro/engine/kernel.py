@@ -14,7 +14,8 @@ from typing import Any, Callable
 
 import numpy as np
 
-from .events import Event, EventQueue
+from .calqueue import make_queue
+from .events import Event
 
 __all__ = ["SimKernel"]
 
@@ -27,11 +28,17 @@ class SimKernel:
     record_trace:
         Record (time, node) of every executed event for post-hoc
         partition evaluation (:mod:`repro.engine.costmodel`).
+    queue:
+        Pending-set backend: ``"adaptive"`` (default; binary heap that
+        promotes to a calendar queue under dense schedules), ``"heap"``,
+        or ``"calendar"``. All backends pop the identical ``(time, seq)``
+        order, so the choice never changes simulation outcomes (proven
+        by the differential determinism tests).
     """
 
-    def __init__(self, record_trace: bool = False) -> None:
+    def __init__(self, record_trace: bool = False, queue: str = "adaptive") -> None:
         self.now: float = 0.0
-        self.queue = EventQueue()
+        self.queue = make_queue(queue)
         self.events_executed: int = 0
         self.record_trace = record_trace
         self._trace_times: list[float] = []
@@ -45,17 +52,21 @@ class SimKernel:
     # ------------------------------------------------------------------
     # Scheduling interface (shared with the conservative engine)
     # ------------------------------------------------------------------
-    def schedule(self, delay: float, fn: Callable[[], Any], node: int = -1) -> Event:
-        """Schedule ``fn`` to run ``delay`` seconds from now at ``node``."""
+    def schedule(
+        self, delay: float, fn: Callable[..., Any], node: int = -1, args: tuple = ()
+    ) -> Event:
+        """Schedule ``fn(*args)`` to run ``delay`` seconds from now at ``node``."""
         if delay < 0:
             raise ValueError("cannot schedule into the past")
-        return self.queue.push(self.now + delay, fn, node)
+        return self.queue.push(self.now + delay, fn, node, args)
 
-    def schedule_at(self, time: float, fn: Callable[[], Any], node: int = -1) -> Event:
-        """Schedule ``fn`` at absolute simulated ``time`` at ``node``."""
+    def schedule_at(
+        self, time: float, fn: Callable[..., Any], node: int = -1, args: tuple = ()
+    ) -> Event:
+        """Schedule ``fn(*args)`` at absolute simulated ``time`` at ``node``."""
         if time < self.now:
             raise ValueError("cannot schedule into the past")
-        return self.queue.push(time, fn, node)
+        return self.queue.push(time, fn, node, args)
 
     # ------------------------------------------------------------------
     def run(self, until: float | None = None, max_events: int | None = None) -> int:
@@ -67,14 +78,14 @@ class SimKernel:
         compose exactly.
         """
         executed = 0
+        bound = float("inf") if until is None else until
+        queue = self.queue
         while max_events is None or executed < max_events:
-            t = self.queue.peek_time()
-            if t is None or (until is not None and t >= until):
+            ev = queue.pop_until(bound)
+            if ev is None:
                 break
-            ev = self.queue.pop()
-            assert ev is not None
             self.now = ev.time
-            ev.fn()
+            ev.fn(*ev.args)
             executed += 1
             if self.record_trace:
                 self._trace_times.append(ev.time)

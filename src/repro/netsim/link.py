@@ -6,11 +6,15 @@ transmission when the transmitter frees up, occupies it for
 The queue is modeled by bounding the backlog ahead of a packet — the
 bytes already waiting when it arrives:
 
-- **drop-tail** (default): drop when the backlog exceeds ``queue_bytes``;
-- **RED** (Random Early Detection): additionally drop probabilistically
-  once the backlog passes ``min_th`` (5 % of the buffer rising linearly
-  to ``max_p`` at ``max_th = 50 %``), desynchronizing TCP flows before
-  the buffer overflows.
+- **drop-tail** (default): drop when the packet would not fit — the
+  backlog *plus the packet itself* exceeds ``queue_bytes``, so the
+  buffer never overshoots its configured size;
+- **RED** (Random Early Detection, gentle variant): additionally drop
+  probabilistically once the backlog passes ``min_th`` (5 % of the
+  buffer), rising linearly to ``max_p`` at ``max_th = 50 %``, then —
+  per gentle RED — continuing linearly from ``max_p`` at ``max_th`` to
+  certain drop at ``2 * max_th``, desynchronizing TCP flows before the
+  buffer overflows.
 
 This O(1) backlog model is standard for packet-level simulators at scale
 and preserves the behaviors TCP cares about: queueing delay and loss
@@ -20,6 +24,7 @@ under congestion.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import NamedTuple
 
 import numpy as np
 
@@ -44,9 +49,14 @@ class RedParams:
             raise ValueError("max_p must be in (0, 1]")
 
 
-@dataclass(frozen=True)
-class TransmitResult:
-    """Outcome of offering a packet to a link direction."""
+class TransmitResult(NamedTuple):
+    """Outcome of offering a packet to a link direction.
+
+    A ``NamedTuple`` rather than a frozen dataclass: one is created per
+    packet hop, and tuple construction is several times cheaper than a
+    frozen dataclass's ``object.__setattr__`` per field (see
+    docs/performance.md).
+    """
 
     accepted: bool
     start_time: float = 0.0
@@ -90,15 +100,25 @@ class LinkRuntime:
         raise ValueError(f"node {from_node} not on link {self.link.link_id}")
 
     def _early_drop(self, backlog_bytes: float) -> bool:
+        """Gentle-RED drop decision for the observed ``backlog_bytes``.
+
+        Drop probability is 0 up to ``min_th``, rises linearly to
+        ``max_p`` at ``max_th``, continues linearly from ``max_p`` to 1
+        at ``2 * max_th`` (the gentle-RED extension), and is certain
+        beyond — no discontinuous jump anywhere in the profile.
+        """
         if self.discipline != "red":
             return False
         min_th = self.red.min_th_fraction * self.link.queue_bytes
         max_th = self.red.max_th_fraction * self.link.queue_bytes
         if backlog_bytes <= min_th:
             return False
-        if backlog_bytes >= max_th:
-            return bool(self._rng.random() < self.red.max_p * 2)
-        p = self.red.max_p * (backlog_bytes - min_th) / (max_th - min_th)
+        if backlog_bytes < max_th:
+            p = self.red.max_p * (backlog_bytes - min_th) / (max_th - min_th)
+        elif backlog_bytes < 2.0 * max_th:
+            p = self.red.max_p + (1.0 - self.red.max_p) * (backlog_bytes - max_th) / max_th
+        else:
+            return True
         return bool(self._rng.random() < p)
 
     def transmit(self, from_node: int, packet: Packet, now: float) -> TransmitResult:
@@ -113,7 +133,13 @@ class LinkRuntime:
             return TransmitResult(accepted=False)
         start = max(now, self.busy_until[d])
         backlog_bytes = (start - now) * self.link.bandwidth_bps / 8.0
-        if backlog_bytes > self.link.queue_bytes or self._early_drop(backlog_bytes):
+        # Admission counts the packet itself: admitting on backlog alone
+        # overshoots the buffer by up to one packet and lets a packet
+        # larger than the whole buffer into an empty queue.
+        if (
+            backlog_bytes + packet.size_bytes > self.link.queue_bytes
+            or self._early_drop(backlog_bytes)
+        ):
             self.packets_dropped[d] += 1
             return TransmitResult(accepted=False, backlog_bytes=backlog_bytes)
         tx_time = packet.size_bytes * 8.0 / self.link.bandwidth_bps

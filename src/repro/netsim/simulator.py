@@ -39,8 +39,15 @@ class Scheduler(TypingProtocol):
         """Simulated time of the executing event."""
         ...
 
-    def schedule_at(self, time: float, fn: Callable[[], Any], node: int = -1):
-        """Schedule a callback at an absolute simulated time at ``node``."""
+    def schedule_at(
+        self, time: float, fn: Callable[..., Any], node: int = -1, args: tuple = ()
+    ):
+        """Schedule ``fn(*args)`` at an absolute simulated time at ``node``.
+
+        The ``args`` slot is the closure-free dispatch path: the per-hop
+        hot path passes a bound method plus an argument tuple instead of
+        allocating a capturing lambda per packet hop.
+        """
         ...
 
 
@@ -94,6 +101,14 @@ class NetworkSimulator:
         self.sched = scheduler
         self.hop_processing_s = hop_processing_s
         self.links = [LinkRuntime(l, discipline=queue_discipline) for l in net.links]
+        # Hot-path index: (from, to) -> LinkRuntime, replacing the
+        # per-hop adjacency scan of net.link_between. setdefault keeps
+        # link_between's first-created-link-wins tie-break for parallel
+        # links.
+        self._runtime_by_pair: dict[tuple[int, int], LinkRuntime] = {}
+        for lr in self.links:
+            self._runtime_by_pair.setdefault((lr.link.u, lr.link.v), lr)
+            self._runtime_by_pair.setdefault((lr.link.v, lr.link.u), lr)
         self.counters = TrafficCounters()
         #: per-node handled packet count (the PROF node-weight signal)
         self.node_packets = np.zeros(net.num_nodes, dtype=np.int64)
@@ -181,8 +196,9 @@ class NetworkSimulator:
         if packet.src == packet.dst:
             self.sched.schedule_at(
                 self.now + LOOPBACK_LATENCY_S,
-                lambda p=packet: self._handle_at(p.dst, p),
+                self._handle_at,
                 node=packet.dst,
+                args=(packet.dst, packet),
             )
             return
         self._handle_at(packet.src, packet)
@@ -205,34 +221,38 @@ class NetworkSimulator:
             self.counters.packets_unroutable += 1
             self._obs_unroutable.inc()
             return
-        link = self.net.link_between(node, next_node)
-        assert link is not None, "forwarding plane returned a non-adjacent hop"
-        runtime = self.links[link.link_id]
+        runtime = self._runtime_by_pair.get((node, next_node))
+        assert runtime is not None, "forwarding plane returned a non-adjacent hop"
         depart = self.now + (self.hop_processing_s if node != packet.src else 0.0)
         result = runtime.transmit(node, packet, depart)
         if self._obs.enabled:
-            self._obs_queue_hwm.observe(link.link_id, result.backlog_bytes)
+            self._obs_queue_hwm.observe(runtime.link.link_id, result.backlog_bytes)
         if not result.accepted:
             self.counters.packets_dropped_queue += 1
             if self._obs.enabled:
                 self._obs_dropped_queue.inc()
-                self._obs_link_drops.inc(link.link_id)
+                self._obs_link_drops.inc(runtime.link.link_id)
             return
         packet.ttl -= 1
         packet.hops += 1
         if self._obs.enabled:
-            self._obs_link_packets.inc(link.link_id)
-            self._obs_link_bytes.inc(link.link_id, packet.size_bytes)
+            link_id = runtime.link.link_id
+            self._obs_link_packets.inc(link_id)
+            self._obs_link_bytes.inc(link_id, packet.size_bytes)
         if self.record_transmissions:
             self.tx_times.append(result.start_time)
             self.tx_from.append(node)
             self.tx_to.append(next_node)
         if self._trace.enabled:
             self._trace.tx(result.start_time, node, next_node)
+        # Closure-free forwarding: bound method + argument slots on the
+        # Event itself — no per-hop lambda allocation (the hot path of
+        # the whole simulator; see docs/performance.md).
         self.sched.schedule_at(
             result.arrival_time,
-            lambda n=next_node, p=packet: self._handle_at(n, p),
+            self._handle_at,
             node=next_node,
+            args=(next_node, packet),
         )
 
     def _deliver(self, node: int, packet: Packet) -> None:

@@ -179,6 +179,21 @@ def partition_kway(
             split = int(np.searchsorted(running, target)) + 1
             split = min(max(split, 1), order.size - 1) if order.size > 1 else 0
             side0, side1 = order[:split], order[split:]
+        # A side must keep at least as many vertices as the parts it will
+        # host, or a part comes out empty (PART403) — the weight target
+        # can starve a side when one vertex dominates the total weight.
+        # Move the lightest vertices across to cover the deficit.
+        if vertices.size >= k:
+            if side0.size < k0:
+                move = side1[np.argsort(graph.vwgt[side1], kind="stable")]
+                move = move[: k0 - side0.size]
+                side0 = np.concatenate([side0, move])
+                side1 = side1[~np.isin(side1, move)]
+            elif side1.size < k1:
+                move = side0[np.argsort(graph.vwgt[side0], kind="stable")]
+                move = move[: k1 - side1.size]
+                side1 = np.concatenate([side1, move])
+                side0 = side0[~np.isin(side0, move)]
         stack.append((side0, offset, k0))
         stack.append((side1, offset + k0, k1))
 

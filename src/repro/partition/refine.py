@@ -161,6 +161,7 @@ def kway_refine(
     total = graph.total_vertex_weight
     cap = imbalance_tolerance * total / num_parts
     weights = graph.partition_weights(part, num_parts)
+    counts = np.bincount(part, minlength=num_parts)
 
     for _ in range(max_passes):
         moved = 0
@@ -183,13 +184,17 @@ def kway_refine(
                     continue
                 gain = c - internal
                 if gain > best_gain and weights[p] + vw <= cap:
-                    # Don't empty the home part.
-                    if weights[home] - vw > 0:
+                    # Don't empty the home part (by vertex count — a
+                    # weight test is fragile to float rounding when the
+                    # home part holds exactly one vertex).
+                    if counts[home] > 1:
                         best_part, best_gain = p, gain
             if best_part != home:
                 part[v] = best_part
                 weights[home] -= vw
                 weights[best_part] += vw
+                counts[home] -= 1
+                counts[best_part] += 1
                 moved += 1
         if moved == 0:
             break

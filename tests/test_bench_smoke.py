@@ -1,0 +1,112 @@
+"""CI smoke for ``python -m repro bench``.
+
+One real ``--quick`` run through the CLI validates the written document
+against the ``repro-bench/1`` schema; the comparison/threshold logic is
+then exercised with synthetic documents (no second benchmark run, no
+timing noise in CI).
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.__main__ import main
+from repro.bench import SCHEMA, write_bench
+
+REQUIRED_METRICS = {
+    "queue.legacy_ops_s",
+    "queue.heap_ops_s",
+    "queue.calendar_ops_s",
+    "queue.adaptive_ops_s",
+    "hotpath.legacy_packets_s",
+    "hotpath.packets_s",
+    "macro.fig6_events",
+    "macro.fig6_events_s",
+    "macro.fig6_wall_s",
+}
+
+
+def _doc(results: dict, date: str, quick: bool = True) -> dict:
+    """A synthetic benchmark document (schema-shaped, fabricated numbers)."""
+    return {
+        "schema": SCHEMA,
+        "date": date,
+        "quick": quick,
+        "seed": 0,
+        "results": dict(results),
+        "speedups": {
+            "queue_ops": 1.0,
+            "queue_ops_adaptive": 1.0,
+            "hop_throughput": 1.0,
+        },
+        "comparison": None,
+    }
+
+
+_BASE = {m: 100.0 for m in REQUIRED_METRICS}
+
+
+class TestQuickBenchCli:
+    def test_quick_run_writes_valid_document(self, tmp_path, capsys):
+        rc = main(["bench", "--quick", "--out-dir", str(tmp_path)])
+        assert rc == 0
+        files = list(tmp_path.glob("BENCH_*.json"))
+        assert len(files) == 1
+        doc = json.loads(files[0].read_text())
+        assert doc["schema"] == SCHEMA
+        assert doc["quick"] is True
+        assert REQUIRED_METRICS <= set(doc["results"])
+        assert all(v > 0 for v in doc["results"].values())
+        assert set(doc["speedups"]) == {
+            "queue_ops",
+            "queue_ops_adaptive",
+            "hop_throughput",
+        }
+        assert doc["comparison"] is None  # first point in an empty dir
+        out = capsys.readouterr().out
+        assert "speedup vs pre-PR baseline" in out
+
+
+class TestComparison:
+    def test_second_point_compares_against_first(self, tmp_path):
+        write_bench(_doc(_BASE, "2000-01-01"), tmp_path)
+        doc2 = _doc(_BASE, "2000-01-02")
+        write_bench(doc2, tmp_path)
+        cmp = doc2["comparison"]
+        assert cmp is not None
+        assert cmp["previous"] == "BENCH_2000-01-01.json"
+        assert cmp["ok"] and cmp["regressions"] == []
+
+    def test_rate_regression_detected(self, tmp_path):
+        write_bench(_doc(_BASE, "2000-01-01"), tmp_path)
+        degraded = dict(_BASE)
+        degraded["queue.adaptive_ops_s"] = 50.0  # 0.5x < 0.8 threshold
+        doc2 = _doc(degraded, "2000-01-02")
+        write_bench(doc2, tmp_path, threshold=0.8)
+        cmp = doc2["comparison"]
+        assert not cmp["ok"]
+        assert [r["metric"] for r in cmp["regressions"]] == ["queue.adaptive_ops_s"]
+        assert cmp["regressions"][0]["ratio"] == 0.5
+
+    def test_wall_clock_is_lower_is_better(self, tmp_path):
+        write_bench(_doc(_BASE, "2000-01-01"), tmp_path)
+        slower = dict(_BASE)
+        slower["macro.fig6_wall_s"] = 200.0  # doubled wall time = 0.5x
+        doc2 = _doc(slower, "2000-01-02")
+        write_bench(doc2, tmp_path, threshold=0.8)
+        assert not doc2["comparison"]["ok"]
+        assert doc2["comparison"]["regressions"][0]["metric"] == "macro.fig6_wall_s"
+
+    def test_event_counts_are_not_performance(self, tmp_path):
+        write_bench(_doc(_BASE, "2000-01-01"), tmp_path)
+        fewer = dict(_BASE)
+        fewer["macro.fig6_events"] = 1.0  # determinism signal, not perf
+        doc2 = _doc(fewer, "2000-01-02")
+        write_bench(doc2, tmp_path)
+        assert doc2["comparison"]["ok"]
+
+    def test_quick_and_full_runs_never_compared(self, tmp_path):
+        write_bench(_doc(_BASE, "2000-01-01", quick=False), tmp_path)
+        doc2 = _doc(_BASE, "2000-01-02", quick=True)
+        write_bench(doc2, tmp_path)
+        assert doc2["comparison"] is None  # workloads differ

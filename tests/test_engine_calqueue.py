@@ -1,0 +1,236 @@
+"""Tests for the calendar queue and the density-adaptive pending set.
+
+The load-bearing property is *exact pop parity* with the binary heap:
+the engines treat the backend as interchangeable, so CalendarQueue must
+reproduce EventQueue's ``(time, seq)`` total order bit-for-bit under any
+interleaving of pushes, cancellations, and pops — proven here unit-wise
+and by a hypothesis property, and end-to-end by
+test_differential_determinism.py.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine import AdaptiveQueue, CalendarQueue, EventQueue, make_queue
+
+
+def _noop():
+    return None
+
+
+class TestCalendarQueue:
+    def test_time_order(self):
+        q = CalendarQueue()
+        for t in (5.0, 1.0, 3.0, 2.0, 4.0):
+            q.push(t, _noop)
+        assert [q.pop().time for _ in range(5)] == [1.0, 2.0, 3.0, 4.0, 5.0]
+        assert q.pop() is None
+
+    def test_fifo_for_equal_times(self):
+        q = CalendarQueue()
+        order = []
+        q.push(1.0, order.append, args=("a",))
+        q.push(1.0, order.append, args=("b",))
+        for _ in range(2):
+            ev = q.pop()
+            ev.fn(*ev.args)
+        assert order == ["a", "b"]
+
+    def test_cancel_skipped(self):
+        q = CalendarQueue()
+        ev = q.push(1.0, _noop)
+        q.push(2.0, _noop)
+        ev.cancel()
+        assert q.pop().time == 2.0
+        assert q.pop() is None
+
+    def test_peek_skips_cancelled(self):
+        q = CalendarQueue()
+        ev = q.push(1.0, _noop)
+        ev.cancel()
+        assert q.peek_time() is None
+        q.push(3.0, _noop)
+        assert q.peek_time() == 3.0
+
+    def test_len_and_bool(self):
+        q = CalendarQueue()
+        assert not q
+        q.push(1.0, _noop)
+        assert q and len(q) == 1
+
+    def test_pop_until_boundary_exclusive(self):
+        q = CalendarQueue()
+        q.push(1.0, _noop)
+        q.push(2.0, _noop)
+        assert q.pop_until(1.0) is None  # head at the bound stays queued
+        assert q.pop_until(1.5).time == 1.0
+        assert q.pop_until(1.5) is None
+        assert q.pop_until(float("inf")).time == 2.0
+
+    def test_grows_and_shrinks(self):
+        q = CalendarQueue()
+        times = [(i * 37) % 1000 / 10.0 for i in range(1000)]
+        for t in times:
+            q.push(t, _noop)
+        assert q.rebuilds > 0  # grew well past the initial 8 buckets
+        popped = [q.pop().time for _ in range(1000)]
+        assert popped == sorted(times)
+
+    def test_sparse_clusters_jump_years(self):
+        # Two tight clusters far apart: the sweep must jump the empty
+        # years between them instead of scanning bucket by bucket.
+        q = CalendarQueue()
+        times = [i * 1e-4 for i in range(32)] + [5_000.0 + i * 1e-4 for i in range(32)]
+        for t in reversed(times):
+            q.push(t, _noop)
+        assert [q.pop().time for _ in range(len(times))] == sorted(times)
+
+    def test_rewind_on_push_behind_cursor(self):
+        q = CalendarQueue()
+        q.push(10.0, _noop)
+        assert q.peek_time() == 10.0  # sweep advances to 10.0's bucket
+        q.push(1.0, _noop)  # placed behind the cursor: must rewind
+        assert q.pop().time == 1.0
+        assert q.pop().time == 10.0
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            CalendarQueue(width=0.0)
+        with pytest.raises(ValueError):
+            CalendarQueue(nbuckets=0)
+
+    def test_drain_and_extend_roundtrip(self):
+        q = CalendarQueue()
+        for t in (3.0, 1.0, 2.0):
+            q.push(t, _noop)
+        entries = q.drain_entries()
+        assert len(q) == 0 and q.pop() is None
+        q2 = CalendarQueue()
+        q2.extend_entries(entries)
+        assert [q2.pop().time for _ in range(3)] == [1.0, 2.0, 3.0]
+
+
+class _TinyAdaptive(AdaptiveQueue):
+    """AdaptiveQueue with thresholds small enough to exercise in a test."""
+
+    PROMOTE_SIZE = 64
+    DEMOTE_SIZE = 8
+    CHECK_INTERVAL = 16
+    MIN_SWITCH_DISTANCE = 32
+
+
+class TestAdaptiveQueue:
+    def test_starts_on_heap(self):
+        q = AdaptiveQueue()
+        assert q.kind == "heap"
+        assert q.switches == 0
+
+    def test_promotes_under_dense_backlog(self):
+        q = _TinyAdaptive()
+        times = [(i * 17) % 256 / 10.0 for i in range(256)]
+        for t in times:
+            q.push(t, _noop)
+        assert q.kind == "calendar"
+        assert q.switches == 1
+        # order is preserved across the migration
+        assert [q.pop().time for _ in range(256)] == sorted(times)
+
+    def test_demotes_when_backlog_thins(self):
+        q = _TinyAdaptive()
+        for i in range(256):
+            q.push(float(i), _noop)
+        assert q.kind == "calendar"
+        # Drain below DEMOTE_SIZE, then keep a small backlog while
+        # pushing enough to cross the next density evaluation.
+        for _ in range(252):
+            q.pop()
+        t = 1000.0
+        for _ in range(20):  # bounded: must demote within a few checks
+            if q.kind == "heap":
+                break
+            for _ in range(q.CHECK_INTERVAL):
+                q.push(t, _noop)
+                q.pop()
+                t += 1.0
+        assert q.kind == "heap"
+        assert q.switches == 2
+
+    def test_cancelled_events_survive_migration_as_cancelled(self):
+        q = _TinyAdaptive()
+        cancelled = q.push(50.0, _noop)
+        cancelled.cancel()
+        for i in range(256):
+            q.push(float(i % 40), _noop)
+        assert q.kind == "calendar"
+        while True:
+            ev = q.pop()
+            if ev is None:
+                break
+            assert ev is not cancelled
+
+    def test_pop_until_binds_through(self):
+        q = AdaptiveQueue()
+        q.push(1.0, _noop)
+        q.push(2.0, _noop)
+        assert q.pop_until(1.0) is None
+        assert q.pop_until(3.0).time == 1.0
+
+
+class TestMakeQueue:
+    def test_kinds(self):
+        assert isinstance(make_queue("heap"), EventQueue)
+        assert isinstance(make_queue("calendar"), CalendarQueue)
+        assert isinstance(make_queue("adaptive"), AdaptiveQueue)
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(ValueError):
+            make_queue("fifo")
+
+
+# Each op is (kind, value): push at a time, cancel a previously returned
+# handle (index derived from the value), or pop. Both queues see the
+# identical logical sequence; their pops must agree exactly.
+_OPS = st.lists(
+    st.tuples(
+        st.sampled_from(["push", "pop", "cancel"]),
+        st.floats(min_value=0.0, max_value=100.0, allow_nan=False, width=32),
+    ),
+    max_size=200,
+)
+
+
+class TestHeapCalendarParity:
+    @settings(max_examples=200, deadline=None)
+    @given(ops=_OPS)
+    def test_pop_parity_under_interleavings(self, ops):
+        heap, cal = EventQueue(), CalendarQueue()
+        handles: list = []
+        payload = 0
+        for op, value in ops:
+            if op == "push":
+                h = heap.push(value, _noop, args=(payload,))
+                c = cal.push(value, _noop, args=(payload,))
+                handles.append((h, c))
+                payload += 1
+            elif op == "cancel" and handles:
+                h, c = handles[int(value * 1e3) % len(handles)]
+                h.cancel()
+                c.cancel()
+            else:
+                he, ce = heap.pop(), cal.pop()
+                if he is None:
+                    assert ce is None
+                else:
+                    assert ce is not None
+                    assert (he.time, he.args) == (ce.time, ce.args)
+        # drain whatever remains: identical tails
+        while True:
+            he, ce = heap.pop(), cal.pop()
+            if he is None:
+                assert ce is None
+                break
+            assert ce is not None
+            assert (he.time, he.args) == (ce.time, ce.args)

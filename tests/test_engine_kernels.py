@@ -189,6 +189,51 @@ class TestConservativeEngine:
         eng.run(until=1.0)
         assert eng.events_per_lp_total().tolist() == [1, 1]
 
+    def test_rejects_schedule_into_lp_local_past(self):
+        # Regression: validation must use the executing LP's local clock,
+        # not the barrier clock. An event at t=0.05 runs inside window
+        # [0, 0.1) while the barrier clock is still 0.0 — scheduling at
+        # t=0.02 is after the barrier but before the LP's local now, and
+        # silently inverts execution order unless rejected.
+        eng = ConservativeEngine(np.array([0]), 1, lookahead=0.1)
+
+        def offender():
+            eng.schedule_at(0.02, lambda: None, node=0)
+
+        eng.schedule_at(0.05, offender, node=0)
+        with pytest.raises(ValueError, match="LP's past"):
+            eng.run(until=0.1)
+
+    def test_same_lp_future_within_window_allowed(self):
+        # The LP-local floor must not over-reject: same-LP scheduling
+        # ahead of the local clock but inside the current window is legal.
+        eng = ConservativeEngine(np.array([0]), 1, lookahead=0.1)
+        seen = []
+
+        def sender():
+            eng.schedule_at(0.06, lambda: seen.append(1), node=0)
+
+        eng.schedule_at(0.05, sender, node=0)
+        eng.run(until=0.1)
+        assert seen == [1]
+
+    def test_lookahead_guard_scales_with_simulated_time(self):
+        # Regression: with an absolute epsilon (1e-15) the boundary
+        # tolerance falls below one float ULP once simulated time passes
+        # ~0.01 s, so a cross-LP event at window_end - 1e-11 near t=2000
+        # was flagged as a violation. The relative epsilon
+        # (1e-9 * lookahead = 5e-10 here) must accept it.
+        eng = ConservativeEngine(np.array([0, 1]), 2, lookahead=0.5)
+        seen = []
+
+        def sender():
+            eng.schedule_at(2000.0 - 1e-11, lambda: seen.append(1), node=1)
+
+        eng.schedule_at(1999.6, sender, node=0)
+        eng.run(until=2000.6)
+        assert eng.lookahead_violations == 0
+        assert seen == [1]
+
     def test_equivalence_with_sequential(self):
         """The conservative engine executes the same event sequence as the
         sequential kernel when cross-LP delays respect the lookahead."""

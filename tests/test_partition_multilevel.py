@@ -236,3 +236,30 @@ class TestPartitionKway:
         g = WeightedGraph(n, [0] * (n - 1), list(range(1, n)))
         res = partition_kway(g, 4, seed=0)
         assert set(res.assignment.tolist()) == {0, 1, 2, 3}
+
+    def test_dominant_vertex_leaves_no_part_empty(self):
+        # One vertex carrying most of the weight used to starve a
+        # recursion side below its part count (and kway_refine's
+        # weight-based don't-empty guard could strip a one-vertex part),
+        # producing empty parts on tiny graphs.
+        g = WeightedGraph(
+            3, [1, 2], [0, 1], [1.0, 1.0], [1e-3, 1e-3], [3.324, 0.102, 0.305]
+        )
+        res = partition_kway(g, 3, seed=0)
+        assert set(res.assignment.tolist()) == {0, 1, 2}
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_tiny_paths_fill_every_part(self, seed):
+        rng = np.random.default_rng(seed)
+        for n, k in [(3, 3), (4, 3), (4, 4), (5, 3), (6, 4)]:
+            vw = rng.uniform(0.1, 5.0, n)
+            g = WeightedGraph(
+                n,
+                list(range(1, n)),
+                list(range(n - 1)),
+                rng.uniform(0.1, 10.0, n - 1),
+                rng.uniform(1e-5, 1e-2, n - 1),
+                vw,
+            )
+            res = partition_kway(g, k, seed=0)
+            assert set(res.assignment.tolist()) == set(range(k)), (n, k, vw)
