@@ -10,6 +10,7 @@ Usage::
     python -m repro synccost
     python -m repro lint src/repro [--format json] [--strict]
     python -m repro bench [--quick] [--out-dir .] [--threshold 0.8] [--seed 0]
+    python -m repro chaos multi-as scalapack --scenario chaos-mixed [--seed 0]
 
 ``figures`` runs all four (network, application) experiments and prints
 the paper's Figures 6-13 tables; ``sweep`` prints the Tmll sweep behind
@@ -23,7 +24,9 @@ JSON); ``synccost`` prints the Figure 5 model; ``lint`` runs the
 simlint static analysis (:mod:`repro.analysis`); ``bench`` runs the
 committed benchmark trajectory (:mod:`repro.bench`), writes
 ``BENCH_<date>.json``, and exits 1 on a performance regression against
-the previous file.
+the previous file; ``chaos`` runs a seeded fault scenario
+(:mod:`repro.faults`), prints the convergence/recovery report, and
+exits 1 when the network failed to heal within the run horizon.
 """
 
 from __future__ import annotations
@@ -329,6 +332,33 @@ def cmd_bench(args) -> int:
     return 1 if (cmp is not None and not cmp["ok"]) else 0
 
 
+def cmd_chaos(args) -> int:
+    import json
+
+    from .experiments import format_chaos_report, run_chaos_experiment
+    from .faults import BUILTIN_SCENARIOS, FaultScenario
+
+    if args.spec is not None:
+        with open(args.spec, encoding="utf-8") as fh:
+            scenario = FaultScenario.from_dict(json.load(fh))
+    else:
+        scenario = BUILTIN_SCENARIOS[args.scenario]
+    scale = _resolve_scale(args)
+    result = run_chaos_experiment(
+        args.network,
+        args.app,
+        scenario,
+        scale=scale,
+        seed=args.seed,
+        duration_s=args.duration,
+        obs_out=args.obs_out,
+    )
+    print(format_chaos_report(result))
+    if args.obs_out:
+        print(f"observability snapshot written to {args.obs_out}")
+    return 0 if result.recovered else 1
+
+
 def cmd_synccost(args) -> int:
     from .cluster import SyncCostModel
 
@@ -429,6 +459,26 @@ def main(argv: list[str] | None = None) -> int:
                          "a regression (default: 0.8)")
     p_bench.add_argument("--seed", type=int, default=0)
     p_bench.set_defaults(fn=cmd_bench)
+
+    p_chaos = sub.add_parser(
+        "chaos",
+        help="run a seeded fault-injection scenario and print the "
+        "convergence/recovery report (exit 1 if the network did not heal)",
+    )
+    p_chaos.add_argument("network", choices=["single-as", "multi-as"])
+    p_chaos.add_argument("app", choices=["scalapack", "gridnpb"])
+    p_chaos.add_argument("--scenario", default="chaos-mixed",
+                         choices=["link-flap", "router-restart", "loss-burst",
+                                  "chaos-mixed"],
+                         help="built-in fault scenario (default: chaos-mixed)")
+    p_chaos.add_argument("--spec", metavar="PATH", default=None,
+                         help="JSON FaultScenario spec overriding --scenario")
+    p_chaos.add_argument("--duration", type=float, default=None,
+                         help="simulated seconds (default: the scale's duration)")
+    p_chaos.add_argument("--obs-out", dest="obs_out", metavar="PATH", default=None,
+                         help="write the run's observability snapshot (JSON)")
+    _add_scale(p_chaos)
+    p_chaos.set_defaults(fn=cmd_chaos)
 
     p_lint = sub.add_parser(
         "lint", help="run simlint static analysis (exit 1 on error findings)"

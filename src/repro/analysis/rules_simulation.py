@@ -18,6 +18,7 @@ __all__ = [
     "check_float_time_equality",
     "check_mutable_default",
     "check_schedule_node",
+    "check_silent_except",
 ]
 
 _TIMESTAMP_NAMES = frozenset({"now", "time", "timestamp", "when", "deadline"})
@@ -133,4 +134,46 @@ def check_schedule_node(ctx: ModuleContext) -> Iterator[tuple[ast.AST, str]]:
             yield node, (
                 f"`{func.attr}()` call without an explicit `node=`; "
                 "attribute the event to a simulated node for load profiling"
+            )
+
+
+_BROAD_EXCEPTIONS = frozenset(
+    {"Exception", "BaseException", "builtins.Exception", "builtins.BaseException"}
+)
+
+
+def _is_silent_body(body: list[ast.stmt]) -> bool:
+    """True when a handler body does nothing: only ``pass``/``...``/docstrings."""
+    return all(
+        isinstance(stmt, ast.Pass)
+        or (isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Constant))
+        for stmt in body
+    )
+
+
+@rule("SIM107", "silent-except", Severity.ERROR, scope=("repro/",))
+def check_silent_except(ctx: ModuleContext) -> Iterator[tuple[ast.AST, str]]:
+    """Bare ``except:`` or silently swallowed broad exceptions.
+
+    A fault-injection run surfaces failures as exceptions on purpose —
+    a handler that catches everything and does nothing turns an injected
+    fault (or a real bug) into silent state corruption. Catch a specific
+    type, or at minimum record the failure before continuing; suppress a
+    deliberate sink with ``# simlint: disable=SIM107``.
+    """
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.ExceptHandler):
+            continue
+        if node.type is None:
+            yield node, (
+                "bare `except:` swallows every failure, including injected "
+                "faults; catch a specific exception type"
+            )
+            continue
+        types = node.type.elts if isinstance(node.type, ast.Tuple) else [node.type]
+        names = {ctx.dotted_name(t) for t in types}
+        if names & _BROAD_EXCEPTIONS and _is_silent_body(node.body):
+            yield node, (
+                "`except Exception` with an empty body hides failures; "
+                "narrow the type or handle (at least record) the error"
             )

@@ -147,12 +147,18 @@ def predict_wallclock(
     remote_counts: np.ndarray,
     cluster: ClusterSpec,
     num_lps: int | None = None,
+    busy_multipliers: np.ndarray | None = None,
 ) -> WallclockPrediction:
     """Apply the window-max cost model to bucketed counts.
 
     ``event_counts`` and ``remote_counts`` are ``(windows, lps)`` arrays
     (from :func:`bucket_event_counts` / :func:`remote_send_counts`, or the
-    conservative engine's :attr:`window_stats`).
+    conservative engine's :attr:`window_stats`). ``busy_multipliers``,
+    when given, is a ``(windows, lps)`` array of per-LP slowdown factors
+    (>= 1) applied to the compute cost — how a straggler fault
+    (:mod:`repro.faults` LP slowdown spans) enters the model: a slowed
+    LP takes proportionally longer per window and drags every barrier it
+    bounds.
     """
     event_counts = np.asarray(event_counts, dtype=np.float64)
     remote_counts = np.asarray(remote_counts, dtype=np.float64)
@@ -163,6 +169,13 @@ def predict_wallclock(
     per_lp_cost = (
         event_counts * cluster.event_cost_s + remote_counts * cluster.remote_event_cost_s
     )
+    if busy_multipliers is not None:
+        busy_multipliers = np.asarray(busy_multipliers, dtype=np.float64)
+        if busy_multipliers.shape != per_lp_cost.shape:
+            raise ValueError("busy_multipliers shape must match the count arrays")
+        if (busy_multipliers < 1.0).any():
+            raise ValueError("busy multipliers must be >= 1")
+        per_lp_cost = per_lp_cost * busy_multipliers
     compute = float(per_lp_cost.max(axis=1).sum()) if W else 0.0
     sync = W * cluster.sync_cost_s(n) if n > 1 else 0.0
     return WallclockPrediction(

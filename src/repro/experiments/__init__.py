@@ -1,6 +1,7 @@
 """Experiment pipelines reproducing the paper's evaluation (Figures 3-13)."""
 
 from .aggregate import MetricStats, aggregate_results, format_aggregate, run_seed_sweep
+from .chaos import ChaosResult, format_chaos_report, run_chaos_experiment
 from .claims import PAPER_CLAIMS, ClaimCheck, evaluate_claims, format_claims
 from .config import PAPER_SCALE, SCALES, ExperimentScale, default_scale
 from .parallel import predict_from_window_stats, run_parallel_workload
@@ -45,4 +46,7 @@ __all__ = [
     "evaluate_claims",
     "format_claims",
     "PAPER_CLAIMS",
+    "ChaosResult",
+    "run_chaos_experiment",
+    "format_chaos_report",
 ]

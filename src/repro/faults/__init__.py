@@ -1,0 +1,29 @@
+"""Deterministic fault injection and recovery (``repro.faults``).
+
+Seeded, replayable chaos for the simulated network: link flaps, router
+crash/restart, loss and corruption bursts, LP straggler slowdowns, and
+BGP session resets — injected as ordinary engine events, recovered by
+the routing layers (OSPF re-convergence, BGP withdrawal and backoff
+re-establishment) and the transport layer (TCP retransmit). Off by
+default: a run without a schedule is bit-identical to one built before
+this package existed.
+"""
+
+from .injector import FaultCounts, FaultInjector
+from .schedule import (
+    BUILTIN_SCENARIOS,
+    FaultEvent,
+    FaultKind,
+    FaultScenario,
+    FaultSchedule,
+)
+
+__all__ = [
+    "BUILTIN_SCENARIOS",
+    "FaultCounts",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultKind",
+    "FaultScenario",
+    "FaultSchedule",
+]

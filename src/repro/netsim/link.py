@@ -64,6 +64,9 @@ class TransmitResult(NamedTuple):
     #: bytes already queued ahead of this packet when it was offered
     #: (the queue-depth signal observability turns into high-water marks)
     backlog_bytes: float = 0.0
+    #: rejected by an injected fault (loss/corruption burst), not by the
+    #: queue — the simulator keeps fault drops out of the traffic counters
+    faulted: bool = False
 
 
 @dataclass
@@ -83,6 +86,13 @@ class LinkRuntime:
     packets_dropped: list[int] = field(default_factory=lambda: [0, 0])
     #: failure injection: a failed link drops every offered packet
     failed: bool = False
+    #: fault injection (repro.faults): probabilistic loss before transmit
+    loss_prob: float = 0.0
+    #: fault injection: probabilistic corruption — the packet occupies the
+    #: transmitter (capacity is burned) but is discarded at the receiver
+    corrupt_prob: float = 0.0
+    packets_lost: list[int] = field(default_factory=lambda: [0, 0])
+    packets_corrupted: list[int] = field(default_factory=lambda: [0, 0])
 
     def __post_init__(self) -> None:
         if self.discipline not in ("droptail", "red"):
@@ -90,6 +100,10 @@ class LinkRuntime:
         # Per-link deterministic stream keeps RED runs reproducible and
         # independent of event interleaving across links.
         self._rng = np.random.default_rng(0x9E3779B9 ^ self.link.link_id)
+        # Fault draws come from a second, lazily created per-link stream
+        # so a loss burst never perturbs the RED sequence: a no-fault run
+        # stays bit-identical whether or not faults were ever configured.
+        self._fault_rng: np.random.Generator | None = None
 
     def direction(self, from_node: int) -> int:
         """Direction index for traffic leaving ``from_node`` (0 or 1)."""
@@ -98,6 +112,13 @@ class LinkRuntime:
         if from_node == self.link.v:
             return 1
         raise ValueError(f"node {from_node} not on link {self.link.link_id}")
+
+    def _fault_draw(self) -> float:
+        """Uniform draw from the lazily created fault stream."""
+        rng = self._fault_rng
+        if rng is None:
+            rng = self._fault_rng = np.random.default_rng(0x7F4A7C15 ^ self.link.link_id)
+        return float(rng.random())
 
     def _early_drop(self, backlog_bytes: float) -> bool:
         """Gentle-RED drop decision for the observed ``backlog_bytes``.
@@ -131,6 +152,9 @@ class LinkRuntime:
         if self.failed:
             self.packets_dropped[d] += 1
             return TransmitResult(accepted=False)
+        if self.loss_prob > 0.0 and self._fault_draw() < self.loss_prob:
+            self.packets_lost[d] += 1
+            return TransmitResult(accepted=False, faulted=True)
         start = max(now, self.busy_until[d])
         backlog_bytes = (start - now) * self.link.bandwidth_bps / 8.0
         # Admission counts the packet itself: admitting on backlog alone
@@ -145,6 +169,18 @@ class LinkRuntime:
         tx_time = packet.size_bytes * 8.0 / self.link.bandwidth_bps
         finish = start + tx_time
         self.busy_until[d] = finish
+        if self.corrupt_prob > 0.0 and self._fault_draw() < self.corrupt_prob:
+            # A corrupted packet still occupies the transmitter for its
+            # full serialization time (capacity is burned) but never
+            # reaches the far endpoint — the receiver's checksum fails.
+            self.packets_corrupted[d] += 1
+            return TransmitResult(
+                accepted=False,
+                start_time=start,
+                arrival_time=finish + self.link.latency_s,
+                backlog_bytes=backlog_bytes,
+                faulted=True,
+            )
         self.bytes_carried[d] += packet.size_bytes
         self.packets_carried[d] += 1
         return TransmitResult(
@@ -168,6 +204,16 @@ class LinkRuntime:
     def total_drops(self) -> int:
         """Packets dropped, both directions."""
         return self.packets_dropped[0] + self.packets_dropped[1]
+
+    @property
+    def total_lost(self) -> int:
+        """Packets lost to an injected loss burst, both directions."""
+        return self.packets_lost[0] + self.packets_lost[1]
+
+    @property
+    def total_corrupted(self) -> int:
+        """Packets corrupted by an injected fault, both directions."""
+        return self.packets_corrupted[0] + self.packets_corrupted[1]
 
     def utilization(self, duration_s: float) -> float:
         """Mean utilization of the busier direction over ``duration_s``."""

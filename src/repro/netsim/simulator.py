@@ -112,6 +112,14 @@ class NetworkSimulator:
         self.counters = TrafficCounters()
         #: per-node handled packet count (the PROF node-weight signal)
         self.node_packets = np.zeros(net.num_nodes, dtype=np.int64)
+        # Fault state (repro.faults): crashed nodes black-hole every
+        # packet that reaches them. Kept outside TrafficCounters so the
+        # regression fingerprint's counter dict is unchanged; empty on a
+        # healthy run, so the hot path pays one truthiness check.
+        self._down_nodes: set[int] = set()
+        #: packets discarded by injected faults (crashed node, loss or
+        #: corruption burst) — deliberately not part of TrafficCounters
+        self.dropped_fault = 0
 
         self.record_transmissions = record_transmissions
         self.tx_times: list[float] = []
@@ -205,6 +213,9 @@ class NetworkSimulator:
 
     def _handle_at(self, node: int, packet: Packet) -> None:
         """Process a packet at ``node``: deliver locally or forward."""
+        if self._down_nodes and node in self._down_nodes:
+            self.dropped_fault += 1
+            return
         self.node_packets[node] += 1
         if self._obs.enabled:
             self._obs_node_events.inc(node)
@@ -228,6 +239,12 @@ class NetworkSimulator:
         if self._obs.enabled:
             self._obs_queue_hwm.observe(runtime.link.link_id, result.backlog_bytes)
         if not result.accepted:
+            if result.faulted:
+                # Injected loss/corruption — accounted separately so the
+                # queue-drop counter (and the regression fingerprint)
+                # keeps its meaning under fault scenarios.
+                self.dropped_fault += 1
+                return
             self.counters.packets_dropped_queue += 1
             if self._obs.enabled:
                 self._obs_dropped_queue.inc()
@@ -286,6 +303,19 @@ class NetworkSimulator:
     def restore_link(self, link_id: int) -> None:
         """Bring a failed link back into service."""
         self.links[link_id].failed = False
+
+    def set_node_down(self, node: int) -> None:
+        """Crash a node: packets reaching it are silently discarded.
+
+        In-flight packets already scheduled to arrive at the node are
+        dropped on arrival (counted in :attr:`dropped_fault`), matching
+        a real crash where queued frames die with the router.
+        """
+        self._down_nodes.add(node)
+
+    def set_node_up(self, node: int) -> None:
+        """Restart a crashed node (idempotent)."""
+        self._down_nodes.discard(node)
 
     # ------------------------------------------------------------------
     # Statistics views

@@ -33,6 +33,12 @@ __all__ = [
     "BGP_DECISIONS",
     "BGP_ITERATIONS",
     "BGP_CONVERGENCE",
+    "FAULTS_INJECTED",
+    "FAULTS_LINK_TRANSITIONS",
+    "FAULTS_ROUTER_TRANSITIONS",
+    "FAULTS_ROUTE_INVALIDATIONS",
+    "FAULTS_BGP_SESSION_RESETS",
+    "FAULTS_BGP_REESTABLISHED",
     "HELP",
     "help_for",
 ]
@@ -85,6 +91,20 @@ BGP_ITERATIONS = "bgp.iterations"
 #: wall-clock span of each convergence run (span timer)
 BGP_CONVERGENCE = "bgp.convergence"
 
+# --- fault injection (repro.faults) -----------------------------------
+#: scheduled fault events applied by the injector (scalar)
+FAULTS_INJECTED = "faults.injected"
+#: link state transitions (down + up) applied by the injector (scalar)
+FAULTS_LINK_TRANSITIONS = "faults.link.transitions"
+#: router state transitions (crash + restart) applied (scalar)
+FAULTS_ROUTER_TRANSITIONS = "faults.router.transitions"
+#: forwarding-state invalidations forced by fault transitions (scalar)
+FAULTS_ROUTE_INVALIDATIONS = "faults.route.invalidations"
+#: BGP session teardowns (withdrawal propagations) triggered (scalar)
+FAULTS_BGP_SESSION_RESETS = "faults.bgp.session_resets"
+#: BGP sessions re-established after backoff retries (scalar)
+FAULTS_BGP_REESTABLISHED = "faults.bgp.session_reestablished"
+
 # --- exporter help text ----------------------------------------------
 #: One-line ``# HELP`` text per instrument, keyed by canonical name.
 #: The names-drift test asserts every constant above has an entry, so a
@@ -113,6 +133,12 @@ HELP: dict[str, str] = {
     BGP_DECISIONS: "Decision-process (best-route selection) invocations.",
     BGP_ITERATIONS: "Synchronous propagation rounds to the last fixed point.",
     BGP_CONVERGENCE: "Wall-clock span of each convergence run.",
+    FAULTS_INJECTED: "Scheduled fault events applied by the injector.",
+    FAULTS_LINK_TRANSITIONS: "Link state transitions (down and up) applied.",
+    FAULTS_ROUTER_TRANSITIONS: "Router crash and restart transitions applied.",
+    FAULTS_ROUTE_INVALIDATIONS: "Forwarding-state invalidations forced by faults.",
+    FAULTS_BGP_SESSION_RESETS: "BGP session teardowns (withdrawal propagations).",
+    FAULTS_BGP_REESTABLISHED: "BGP sessions re-established after backoff retries.",
 }
 
 

@@ -3,7 +3,8 @@
 Where the registry (:mod:`repro.obs.registry`) aggregates — totals,
 histograms, high-water marks — the tracer keeps *individual records*:
 one record per barrier window, per cross-LP message edge, per executed
-event, per link transmission, per BGP convergence span. That is the raw
+event, per link transmission, per BGP convergence span, per fault
+injection or recovery transition (:mod:`repro.faults`). That is the raw
 material for straggler attribution (:mod:`repro.obs.blame`), the Chrome
 trace-event export (:mod:`repro.obs.trace_export`), and the what-if
 mapping replay (:mod:`repro.obs.whatif`).
@@ -42,6 +43,7 @@ __all__ = [
     "WindowRecord",
     "EdgeRecord",
     "SpanRecord",
+    "FaultRecord",
     "TraceBuffer",
     "get_tracer",
     "traced_run",
@@ -50,7 +52,7 @@ __all__ = [
 
 #: Default per-channel ring capacity. Sized so the laptop-scale demo
 #: scenarios fit without eviction while a runaway trace stays bounded
-#: (five channels of tuples/records, a few tens of MB worst case).
+#: (six channels of tuples/records, a few tens of MB worst case).
 DEFAULT_TRACE_CAPACITY = 262_144
 
 
@@ -101,6 +103,29 @@ class EdgeRecord:
     send_time: float
     #: simulated time the event executes on the destination LP
     deliver_time: float
+
+
+@dataclass(frozen=True)
+class FaultRecord:
+    """One fault injection or recovery transition (``repro.faults``).
+
+    ``phase`` is ``'inject'`` for transitions into a degraded state
+    (link down, loss burst start, BGP withdrawal) and ``'recover'`` for
+    transitions back (link up, session re-establishment, retry
+    attempts). ``target`` identifies what the transition applies to —
+    a link id, a node id, an LP index, or an AS pair — and ``detail``
+    carries kind-specific parameters (loss probability, retry attempt
+    number, convergence iteration count).
+    """
+
+    #: simulated time the transition was applied
+    time: float
+    #: dotted transition kind, e.g. ``'link.down'`` or ``'bgp.reestablished'``
+    kind: str
+    #: ``'inject'`` or ``'recover'``
+    phase: str
+    target: tuple[int, ...] = ()
+    detail: dict = field(default_factory=dict)
 
 
 @dataclass(frozen=True)
@@ -156,6 +181,8 @@ class TraceBuffer:
         self.events: deque[tuple[float, int]] = deque()
         #: (time, from_node, to_node) per accepted link transmission
         self.transmissions: deque[tuple[float, int, int]] = deque()
+        #: fault injections and recovery transitions (repro.faults)
+        self.faults: deque[FaultRecord] = deque()
         self.dropped_records = 0
 
     # ------------------------------------------------------------------
@@ -183,7 +210,14 @@ class TraceBuffer:
         self.remote_event_cost_s = float(remote_event_cost_s)
 
     def _channels(self) -> tuple[deque, ...]:
-        return (self.windows, self.edges, self.spans, self.events, self.transmissions)
+        return (
+            self.windows,
+            self.edges,
+            self.spans,
+            self.events,
+            self.transmissions,
+            self.faults,
+        )
 
     def __len__(self) -> int:
         return sum(len(c) for c in self._channels())
@@ -227,6 +261,20 @@ class TraceBuffer:
         """Record one link transmission sample (netsim forwarding hook)."""
         if self.enabled:
             self._append(self.transmissions, (t, from_node, to_node))
+
+    def fault(
+        self,
+        t: float,
+        kind: str,
+        phase: str,
+        target: tuple[int, ...] = (),
+        **detail,
+    ) -> None:
+        """Record one fault injection or recovery transition."""
+        if self.enabled:
+            self._append(
+                self.faults, FaultRecord(float(t), kind, phase, tuple(target), detail)
+            )
 
     def span_begin(self) -> float:
         """Open a wall-clock span; returns a token (``-1.0`` when disabled)."""

@@ -2,6 +2,7 @@
 (Agent, WrapSocket, virtual/real IP mapping, soft-real-time control)."""
 
 from .agent import Agent, AgentStats
+from .errors import OnlineTimeoutError
 from .ipmap import VirtualIpMapper
 from .realtime import VirtualTimeController, required_slowdown
 from .wrapsocket import SocketClosed, WrapSocket
@@ -9,6 +10,7 @@ from .wrapsocket import SocketClosed, WrapSocket
 __all__ = [
     "Agent",
     "AgentStats",
+    "OnlineTimeoutError",
     "VirtualIpMapper",
     "WrapSocket",
     "SocketClosed",

@@ -12,10 +12,20 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable
 
+import numpy as np
+
 from .agent import Agent
+from .errors import OnlineTimeoutError
 from .ipmap import VirtualIpMapper
 
 __all__ = ["WrapSocket", "SocketClosed"]
+
+#: Retried sends cap their per-attempt timeout at this multiple of the
+#: caller's ``timeout_s`` (bounded exponential backoff).
+MAX_TIMEOUT_FACTOR = 8.0
+#: Deterministic jitter fraction added to each backed-off timeout so
+#: concurrent retries don't resynchronize.
+TIMEOUT_JITTER = 0.1
 
 
 class SocketClosed(RuntimeError):
@@ -55,6 +65,9 @@ class WrapSocket:
             self.virtual_ip = VirtualIpMapper.virtual_ip(node)
         self._open = True
         self._peer: int | None = None
+        # Lazily created per-node stream for retry-timeout jitter; same
+        # node, same jitter sequence (deterministic across runs).
+        self._timeout_rng: np.random.Generator | None = None
 
     # ------------------------------------------------------------------
     def connect(self, peer_virtual_ip: str) -> None:
@@ -72,6 +85,10 @@ class WrapSocket:
         nbytes: int,
         on_complete: Callable[[float], None] | None = None,
         on_received: Callable[[float], None] | None = None,
+        *,
+        timeout_s: float | None = None,
+        max_retries: int = 3,
+        on_timeout: Callable[[OnlineTimeoutError], None] | None = None,
     ) -> None:
         """Stream ``nbytes`` to the connected peer via the simulation.
 
@@ -80,6 +97,17 @@ class WrapSocket:
         listener callback (if any) fire when the last byte *arrives* — at
         the peer, so that under the parallel engine the peer's reaction
         executes on the peer's logical process.
+
+        With ``timeout_s`` set, a watchdog guards each attempt: if no
+        acknowledgment arrives in time, the stream is re-sent with the
+        timeout doubled (bounded at ``MAX_TIMEOUT_FACTOR * timeout_s``,
+        plus deterministic jitter) up to ``max_retries`` times. On
+        exhaustion an :class:`OnlineTimeoutError` goes to ``on_timeout``
+        when given, else is raised from the watchdog event.
+        ``on_complete`` fires at most once even if a timed-out attempt's
+        acknowledgment arrives late; the receiver may see duplicate
+        streams, exactly as with application-level retransmission.
+        Without ``timeout_s`` the behavior is unchanged.
         """
         self._check_open()
         if self._peer is None:
@@ -94,7 +122,67 @@ class WrapSocket:
             if on_received is not None:
                 on_received(t)
 
-        self.agent.transfer(src, peer, nbytes, on_complete, on_received=_received)
+        if timeout_s is None:
+            self.agent.transfer(src, peer, nbytes, on_complete, on_received=_received)
+            return
+        if timeout_s <= 0:
+            raise ValueError("timeout_s must be positive")
+        self._send_guarded(
+            nbytes, on_complete, _received, timeout_s, max_retries, on_timeout
+        )
+
+    def _send_guarded(
+        self,
+        nbytes: int,
+        on_complete: Callable[[float], None] | None,
+        received: Callable[[float], None],
+        timeout_s: float,
+        max_retries: int,
+        on_timeout: Callable[[OnlineTimeoutError], None] | None,
+    ) -> None:
+        """Issue a transfer under a retry-with-backoff watchdog."""
+        peer = self._peer
+        src = self.node
+        state = {"done": False, "attempt": 0, "waited": 0.0}
+
+        def _complete(t: float) -> None:
+            if state["done"]:
+                return  # a timed-out attempt's ACK arriving late
+            state["done"] = True
+            if on_complete is not None:
+                on_complete(t)
+
+        def _attempt(current_timeout: float) -> None:
+            self.agent.transfer(src, peer, nbytes, _complete, on_received=received)
+
+            def _watchdog() -> None:
+                if state["done"]:
+                    return
+                state["waited"] += current_timeout
+                state["attempt"] += 1
+                if state["attempt"] > max_retries:
+                    state["done"] = True
+                    err = OnlineTimeoutError(
+                        f"send {nbytes}B node{src}->node{peer}",
+                        state["waited"],
+                        state["attempt"],
+                    )
+                    if on_timeout is not None:
+                        on_timeout(err)
+                        return
+                    raise err
+                _attempt(self._backoff_timeout(timeout_s, state["attempt"]))
+
+            self.agent.schedule(current_timeout, _watchdog, node=src)
+
+        _attempt(timeout_s)
+
+    def _backoff_timeout(self, base_s: float, attempt: int) -> float:
+        rng = self._timeout_rng
+        if rng is None:
+            rng = self._timeout_rng = np.random.default_rng(0x50C7E7 ^ self.node)
+        capped = min(base_s * (2.0**attempt), MAX_TIMEOUT_FACTOR * base_s)
+        return capped * (1.0 + TIMEOUT_JITTER * float(rng.random()))
 
     def listen(self, on_stream: Callable[[int, int, float], None]) -> None:
         """Register a stream-received callback for this node."""

@@ -12,6 +12,7 @@ from .policy import (
     is_valley_free,
     learned_relationship,
 )
+from .session import BgpSessionManager, SessionInfo, SessionState, SessionStats
 
 __all__ = [
     "Route",
@@ -28,6 +29,10 @@ __all__ = [
     "is_valley_free",
     "BgpSpeaker",
     "BgpEngine",
+    "BgpSessionManager",
+    "SessionInfo",
+    "SessionState",
+    "SessionStats",
     "build_speakers",
     "configure_bgp",
     "render_dml",

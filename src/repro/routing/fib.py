@@ -48,6 +48,10 @@ class ForwardingPlane:
             self._ospf[as_id] = OspfRouting(net, mem)
         # (node, dest) -> next node; flows hammer the same pairs.
         self._cache: dict[tuple[int, int], int | None] = {}
+        # Inter-AS border links currently out of service (repro.faults),
+        # keyed by the canonical (min, max) endpoint pair. Empty on a
+        # healthy network: _toward_border pays one truthiness check.
+        self._down_borders: set[tuple[int, int]] = set()
 
     def ospf_domain(self, as_id: int) -> OspfRouting:
         """The OSPF routing domain of one AS."""
@@ -111,9 +115,12 @@ class ForwardingPlane:
         if not links:
             return None
         ospf = self._ospf[node_as]
+        down = self._down_borders
         best_pair: tuple[int, int] | None = None
         best_dist = float("inf")
         for local, remote in links:
+            if down and (min(local, remote), max(local, remote)) in down:
+                continue
             d = ospf.distance(node, local)
             if d < best_dist:
                 best_dist = d
@@ -124,6 +131,46 @@ class ForwardingPlane:
         if node == local:
             return remote
         return ospf.next_hop(node, local)
+
+    # ------------------------------------------------------------------
+    # Topology-state changes (repro.faults recovery path)
+    # ------------------------------------------------------------------
+    def flush_cache(self) -> None:
+        """Drop every cached forwarding decision (route recomputation)."""
+        self._cache.clear()
+
+    def set_link_state(self, link_id: int, up: bool) -> None:
+        """Propagate a link state change into the routing layers.
+
+        Intra-AS links feed the owning OSPF domain (SPF recomputation);
+        inter-AS border links are excluded from (or restored to) the
+        hot-potato egress choice. Either way the forwarding cache is
+        flushed so every subsequent hop decision sees the new state.
+        """
+        link = self.net.links[link_id]
+        as_u = self.net.nodes[link.u].as_id
+        as_v = self.net.nodes[link.v].as_id
+        if as_u == as_v:
+            self._ospf[as_u].set_link_state(link_id, up)
+        else:
+            pair = (min(link.u, link.v), max(link.u, link.v))
+            if up:
+                self._down_borders.discard(pair)
+            else:
+                self._down_borders.add(pair)
+        self.flush_cache()
+
+    def set_node_state(self, node_id: int, up: bool) -> None:
+        """Propagate a router/host crash or restart into its OSPF domain."""
+        self._ospf[self.net.nodes[node_id].as_id].set_node_state(node_id, up)
+        self.flush_cache()
+
+    def route_recompute_stats(self) -> dict[str, int]:
+        """Aggregate OSPF recomputation counters across all domains."""
+        return {
+            "invalidations": sum(d.invalidations for d in self._ospf.values()),
+            "trees_built": sum(d.trees_built for d in self._ospf.values()),
+        }
 
     def digest(self) -> str:
         """SHA-256 over the resolved forwarding decisions, order-independent.

@@ -49,6 +49,15 @@ class OspfRouting:
         self._member_set = set(members)
         # destination -> {node: next_hop_node}
         self._trees: dict[int, dict[int, int]] = {}
+        # Fault state (repro.faults): links/nodes currently out of service.
+        # Both sets are empty on a healthy network, so the tree build pays
+        # only a truthiness check per edge and next_hop() is unchanged.
+        self._down_links: set[int] = set()
+        self._down_nodes: set[int] = set()
+        #: topology-state changes that invalidated the cached trees
+        self.invalidations = 0
+        #: reverse SPTs built since construction (re-convergence signal)
+        self.trees_built = 0
 
     def __contains__(self, node_id: int) -> bool:
         return node_id in self._member_set
@@ -62,6 +71,11 @@ class OspfRouting:
         """
         if dest not in self._member_set:
             raise KeyError(f"destination {dest} not in this OSPF domain")
+        self.trees_built += 1
+        if self._down_nodes and dest in self._down_nodes:
+            return {}
+        down_links = self._down_links
+        down_nodes = self._down_nodes
         dist: dict[int, float] = {dest: 0.0}
         next_hop: dict[int, int] = {}
         heap: list[tuple[float, int, int]] = [(0.0, dest, dest)]
@@ -75,6 +89,10 @@ class OspfRouting:
                 next_hop[v] = toward
             for u, link in self.net.neighbors(v):
                 if u not in self._member_set or u in done:
+                    continue
+                if down_links and link.link_id in down_links:
+                    continue
+                if down_nodes and u in down_nodes:
                     continue
                 nd = d + ospf_link_metric(link.latency_s, link.bandwidth_bps)
                 if nd < dist.get(u, np.inf):
@@ -134,3 +152,36 @@ class OspfRouting:
     def cached_destinations(self) -> list[int]:
         """Destinations whose reverse SPTs have been built (cache view)."""
         return list(self._trees)
+
+    # ------------------------------------------------------------------
+    # Topology-state changes (repro.faults recovery path)
+    # ------------------------------------------------------------------
+    def set_link_state(self, link_id: int, up: bool) -> None:
+        """Mark a link in or out of service; recompute routes lazily.
+
+        An out-of-service link is excluded from subsequent tree builds —
+        the OSPF analogue of flooding an LSA and re-running SPF. The
+        cached trees are invalidated so the next ``next_hop`` query
+        recomputes against the current topology state.
+        """
+        changed = (link_id in self._down_links) if up else (link_id not in self._down_links)
+        if up:
+            self._down_links.discard(link_id)
+        else:
+            self._down_links.add(link_id)
+        if changed:
+            self._invalidate()
+
+    def set_node_state(self, node_id: int, up: bool) -> None:
+        """Mark a router/host in or out of service (crash/restart)."""
+        changed = (node_id in self._down_nodes) if up else (node_id not in self._down_nodes)
+        if up:
+            self._down_nodes.discard(node_id)
+        else:
+            self._down_nodes.add(node_id)
+        if changed:
+            self._invalidate()
+
+    def _invalidate(self) -> None:
+        self._trees.clear()
+        self.invalidations += 1

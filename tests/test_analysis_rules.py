@@ -26,7 +26,7 @@ class TestRuleRegistry:
     def test_all_code_rules_registered(self):
         registered = {r.rule_id for r in all_rules()}
         assert {
-            "SIM101", "SIM102", "SIM103", "SIM104", "SIM105", "SIM106"
+            "SIM101", "SIM102", "SIM103", "SIM104", "SIM105", "SIM106", "SIM107"
         } <= registered
 
     def test_get_rule_unknown_id(self):
@@ -345,6 +345,93 @@ class TestRawPerfCounter:
             t = time.perf_counter()  # simlint: disable=SIM106
             """,
             path="src/repro/experiments/timing.py",
+        )
+        assert findings == []
+
+
+class TestSilentExcept:
+    def test_bare_except_fires(self):
+        findings = lint(
+            """
+            def load(path):
+                try:
+                    return open(path).read()
+                except:
+                    return None
+            """
+        )
+        assert ids(findings) == ["SIM107"]
+        assert findings[0].severity is Severity.ERROR
+        assert "bare `except:`" in findings[0].message
+
+    def test_silent_broad_exception_fires(self):
+        findings = lint(
+            """
+            def tick(handlers):
+                for h in handlers:
+                    try:
+                        h()
+                    except Exception:
+                        pass
+            """
+        )
+        assert ids(findings) == ["SIM107"]
+        assert "empty body" in findings[0].message
+
+    def test_silent_base_exception_in_tuple_fires(self):
+        findings = lint(
+            """
+            def tick(h):
+                try:
+                    h()
+                except (ValueError, BaseException):
+                    ...
+            """
+        )
+        assert ids(findings) == ["SIM107"]
+
+    def test_narrow_silent_handler_clean(self):
+        # Swallowing a *specific* exception is a deliberate, reviewable
+        # decision; the rule targets catch-everything sinks.
+        findings = lint(
+            """
+            def cleanup(path):
+                try:
+                    path.unlink()
+                except FileNotFoundError:
+                    pass
+            """
+        )
+        assert findings == []
+
+    def test_broad_handler_with_real_body_clean(self):
+        findings = lint(
+            """
+            def guard(fn, log):
+                try:
+                    fn()
+                except Exception as exc:
+                    log.error(exc)
+            """
+        )
+        assert findings == []
+
+    def test_outside_repro_clean(self):
+        findings = lint_source(
+            "try:\n    x = 1\nexcept:\n    pass\n",
+            "scripts/helper.py",
+        )
+        assert findings == []
+
+    def test_suppression(self):
+        findings = lint(
+            """
+            def probe(fn):
+                try:
+                    fn()
+                except Exception:  # simlint: disable=SIM107
+                    pass
+            """
         )
         assert findings == []
 

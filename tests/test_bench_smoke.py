@@ -110,3 +110,31 @@ class TestComparison:
         doc2 = _doc(_BASE, "2000-01-02", quick=True)
         write_bench(doc2, tmp_path)
         assert doc2["comparison"] is None  # workloads differ
+
+
+class TestCliExitCode:
+    def test_bench_cli_exits_nonzero_on_regression(self, tmp_path, monkeypatch, capsys):
+        """The regression gate must be an *exit code*, not just report text,
+        so CI pipelines fail without parsing output."""
+        import repro.bench as bench_mod
+
+        write_bench(_doc(_BASE, "2000-01-01"), tmp_path)
+        degraded = dict(_BASE)
+        degraded["hotpath.packets_s"] = 10.0  # 0.1x, far below threshold
+        monkeypatch.setattr(
+            bench_mod, "run_bench", lambda quick=False, seed=0: _doc(degraded, "2000-01-02")
+        )
+        rc = main(["bench", "--quick", "--out-dir", str(tmp_path)])
+        assert rc == 1
+        capsys.readouterr()  # swallow the report
+
+    def test_bench_cli_exits_zero_without_regression(self, tmp_path, monkeypatch, capsys):
+        import repro.bench as bench_mod
+
+        write_bench(_doc(_BASE, "2000-01-01"), tmp_path)
+        monkeypatch.setattr(
+            bench_mod, "run_bench", lambda quick=False, seed=0: _doc(_BASE, "2000-01-02")
+        )
+        rc = main(["bench", "--quick", "--out-dir", str(tmp_path)])
+        assert rc == 0
+        capsys.readouterr()

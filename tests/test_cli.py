@@ -102,6 +102,77 @@ class TestExperimentCommand:
         assert seen["obs_out"] == str(out)
 
 
+class TestChaosCommand:
+    def _fake_result(self, recovered=True):
+        class R:
+            pass
+
+        r = R()
+        r.recovered = recovered
+        return r
+
+    def test_invokes_runner_with_builtin_scenario(self, capsys, monkeypatch):
+        calls = {}
+
+        def fake_run(network, app, scenario, scale=None, seed=0, duration_s=None,
+                     obs_out=None):
+            calls["args"] = (network, app, scenario.name, seed, duration_s)
+            return self._fake_result()
+
+        monkeypatch.setattr("repro.experiments.run_chaos_experiment", fake_run)
+        monkeypatch.setattr(
+            "repro.experiments.format_chaos_report", lambda r: "CHAOS REPORT"
+        )
+        rc = main(
+            ["chaos", "multi-as", "scalapack", "--scenario", "link-flap",
+             "--seed", "2", "--duration", "5"]
+        )
+        assert rc == 0
+        assert calls["args"] == ("multi-as", "scalapack", "link-flap", 2, 5.0)
+        assert "CHAOS REPORT" in capsys.readouterr().out
+
+    def test_degraded_run_exits_nonzero(self, capsys, monkeypatch):
+        monkeypatch.setattr(
+            "repro.experiments.run_chaos_experiment",
+            lambda *a, **k: self._fake_result(recovered=False),
+        )
+        monkeypatch.setattr(
+            "repro.experiments.format_chaos_report", lambda r: "DEGRADED"
+        )
+        assert main(["chaos", "multi-as", "scalapack"]) == 1
+        capsys.readouterr()
+
+    def test_spec_file_overrides_scenario(self, capsys, monkeypatch, tmp_path):
+        spec = tmp_path / "scenario.json"
+        spec.write_text(json.dumps({"name": "mini", "link_flaps": 1}))
+        seen = {}
+
+        def fake_run(network, app, scenario, **kwargs):
+            seen["scenario"] = scenario
+            return self._fake_result()
+
+        monkeypatch.setattr("repro.experiments.run_chaos_experiment", fake_run)
+        monkeypatch.setattr(
+            "repro.experiments.format_chaos_report", lambda r: "ok"
+        )
+        assert main(["chaos", "single-as", "gridnpb", "--spec", str(spec)]) == 0
+        assert seen["scenario"].name == "mini"
+        assert seen["scenario"].link_flaps == 1
+        capsys.readouterr()
+
+    def test_bad_spec_key_rejected(self, tmp_path):
+        spec = tmp_path / "bad.json"
+        spec.write_text(json.dumps({"blast_radius": 9}))
+        with pytest.raises(ValueError, match="unknown scenario keys"):
+            main(["chaos", "single-as", "gridnpb", "--spec", str(spec)])
+
+    def test_validates_network_and_scenario_choices(self):
+        with pytest.raises(SystemExit):
+            main(["chaos", "bogus-net", "scalapack"])
+        with pytest.raises(SystemExit):
+            main(["chaos", "multi-as", "scalapack", "--scenario", "nope"])
+
+
 class TestTraceCommand:
     def test_trace_writes_validated_snapshot(self, capsys, tmp_path):
         out = tmp_path / "trace.json"

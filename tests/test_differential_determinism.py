@@ -15,8 +15,10 @@ import numpy as np
 
 from repro.engine.conservative import ConservativeEngine
 from repro.engine.kernel import SimKernel
+from repro.faults import FaultEvent, FaultInjector, FaultKind, FaultSchedule
 from repro.netsim.packet import Packet, Protocol
 from repro.netsim.simulator import NetworkSimulator
+from repro.obs.trace import traced_run
 from repro.routing.fib import ForwardingPlane
 from repro.topology.models import Network, NodeKind
 
@@ -67,6 +69,46 @@ def _run(scheduler):
     return sim, log
 
 
+def _run_with_faults(scheduler, events):
+    """The canonical workload plus a fault schedule; returns the run's
+    (sim, delivery log, fault trace records)."""
+    net, fib = _build_chain()
+    sim = NetworkSimulator(net, fib, scheduler)
+    log: list[tuple[float, int, int, int]] = []
+    orig_deliver = sim._deliver
+
+    def recording(node: int, packet: Packet) -> None:
+        log.append((round(sim.now, 12), node, packet.flow_id, packet.seq))
+        orig_deliver(node, packet)
+
+    sim._deliver = recording
+    with traced_run() as tracer:
+        injector = FaultInjector(sim, fib, FaultSchedule.from_events(events))
+        injector.install(scheduler)
+        rng = np.random.default_rng(7)
+        times = np.sort(rng.uniform(0.0, 0.01, size=PACKETS)).tolist()
+        for i, t in enumerate(times):
+            src, dst = (0, NUM_NODES - 1) if i % 2 == 0 else (NUM_NODES - 1, 0)
+            packet = Packet(
+                src=src, dst=dst, size_bytes=1000, protocol=Protocol.UDP,
+                flow_id=i, seq=i,
+            )
+            scheduler.schedule_at(t, sim.inject, node=src, args=(packet,))
+        scheduler.run(until=0.05)
+        faults = list(tracer.faults)
+    return sim, log, faults
+
+
+# Faults confined to LP 0's half of the chain (links 1-2 and 2-3), so
+# the conservative runs order them against packet events within one LP.
+FAULT_EVENTS = [
+    FaultEvent(0.001, FaultKind.LOSS_BURST_START, (2,), (("loss_prob", 0.3),)),
+    FaultEvent(0.002, FaultKind.LINK_DOWN, (1,)),
+    FaultEvent(0.004, FaultKind.LINK_UP, (1,)),
+    FaultEvent(0.006, FaultKind.LOSS_BURST_END, (2,)),
+]
+
+
 class TestDifferentialDeterminism:
     def test_backends_are_interchangeable(self):
         kern_sim, kern_log = _run(SimKernel())
@@ -107,3 +149,51 @@ class TestDifferentialDeterminism:
         assert a_log == h_log
         assert a_sim.counters.as_dict() == h_sim.counters.as_dict()
         assert np.array_equal(a_sim.node_packets, h_sim.node_packets)
+
+
+class TestFaultDeterminism:
+    """The robustness acceptance bar: same seed + scenario gives a
+    byte-identical fault trace and delivery log on every backend, and a
+    run with an *empty* schedule is bit-identical to no injector at all."""
+
+    def test_fault_run_identical_across_kernel_queues(self):
+        runs = {
+            backend: _run_with_faults(SimKernel(queue=backend), FAULT_EVENTS)
+            for backend in ("adaptive", "heap", "calendar")
+        }
+        ref_sim, ref_log, ref_faults = runs["adaptive"]
+        assert ref_faults, "fault schedule produced no trace records"
+        # Faults actually bit: the burst lost packets and the down link
+        # left some traffic unroutable.
+        assert ref_sim.links[2].total_lost > 0
+        assert ref_sim.counters.packets_delivered < PACKETS
+        for backend in ("heap", "calendar"):
+            sim, log, faults = runs[backend]
+            assert log == ref_log, f"{backend} delivery log diverged"
+            assert faults == ref_faults, f"{backend} fault trace diverged"
+            assert sim.counters.as_dict() == ref_sim.counters.as_dict()
+            assert sim.dropped_fault == ref_sim.dropped_fault
+            assert sim.links[2].total_lost == ref_sim.links[2].total_lost
+            assert np.array_equal(sim.node_packets, ref_sim.node_packets)
+
+    def test_fault_run_identical_across_conservative_queues(self):
+        heap = _run_with_faults(
+            ConservativeEngine(ASSIGNMENT, 2, lookahead=LATENCY_S, queue="heap"),
+            FAULT_EVENTS,
+        )
+        cal = _run_with_faults(
+            ConservativeEngine(ASSIGNMENT, 2, lookahead=LATENCY_S, queue="calendar"),
+            FAULT_EVENTS,
+        )
+        assert heap[1] == cal[1]
+        assert heap[2] == cal[2]
+        assert heap[0].counters.as_dict() == cal[0].counters.as_dict()
+
+    def test_empty_schedule_is_bit_identical_to_no_injector(self):
+        plain_sim, plain_log = _run(SimKernel())
+        faulted_sim, faulted_log, faults = _run_with_faults(SimKernel(), [])
+        assert not faults
+        assert faulted_log == plain_log
+        assert faulted_sim.counters.as_dict() == plain_sim.counters.as_dict()
+        assert faulted_sim.dropped_fault == 0
+        assert np.array_equal(faulted_sim.node_packets, plain_sim.node_packets)

@@ -37,6 +37,7 @@ def registered_names(monkeypatch) -> set[str]:
     # Imports are deferred past the monkeypatch so each constructor's
     # get_registry() resolves against the fresh registry.
     from repro.engine.conservative import ConservativeEngine
+    from repro.faults import FaultInjector, FaultSchedule
     from repro.netsim.simulator import NetworkSimulator
     from repro.routing.bgp.engine import BgpEngine, BgpSpeaker
 
@@ -45,8 +46,10 @@ def registered_names(monkeypatch) -> set[str]:
     h0 = net.add_node(NodeKind.HOST)
     net.add_link(r0, h0, 1e9, 1e-3)
     engine = ConservativeEngine(np.zeros(net.num_nodes, dtype=np.int64), 1, 1.0)
-    NetworkSimulator(net, ForwardingPlane(net), engine)
+    fib = ForwardingPlane(net)
+    sim = NetworkSimulator(net, fib, engine)
     BgpEngine({1: BgpSpeaker(1, {2: "peer"}), 2: BgpSpeaker(2, {1: "peer"})})
+    FaultInjector(sim, fib, FaultSchedule.from_events([]))
     return (
         set(reg.counters())
         | set(reg.vectors())

@@ -10,6 +10,7 @@ from repro.engine.costmodel import WallclockPrediction
 from repro.netsim import NetworkSimulator
 from repro.online import (
     Agent,
+    OnlineTimeoutError,
     SocketClosed,
     VirtualIpMapper,
     VirtualTimeController,
@@ -155,6 +156,129 @@ class TestWrapSocket:
         a.send(1000)
         k.run(until=5.0)
         assert received == []
+
+
+class TestSendTimeout:
+    """send(timeout_s=...): the watchdog-with-backoff path.
+
+    A black-holed peer (node marked down, as router-crash faults do)
+    never acknowledges, so every attempt times out; a healthy peer
+    completes before the first watchdog and no retry happens.
+    """
+
+    def test_send_completes_without_retry(self, agent_env, flat_net):
+        k, sim, agent = agent_env
+        hosts = flat_net.host_ids()
+        a = WrapSocket(agent, hosts[0], "to@test")
+        a.connect_node(hosts[1])
+        sent, timeouts = [], []
+        a.send(10_000, lambda t: sent.append(t), timeout_s=30.0,
+               on_timeout=timeouts.append)
+        k.run(until=60.0)
+        assert len(sent) == 1
+        assert timeouts == []
+        assert agent.stats.streams_opened == 1  # no retransmission
+
+    def test_blackhole_exhausts_retries_into_callback(self, agent_env, flat_net):
+        k, sim, agent = agent_env
+        hosts = flat_net.host_ids()
+        sim.set_node_down(hosts[1])
+        a = WrapSocket(agent, hosts[0], "bh@test")
+        a.connect_node(hosts[1])
+        sent, timeouts = [], []
+        a.send(5_000, lambda t: sent.append(t), timeout_s=0.1, max_retries=2,
+               on_timeout=timeouts.append)
+        k.run(until=30.0)
+        assert sent == []
+        assert len(timeouts) == 1
+        err = timeouts[0]
+        assert isinstance(err, OnlineTimeoutError)
+        assert err.attempts == 3  # initial attempt + 2 retries
+        assert err.waited_s > 0.1  # backed-off waits accumulate
+        assert "send 5000B" in err.operation
+        assert agent.stats.streams_opened == 3
+
+    def test_blackhole_raises_without_callback(self, agent_env, flat_net):
+        k, sim, agent = agent_env
+        hosts = flat_net.host_ids()
+        sim.set_node_down(hosts[1])
+        a = WrapSocket(agent, hosts[0], "br@test")
+        a.connect_node(hosts[1])
+        a.send(1_000, timeout_s=0.05, max_retries=1)
+        with pytest.raises(OnlineTimeoutError):
+            k.run(until=30.0)
+
+    def test_invalid_timeout_rejected(self, agent_env, flat_net):
+        k, sim, agent = agent_env
+        a = WrapSocket(agent, flat_net.host_ids()[0], "iv@test")
+        a.connect_node(flat_net.host_ids()[1])
+        with pytest.raises(ValueError):
+            a.send(100, timeout_s=0.0)
+
+    def test_backoff_is_bounded_and_deterministic(self, agent_env, flat_net):
+        k, sim, agent = agent_env
+        h = flat_net.host_ids()[0]
+        a = WrapSocket(agent, h, "bd@test")
+        timeouts = [a._backoff_timeout(1.0, k) for k in range(1, 10)]
+        assert all(t <= 8.0 * 1.1 + 1e-12 for t in timeouts)
+        assert all(t >= 1.0 for t in timeouts)
+        b = WrapSocket(agent, h, "bd2@test")  # same node, same stream
+        assert timeouts == [b._backoff_timeout(1.0, k) for k in range(1, 10)]
+
+
+class TestWaitForVirtual:
+    """wait_for_virtual with injected clocks: deterministic pacing tests."""
+
+    def _fake_clock(self, start: float = 0.0):
+        state = {"now": start}
+        sleeps: list[float] = []
+
+        def now() -> float:
+            return state["now"]
+
+        def sleep(d: float) -> None:
+            sleeps.append(d)
+            state["now"] += d
+
+        return now, sleep, sleeps
+
+    def test_waits_until_deadline(self):
+        vtc = VirtualTimeController(slowdown=1.0)
+        now, sleep, sleeps = self._fake_clock()
+        waited = vtc.wait_for_virtual(1.0, now_fn=now, sleep_fn=sleep, timeout_s=10.0)
+        assert waited == pytest.approx(1.0)
+        assert sleeps[0] == pytest.approx(1e-3)  # starts at min_sleep_s
+        assert all(0.0 < d <= 0.25 for d in sleeps)  # bounded backoff
+
+    def test_backoff_doubles_then_caps(self):
+        vtc = VirtualTimeController(slowdown=1.0)
+        now, sleep, sleeps = self._fake_clock()
+        vtc.wait_for_virtual(5.0, now_fn=now, sleep_fn=sleep, timeout_s=60.0)
+        doubling = sleeps[: sleeps.index(0.25)]
+        assert doubling == [pytest.approx(1e-3 * 2**i) for i in range(len(doubling))]
+        assert max(sleeps) == pytest.approx(0.25)
+
+    def test_returns_immediately_when_already_past(self):
+        vtc = VirtualTimeController(slowdown=1.0)
+        now, sleep, sleeps = self._fake_clock(start=10.0)
+        assert vtc.wait_for_virtual(1.0, now_fn=now, sleep_fn=sleep) == 0.0
+        assert sleeps == []
+
+    def test_timeout_raises_typed_error(self):
+        vtc = VirtualTimeController(slowdown=1.0)
+        now, sleep, _sleeps = self._fake_clock()
+        with pytest.raises(OnlineTimeoutError) as ei:
+            vtc.wait_for_virtual(100.0, now_fn=now, sleep_fn=sleep, timeout_s=0.5)
+        assert ei.value.waited_s >= 0.5
+        assert ei.value.attempts > 0
+        assert "virtual t=100" in ei.value.operation
+
+    def test_parameter_validation(self):
+        vtc = VirtualTimeController()
+        with pytest.raises(ValueError):
+            vtc.wait_for_virtual(1.0, timeout_s=0.0)
+        with pytest.raises(ValueError):
+            vtc.wait_for_virtual(1.0, min_sleep_s=0.5, max_sleep_s=0.1)
 
 
 class TestRealTime:

@@ -28,6 +28,11 @@ import pytest
 
 from repro.experiments import SCALES
 from repro.experiments.runner import build_network, run_workload_simulation
+from repro.experiments.workloads import install_workload
+from repro.faults import FaultInjector, FaultSchedule
+from repro.netsim import NetworkSimulator
+from repro.online import Agent
+from repro.engine import SimKernel
 
 DATA_PATH = Path(__file__).parent / "data" / "regression_fingerprint.json"
 
@@ -86,6 +91,26 @@ class TestSameSeedSameRun:
         (kernel, sim, _), _ = two_runs
         assert kernel.events_executed > 10_000
         assert sim.counters.packets_delivered > 1_000
+
+
+class TestNoFaultBitIdentity:
+    def test_inert_fault_layer_leaves_fingerprint_unchanged(self, two_runs):
+        """The fault layer is off by default: installing a FaultInjector
+        with an *empty* schedule must leave the run bit-identical —
+        same events, same forwarding digest, same per-node vector."""
+        scale = SCALES["small"]
+        net, fib = build_network("single-as", scale, seed=SEED)
+        kernel = SimKernel(record_trace=True)
+        sim = NetworkSimulator(net, fib, kernel, record_transmissions=True)
+        agent = Agent(sim)
+        injector = FaultInjector(sim, fib, FaultSchedule.from_events([]))
+        injector.install(kernel)
+        install_workload(sim, agent, net, "scalapack", scale, SEED, DURATION_S)
+        kernel.run(until=DURATION_S)
+        assert injector.counts.injected == 0
+        assert sim.dropped_fault == 0
+        (ka, sa, fa), _ = two_runs
+        assert fingerprint(kernel, sim, fib) == fingerprint(ka, sa, fa)
 
 
 class TestStoredFingerprint:
