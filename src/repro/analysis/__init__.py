@@ -6,7 +6,14 @@ Two halves behind one CLI (``python -m repro lint``):
    (unseeded RNG, wall-clock reads, float ``==`` on timestamps, mutable
    default arguments, ``schedule()`` without node attribution). See
    :mod:`repro.analysis.rules_determinism` and
-   :mod:`repro.analysis.rules_simulation`.
+   :mod:`repro.analysis.rules_simulation`. The SIM2xx family
+   (:mod:`repro.analysis.rules_parallel`) is *whole-program*: it runs
+   over a symbol table (:mod:`repro.analysis.symbols`), a conservative
+   call graph (:mod:`repro.analysis.callgraph`), and LP-execution
+   reachability (:mod:`repro.analysis.reachability`), gating the future
+   multi-core backend. Known findings ratchet through a committed
+   baseline (:mod:`repro.analysis.baseline`); SARIF export lives in
+   :mod:`repro.analysis.export`.
 2. **Artifact validators** — invariant checks over generated artifacts:
    topologies (:mod:`repro.analysis.topology_check`), AS relationship /
    BGP policy structure (:mod:`repro.analysis.bgp_check`), and partition
@@ -19,15 +26,26 @@ Both halves report through the shared :class:`repro.analysis.Finding`
 model, so CI can gate on one JSON document.
 """
 
-from .astlint import lint_file, lint_paths, lint_source
+from .astlint import lint_file, lint_paths, lint_paths_program, lint_source, lint_sources
+from .baseline import (
+    BaselineError,
+    baseline_key,
+    filter_new_findings,
+    load_baseline,
+    save_baseline,
+)
 from .bgp_check import BgpPolicyError, check_bgp_policy, validate_bgp_policy
+from .callgraph import CallGraph, build_call_graph
+from .export import findings_to_sarif, write_sarif
 from .findings import Finding, Severity, findings_to_json, format_findings, max_severity
 from .partition_check import (
     PartitionValidationError,
     check_partition,
     validate_partition,
 )
+from .reachability import ProgramContext, build_program_context
 from .rules import LintRule, ModuleContext, all_rules, get_rule, rule
+from .symbols import ProgramIndex
 from .topology_check import TopologyValidationError, check_topology, validate_topology
 
 __all__ = [
@@ -39,8 +57,22 @@ __all__ = [
     "all_rules",
     "get_rule",
     "lint_source",
+    "lint_sources",
     "lint_file",
     "lint_paths",
+    "lint_paths_program",
+    "ProgramIndex",
+    "CallGraph",
+    "build_call_graph",
+    "ProgramContext",
+    "build_program_context",
+    "baseline_key",
+    "load_baseline",
+    "save_baseline",
+    "filter_new_findings",
+    "BaselineError",
+    "findings_to_sarif",
+    "write_sarif",
     "format_findings",
     "findings_to_json",
     "max_severity",

@@ -4,6 +4,14 @@ The driver is deliberately simple — one parse per file, one pass per
 rule — because the rule set is small and the repository is ~150 files;
 there is no need for a shared-visitor optimization at this scale.
 
+Multi-file entry points (:func:`lint_sources`, :func:`lint_paths`) run
+the **whole-program pass** first: a symbol table, a conservative call
+graph, and LP-execution reachability are built over every parsed module
+and attached to each :class:`ModuleContext` as ``ctx.program``, which
+arms the SIM2xx parallel-safety rules. The single-file entry point
+(:func:`lint_source`) has no program to analyze, so those rules stay
+silent there by design.
+
 Importing this module loads the built-in rule modules so that
 :func:`repro.analysis.rules.all_rules` is fully populated.
 """
@@ -19,9 +27,17 @@ from .rules import LintRule, ModuleContext, all_rules
 
 # Rule modules register themselves on import.
 from . import rules_determinism as _rules_determinism  # noqa: F401
+from . import rules_parallel as _rules_parallel  # noqa: F401
 from . import rules_simulation as _rules_simulation  # noqa: F401
 
-__all__ = ["lint_source", "lint_file", "lint_paths", "iter_python_files"]
+__all__ = [
+    "lint_source",
+    "lint_sources",
+    "lint_file",
+    "lint_paths",
+    "lint_paths_program",
+    "iter_python_files",
+]
 
 
 def _collect_imports(tree: ast.Module) -> tuple[dict[str, str], dict[str, str]]:
@@ -55,35 +71,68 @@ def _make_context(source: str, path: str) -> ModuleContext:
     )
 
 
+def _syntax_error_finding(exc: SyntaxError, path: str) -> Finding:
+    return Finding(
+        rule_id="SIM000",
+        severity=Severity.ERROR,
+        path=path,
+        line=exc.lineno or 0,
+        col=exc.offset or 0,
+        message=f"syntax error: {exc.msg}",
+    )
+
+
 def lint_source(
     source: str, path: str, rules: Iterable[LintRule] | None = None
 ) -> list[Finding]:
     """Lint one in-memory module; ``path`` drives rule scoping.
 
     A syntax error is reported as a ``SIM000`` error finding rather than
-    raised, so one broken file cannot abort a whole-tree lint.
+    raised, so one broken file cannot abort a whole-tree lint. No
+    whole-program context is built — SIM2xx rules do not fire here.
     """
     try:
         ctx = _make_context(source, path)
     except SyntaxError as exc:
-        return [
-            Finding(
-                rule_id="SIM000",
-                severity=Severity.ERROR,
-                path=path,
-                line=exc.lineno or 0,
-                col=exc.offset or 0,
-                message=f"syntax error: {exc.msg}",
-            )
-        ]
+        return [_syntax_error_finding(exc, path)]
     findings: list[Finding] = []
     for r in rules if rules is not None else all_rules():
         findings.extend(r.run(ctx))
     return findings
 
 
+def lint_sources(
+    sources: list[tuple[str, str]], rules: Iterable[LintRule] | None = None
+):
+    """Lint a set of in-memory modules *as one program*.
+
+    ``sources`` is a list of ``(source_text, path)`` pairs. Returns
+    ``(findings, program)`` where ``program`` is the
+    :class:`~repro.analysis.reachability.ProgramContext` built over every
+    parseable module (None when nothing parsed). This is the entry point
+    the SIM2xx fixture tests use: a fixture tree is just a small program.
+    """
+    from .reachability import build_program_context
+
+    findings: list[Finding] = []
+    contexts: list[ModuleContext] = []
+    for source, path in sources:
+        try:
+            contexts.append(_make_context(source, path))
+        except SyntaxError as exc:
+            findings.append(_syntax_error_finding(exc, path))
+    program = build_program_context(contexts) if contexts else None
+    for ctx in contexts:
+        ctx.program = program
+    rule_list = list(rules) if rules is not None else all_rules()
+    for ctx in contexts:
+        for r in rule_list:
+            findings.extend(r.run(ctx))
+    return findings, program
+
+
 def lint_file(path: str, rules: Iterable[LintRule] | None = None) -> list[Finding]:
-    """Lint one file on disk."""
+    """Lint one file on disk (single-module; no whole-program pass)."""
     with open(path, encoding="utf-8") as fh:
         return lint_source(fh.read(), path, rules)
 
@@ -103,11 +152,25 @@ def iter_python_files(paths: Iterable[str]) -> list[str]:
     return sorted(set(out))
 
 
+def lint_paths_program(
+    paths: Iterable[str], rules: Iterable[LintRule] | None = None
+):
+    """Lint files/directories as one program.
+
+    Returns ``(findings, program, files_scanned)`` — the CLI uses the
+    extra values for the stats line and ``--obs-out`` instrumentation.
+    """
+    sources: list[tuple[str, str]] = []
+    for path in iter_python_files(paths):
+        with open(path, encoding="utf-8") as fh:
+            sources.append((fh.read(), path))
+    findings, program = lint_sources(sources, rules)
+    return findings, program, len(sources)
+
+
 def lint_paths(
     paths: Iterable[str], rules: Iterable[LintRule] | None = None
 ) -> list[Finding]:
     """Lint every python file under the given files/directories."""
-    findings: list[Finding] = []
-    for path in iter_python_files(paths):
-        findings.extend(lint_file(path, rules))
+    findings, _, _ = lint_paths_program(paths, rules)
     return findings

@@ -1,0 +1,111 @@
+"""Lint baseline: ratchet known findings so only *new* ones fail CI.
+
+A baseline is a committed JSON file mapping finding keys to occurrence
+counts. The key is ``(path, rule_id, message)`` — deliberately **not**
+the line number, so reformatting or adding imports above a known finding
+does not break the gate, while a genuinely new violation (new file, new
+rule, or new message) always does. Counts catch duplication: a second
+occurrence of an already-baselined finding in the same file still fails.
+
+Workflow::
+
+    python -m repro lint src/repro --strict --baseline .simlint-baseline.json
+    # after auditing a finding you cannot fix yet:
+    python -m repro lint src/repro --strict --baseline .simlint-baseline.json \
+        --update-baseline
+
+The baseline should shrink over time; ``--update-baseline`` rewrites the
+file from scratch, so fixed findings fall out automatically.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from typing import Iterable
+
+from .findings import Finding
+
+__all__ = [
+    "baseline_key",
+    "load_baseline",
+    "save_baseline",
+    "filter_new_findings",
+    "BaselineError",
+]
+
+_FORMAT_VERSION = 1
+
+
+class BaselineError(ValueError):
+    """Raised for a missing or malformed baseline file."""
+
+
+def baseline_key(f: Finding) -> str:
+    """Stable identity of a finding: ``path::rule_id::message``."""
+    return f"{f.path}::{f.rule_id}::{f.message}"
+
+
+def load_baseline(path: str) -> dict[str, int]:
+    """Read a baseline file into ``{key: count}``.
+
+    Raises :class:`BaselineError` when the file is missing or malformed —
+    a CI gate silently running without its baseline would pass builds it
+    should fail.
+    """
+    try:
+        with open(path, encoding="utf-8") as fh:
+            payload = json.load(fh)
+    except FileNotFoundError:
+        raise BaselineError(f"baseline file not found: {path}") from None
+    except json.JSONDecodeError as exc:
+        raise BaselineError(f"baseline file is not valid JSON: {path}: {exc}") from None
+    if (
+        not isinstance(payload, dict)
+        or payload.get("version") != _FORMAT_VERSION
+        or not isinstance(payload.get("findings"), dict)
+    ):
+        raise BaselineError(
+            f"baseline file has unexpected structure: {path} "
+            f"(want {{'version': {_FORMAT_VERSION}, 'findings': {{...}}}})"
+        )
+    out: dict[str, int] = {}
+    for key, count in payload["findings"].items():
+        if not isinstance(key, str) or not isinstance(count, int) or count < 1:
+            raise BaselineError(f"bad baseline entry {key!r}: {count!r} in {path}")
+        out[key] = count
+    return out
+
+
+def save_baseline(path: str, findings: Iterable[Finding]) -> int:
+    """Write the baseline for the given findings; returns the entry count."""
+    counts = Counter(baseline_key(f) for f in findings)
+    payload = {
+        "version": _FORMAT_VERSION,
+        "findings": {k: counts[k] for k in sorted(counts)},
+    }
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=False)
+        fh.write("\n")
+    return len(counts)
+
+
+def filter_new_findings(
+    findings: list[Finding], baseline: dict[str, int]
+) -> list[Finding]:
+    """Findings not covered by the baseline (order-preserving).
+
+    For each key the first ``baseline[key]`` occurrences are absorbed;
+    any excess — and every unknown key — passes through and should fail
+    the gate.
+    """
+    budget = dict(baseline)
+    out: list[Finding] = []
+    for f in findings:
+        key = baseline_key(f)
+        remaining = budget.get(key, 0)
+        if remaining > 0:
+            budget[key] = remaining - 1
+        else:
+            out.append(f)
+    return out

@@ -1,0 +1,253 @@
+"""Conservative call graph over a :class:`~repro.analysis.symbols.ProgramIndex`.
+
+Edges are *resolution attempts*, not proofs: the graph must over-approximate
+so that LP reachability (and therefore the SIM2xx rules) errs toward
+"reachable". Three resolution tiers, from precise to conservative:
+
+1. **Precise** — ``self.method()`` resolves within the enclosing class;
+   bare ``name()`` resolves to a same-module function or through the
+   (relative-import aware) import map; ``ClassName()`` resolves to that
+   class's ``__init__``.
+2. **Typed receivers** — ``x.method()`` where ``x`` is a local assigned
+   from a known constructor, or a parameter/attribute annotated with a
+   known class name, resolves to that class's method.
+3. **By-name fallback** — any remaining ``obj.method()`` links to *every*
+   known method named ``method``. Sound for reachability, not for
+   precision; the SIM2xx messages carry the originating chain so a
+   human can audit the inferred path.
+
+Besides call edges, the graph records **reference edges**: a function
+name loaded outside call position (``sched.schedule(t, self._on_recv)``)
+marks ``_on_recv`` as handed off by reference — the exact shape of
+event-handler registration in the simulator, where the callee is invoked
+later by the engine loop.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from .symbols import FunctionInfo, ProgramIndex
+
+__all__ = ["CallGraph", "build_call_graph"]
+
+#: receiver names treated as "unknown object" — never resolve by name
+#: through these (they are module aliases handled by dotted resolution)
+_SKIP_BY_NAME = frozenset({"np", "numpy", "math", "os", "sys", "json", "re"})
+
+
+@dataclass
+class CallGraph:
+    """Call and reference edges between qualified function names."""
+
+    index: ProgramIndex
+    #: caller qualname -> callee qualnames (direct calls)
+    calls: dict[str, set[str]] = field(default_factory=dict)
+    #: caller qualname -> qualnames it passes by reference (callbacks)
+    refs: dict[str, set[str]] = field(default_factory=dict)
+
+    def successors(self, qualname: str) -> set[str]:
+        """Every function ``qualname`` may transfer control to."""
+        return self.calls.get(qualname, set()) | self.refs.get(qualname, set())
+
+
+class _FunctionScanner(ast.NodeVisitor):
+    """Collect call/reference targets inside one function body."""
+
+    def __init__(self, fi: FunctionInfo, index: ProgramIndex) -> None:
+        self.fi = fi
+        self.index = index
+        self.calls: set[str] = set()
+        self.refs: set[str] = set()
+        #: local variable -> ClassInfo qualname, from ctor assignments
+        #: and parameter annotations
+        self.local_types: dict[str, str] = {}
+        self._collect_local_types()
+
+    # -- type seeding ---------------------------------------------------
+    def _class_for_name(self, name: str | None) -> str | None:
+        if not name:
+            return None
+        bare = name.split(".")[-1]
+        candidates = self.index.classes_by_name.get(bare)
+        if not candidates:
+            return None
+        # Prefer a same-module class, else the unique candidate.
+        for c in candidates:
+            if c.module == self.fi.module:
+                return c.qualname
+        return candidates[0].qualname if len(candidates) == 1 else None
+
+    def _collect_local_types(self) -> None:
+        node = self.fi.node
+        for a in node.args.args + node.args.kwonlyargs + node.args.posonlyargs:
+            cls = self._class_for_name(_annotation_head(a.annotation))
+            if cls:
+                self.local_types[a.arg] = cls
+        for sub in ast.walk(node):
+            if (
+                isinstance(sub, ast.Assign)
+                and len(sub.targets) == 1
+                and isinstance(sub.targets[0], ast.Name)
+                and isinstance(sub.value, ast.Call)
+            ):
+                dotted = self.fi.ctx.dotted_name(sub.value.func)
+                cls = self._class_for_name(dotted)
+                if cls:
+                    self.local_types[sub.targets[0].id] = cls
+            elif isinstance(sub, ast.AnnAssign) and isinstance(sub.target, ast.Name):
+                cls = self._class_for_name(_annotation_head(sub.annotation))
+                if cls:
+                    self.local_types[sub.target.id] = cls
+
+    # -- resolution -----------------------------------------------------
+    def _resolve_method(self, cls_qual: str, method: str) -> str | None:
+        cls = self.index.classes.get(cls_qual)
+        if cls and method in cls.methods:
+            return cls.methods[method].qualname
+        return None
+
+    def _resolve_call_target(self, func: ast.AST) -> set[str]:
+        out: set[str] = set()
+        if isinstance(func, ast.Name):
+            dotted = self.fi.ctx.dotted_name(func)
+            # Same-module function.
+            fi = self.index.functions.get(f"{self.fi.module}:{func.id}")
+            if fi is not None and fi.cls is None:
+                out.add(fi.qualname)
+            # Imported function (absolute or relative).
+            fq = self.index.imports.get(self.fi.module, {}).get(func.id) or dotted
+            if fq and "." in fq:
+                mod, _, name = fq.rpartition(".")
+                target = self.index.functions.get(f"{mod}:{name}")
+                if target is not None:
+                    out.add(target.qualname)
+            # Constructor -> __init__.
+            cls = self._class_for_name(func.id)
+            if cls:
+                init = self._resolve_method(cls, "__init__")
+                if init:
+                    out.add(init)
+            return out
+        if isinstance(func, ast.Attribute):
+            method = func.attr
+            recv = func.value
+            if isinstance(recv, ast.Name):
+                if recv.id == "self" and self.fi.cls is not None:
+                    hit = self._resolve_method(
+                        f"{self.fi.module}:{self.fi.cls}", method
+                    )
+                    if hit:
+                        return {hit}
+                    # Inherited / dynamically-bound: fall through by name.
+                elif recv.id == "cls" and self.fi.cls is not None:
+                    hit = self._resolve_method(
+                        f"{self.fi.module}:{self.fi.cls}", method
+                    )
+                    if hit:
+                        return {hit}
+                elif recv.id in self.local_types:
+                    hit = self._resolve_method(self.local_types[recv.id], method)
+                    if hit:
+                        return {hit}
+                elif recv.id in _SKIP_BY_NAME or recv.id in (
+                    self.fi.ctx.module_aliases
+                ):
+                    # Module attribute call: try dotted function lookup only.
+                    dotted = self.fi.ctx.dotted_name(func)
+                    if dotted:
+                        mod, _, name = dotted.rpartition(".")
+                        target = self.index.functions.get(f"{mod}:{name}")
+                        if target is not None:
+                            return {target.qualname}
+                    return set()
+            # By-name fallback (covers self.attr.method() and every other
+            # unresolved receiver): every known method with this name.
+            # Dunders are excluded — ``super().__init__()`` would otherwise
+            # link every class's constructor to every other's.
+            if method.startswith("__") and method.endswith("__"):
+                return set()
+            return {
+                m.qualname
+                for m in self.index.by_name.get(method, [])
+                if m.cls is not None
+            }
+        return out
+
+    # -- visitors -------------------------------------------------------
+    def visit_Call(self, node: ast.Call) -> None:
+        self.calls |= self._resolve_call_target(node.func)
+        for arg in node.args:
+            self._maybe_ref(arg)
+        for kw in node.keywords:
+            self._maybe_ref(kw.value)
+        self.generic_visit(node)
+
+    def _maybe_ref(self, node: ast.AST) -> None:
+        """Record a function passed by reference (callback registration).
+
+        Only *resolvable* references become edges here (``self.method``,
+        typed locals, same-module bare names) — unknown-receiver
+        attributes are left to the reachability layer's handler-seed
+        scan, which only fires on registration-shaped calls; turning
+        every ``f(self.attr)`` into a by-name edge would drown the
+        graph in false callbacks.
+        """
+        if isinstance(node, ast.Attribute) and isinstance(node.value, ast.Name):
+            if node.value.id == "self" and self.fi.cls is not None:
+                hit = self._resolve_method(
+                    f"{self.fi.module}:{self.fi.cls}", node.attr
+                )
+                if hit:
+                    self.refs.add(hit)
+            elif node.value.id in self.local_types:
+                hit = self._resolve_method(self.local_types[node.value.id], node.attr)
+                if hit:
+                    self.refs.add(hit)
+        elif isinstance(node, ast.Name):
+            fi = self.index.functions.get(f"{self.fi.module}:{node.id}")
+            if fi is not None and fi.cls is None:
+                self.refs.add(fi.qualname)
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        # Nested defs are scanned as part of the enclosing function: a
+        # closure's calls happen when the closure runs, and the closure
+        # itself escapes through reference edges. Keep walking.
+        self.generic_visit(node)
+
+    visit_AsyncFunctionDef = visit_FunctionDef
+
+
+def _annotation_head(ann: ast.AST | None) -> str | None:
+    """The head identifier of an annotation (``Foo`` of ``Foo | None``)."""
+    if ann is None:
+        return None
+    if isinstance(ann, ast.Name):
+        return ann.id
+    if isinstance(ann, ast.Attribute):
+        return ann.attr
+    if isinstance(ann, ast.Constant) and isinstance(ann.value, str):
+        return ann.value.split("[", 1)[0].split("|", 1)[0].strip().split(".")[-1]
+    if isinstance(ann, ast.Subscript):
+        # Optional[Foo] / list[Foo] — not a receiver type we chase.
+        return None
+    if isinstance(ann, ast.BinOp) and isinstance(ann.op, ast.BitOr):
+        return _annotation_head(ann.left) or _annotation_head(ann.right)
+    return None
+
+
+def build_call_graph(index: ProgramIndex) -> CallGraph:
+    """Scan every indexed function and assemble the program call graph."""
+    graph = CallGraph(index=index)
+    for qual, fi in index.functions.items():
+        scanner = _FunctionScanner(fi, index)
+        for stmt in fi.node.body:
+            scanner.visit(stmt)
+        scanner.calls.discard(qual)
+        scanner.refs.discard(qual)
+        if scanner.calls:
+            graph.calls[qual] = scanner.calls
+        if scanner.refs:
+            graph.refs[qual] = scanner.refs
+    return graph

@@ -1,0 +1,87 @@
+"""SARIF export for lint findings.
+
+Emits a minimal SARIF 2.1.0 document — the interchange format code
+scanners and review tooling ingest — from the shared
+:class:`~repro.analysis.findings.Finding` model. Only the fields
+consumers actually read are populated (tool driver with rule metadata,
+results with ruleId/level/message/physical location); optional SARIF
+machinery (runs graphs, fixes, code flows) is omitted.
+"""
+
+from __future__ import annotations
+
+import json
+
+from .findings import Finding, Severity
+from .rules import LintRule
+
+__all__ = ["findings_to_sarif", "write_sarif"]
+
+_LEVELS = {Severity.ERROR: "error", Severity.WARNING: "warning", Severity.INFO: "note"}
+
+
+def findings_to_sarif(
+    findings: list[Finding], rules: list[LintRule] | None = None
+) -> dict:
+    """Build a SARIF 2.1.0 ``dict`` for the given findings.
+
+    ``rules`` populates the tool's rule table (id, name, short
+    description, default level); rules referenced by findings but absent
+    from the table are still valid SARIF.
+    """
+    rule_meta = [
+        {
+            "id": r.rule_id,
+            "name": r.name,
+            "shortDescription": {"text": r.description or r.name},
+            "defaultConfiguration": {"level": _LEVELS[r.severity]},
+        }
+        for r in (rules or [])
+    ]
+    results = [
+        {
+            "ruleId": f.rule_id,
+            "level": _LEVELS[f.severity],
+            "message": {"text": f.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {"uri": f.path.replace("\\", "/")},
+                        "region": {
+                            "startLine": max(f.line, 1),
+                            "startColumn": max(f.col, 1),
+                        },
+                    }
+                }
+            ],
+        }
+        for f in sorted(findings, key=lambda f: (f.path, f.line, f.col, f.rule_id))
+    ]
+    return {
+        "$schema": (
+            "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+            "Schemata/sarif-schema-2.1.0.json"
+        ),
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "simlint",
+                        "informationUri": "https://example.invalid/repro",
+                        "rules": rule_meta,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+
+
+def write_sarif(
+    path: str, findings: list[Finding], rules: list[LintRule] | None = None
+) -> None:
+    """Serialize :func:`findings_to_sarif` to ``path`` (pretty-printed)."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(findings_to_sarif(findings, rules), fh, indent=2)
+        fh.write("\n")

@@ -1,0 +1,67 @@
+"""Analyzer statistics through the :mod:`repro.obs` registry.
+
+A lint run is a measurement like any other: how many files it scanned,
+how many rules it ran, what it found, and how long it took. Publishing
+those through the shared instrument registry means ``--obs-out``
+snapshots of a CI run include the analyzer alongside the simulator, and
+the lint-runtime smoke bound reads the same number the exporters do.
+
+Instruments resolve at construction (registry idiom: one dict lookup
+here, a guarded write afterwards) and the wall-clock span flows through
+:class:`~repro.obs.timers.SpanTimer` — the sanctioned ``perf_counter``
+site, so the analyzer obeys its own SIM106 rule.
+"""
+
+from __future__ import annotations
+
+from ..obs import names as obs_names
+from ..obs.registry import get_registry
+from .findings import Finding, Severity
+
+__all__ = ["LintStats"]
+
+
+class LintStats:
+    """Registry-backed counters for one lint invocation."""
+
+    def __init__(self) -> None:
+        reg = get_registry()
+        self._obs = reg
+        self._obs_files = reg.counter(obs_names.LINT_FILES)
+        self._obs_rules = reg.counter(obs_names.LINT_RULES)
+        self._obs_err = reg.counter(obs_names.LINT_FINDINGS_ERROR)
+        self._obs_warn = reg.counter(obs_names.LINT_FINDINGS_WARNING)
+        self._obs_info = reg.counter(obs_names.LINT_FINDINGS_INFO)
+        self._obs_wall = reg.timer(obs_names.LINT_WALL)
+
+    def start(self) -> float:
+        """Open the wall-clock span; returns the timer token."""
+        return self._obs_wall.start()
+
+    def finish(
+        self,
+        token: float,
+        files_scanned: int,
+        rules_run: int,
+        findings: list[Finding],
+    ) -> None:
+        """Close the span and record the run's counts."""
+        self._obs_wall.stop(token)
+        if not self._obs.enabled:
+            return
+        self._obs_files.inc(files_scanned)
+        self._obs_rules.inc(rules_run)
+        self._obs_err.inc(
+            sum(1 for f in findings if f.severity is Severity.ERROR)
+        )
+        self._obs_warn.inc(
+            sum(1 for f in findings if f.severity is Severity.WARNING)
+        )
+        self._obs_info.inc(
+            sum(1 for f in findings if f.severity is Severity.INFO)
+        )
+
+    @property
+    def wall_s(self) -> float:
+        """Accumulated analyzer wall-clock seconds (0 when disabled)."""
+        return self._obs_wall.total_s

@@ -11,9 +11,15 @@ reproducibility.
 Suppression follows the familiar inline-comment convention::
 
     t = time.time()  # simlint: disable=SIM102
+    # simlint: disable-next-line=SIM101
+    x = random.Random()
     # simlint: disable-file=SIM104   (anywhere in the file: whole file)
 
-``disable=all`` suppresses every rule on that line.
+``disable=all`` suppresses every rule on that line. An inline
+``disable=`` matches any physical line of the finding's *statement
+header* (so the comment may sit on the closing parenthesis of a
+multi-line call), and ``disable-next-line=`` placed above a decorator
+covers the decorated definition.
 """
 
 from __future__ import annotations
@@ -28,6 +34,9 @@ from .findings import Finding, Severity
 __all__ = ["ModuleContext", "LintRule", "rule", "all_rules", "get_rule"]
 
 _SUPPRESS_RE = re.compile(r"#\s*simlint:\s*disable=([A-Za-z0-9_,\s]+|all)")
+_SUPPRESS_NEXT_RE = re.compile(
+    r"#\s*simlint:\s*disable-next-line=([A-Za-z0-9_,\s]+|all)"
+)
 _SUPPRESS_FILE_RE = re.compile(r"#\s*simlint:\s*disable-file=([A-Za-z0-9_,\s]+|all)")
 
 
@@ -50,6 +59,9 @@ class ModuleContext:
     #: bare name -> "module.name" for from-imports
     #: (e.g. ``{"choice": "random.choice"}``)
     from_imports: dict[str, str] = field(default_factory=dict)
+    #: whole-program context (symbol table, call graph, LP reachability);
+    #: ``None`` for single-file lints — the SIM2xx rules then stay silent
+    program: "object | None" = None
 
     def line(self, lineno: int) -> str:
         """The 1-based source line (empty string when out of range)."""
@@ -95,6 +107,29 @@ class ModuleContext:
             return set()
         return {x.strip() for x in m.group(1).split(",")}
 
+    def next_line_suppressions(self, lineno: int) -> set[str]:
+        """Rule ids a ``disable-next-line=`` on ``lineno`` applies ahead."""
+        m = _SUPPRESS_NEXT_RE.search(self.line(lineno))
+        if not m:
+            return set()
+        return {x.strip() for x in m.group(1).split(",")}
+
+    def span_suppressions(self, start: int, end: int) -> set[str]:
+        """Every rule id suppressed anywhere on lines ``start..end``.
+
+        Unions inline ``disable=`` directives on the span's own lines
+        with ``disable-next-line=`` directives whose *target* line falls
+        inside the span — so a multi-line statement (a parenthesized
+        continuation) accepts the comment on any of its physical lines,
+        and a directive above a decorator covers the decorated def.
+        """
+        out: set[str] = set()
+        for ln in range(start, end + 1):
+            out |= self.line_suppressions(ln)
+        for ln in range(start - 1, end):
+            out |= self.next_line_suppressions(ln)
+        return out
+
 
 #: A rule checker yields (node, message) pairs for each violation.
 Checker = Callable[[ModuleContext], Iterable[tuple[ast.AST, str]]]
@@ -126,7 +161,8 @@ class LintRule:
             return
         for node, message in self.check(ctx):
             lineno = getattr(node, "lineno", 0)
-            suppressed = ctx.line_suppressions(lineno)
+            start, end = _suppression_span(node, lineno)
+            suppressed = ctx.span_suppressions(start, end)
             if self.rule_id in suppressed or "all" in suppressed:
                 continue
             yield Finding(
@@ -137,6 +173,28 @@ class LintRule:
                 col=getattr(node, "col_offset", -1) + 1,
                 message=message,
             )
+
+
+def _suppression_span(node: ast.AST, lineno: int) -> tuple[int, int]:
+    """The physical-line range a suppression comment may sit on.
+
+    For plain expressions and simple statements this is the node's full
+    ``lineno..end_lineno`` extent (covering parenthesized continuations).
+    For compound statements (defs, loops, handlers) the span stops at the
+    *header* — the line before the first body statement — so a comment
+    deep inside a function body never silences a finding anchored on its
+    ``def`` line. Decorator lines extend the span upward, which lets
+    ``disable-next-line=`` above a decorator cover the decorated def.
+    """
+    start = lineno
+    decorators = getattr(node, "decorator_list", None)
+    if decorators:
+        start = min([start] + [d.lineno for d in decorators])
+    end = getattr(node, "end_lineno", None) or lineno
+    body = getattr(node, "body", None)
+    if isinstance(body, list) and body and hasattr(body[0], "lineno"):
+        end = max(start, body[0].lineno - 1)
+    return start, end
 
 
 _REGISTRY: dict[str, LintRule] = {}

@@ -76,7 +76,9 @@ class LegacyEventQueue:
 
     def push(self, time: float, fn: Callable[[], Any], node: int = -1) -> LegacyEvent:
         """Create and enqueue an event; returns it (for cancellation)."""
-        ev = LegacyEvent(time=time, seq=next(_seq), fn=fn, node=node)
+        # Deliberately preserved pre-overhaul idiom: this queue exists as
+        # the benchmark comparison baseline and will never run multi-core.
+        ev = LegacyEvent(time=time, seq=next(_seq), fn=fn, node=node)  # simlint: disable=SIM201
         heapq.heappush(self._heap, ev)
         return ev
 
@@ -249,7 +251,8 @@ class LegacyHopSim(NetworkSimulator):
         if packet.src == packet.dst:
             self.sched.schedule_at(
                 self.now + LOOPBACK_LATENCY_S,
-                lambda p=packet: self._handle_at(p.dst, p),
+                # Deliberate legacy closure idiom (benchmark baseline only).
+                lambda p=packet: self._handle_at(p.dst, p),  # simlint: disable=SIM203
                 node=packet.dst,
             )
             return
@@ -300,6 +303,6 @@ class LegacyHopSim(NetworkSimulator):
         # The pre-overhaul closure allocation: one capturing lambda per hop.
         self.sched.schedule_at(
             result.arrival_time,
-            lambda n=next_node, p=packet: self._handle_at(n, p),
+            lambda n=next_node, p=packet: self._handle_at(n, p),  # simlint: disable=SIM203
             node=next_node,
         )

@@ -109,7 +109,9 @@ class CalendarQueue:
         args: tuple = (),
     ) -> Event:
         """Create and enqueue an event; returns it (for cancellation)."""
-        ev = Event(time, next(_global_seq), fn, args, node)
+        # Shares events._seq so interleaved use of both queue types keeps
+        # one total order; forking it is the multi-core PR's problem.
+        ev = Event(time, next(_global_seq), fn, args, node)  # simlint: disable=SIM201
         self._insert((time, ev.seq, ev))
         return ev
 

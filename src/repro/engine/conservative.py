@@ -173,7 +173,10 @@ class ConservativeEngine:
                 f"(t={time:.9f} < LP-local now {self._lp_now:.9f})"
             )
         target_lp = self.lp_of(node)
-        ev = Event(time, next(_seq), fn, args, node)
+        # Shared tiebreak counter: required for byte-identical ordering on
+        # one core; the process-parallel backend owns replacing it with
+        # per-LP sequences merged deterministically at barriers.
+        ev = Event(time, next(_seq), fn, args, node)  # simlint: disable=SIM201
         if self._current_lp is None or target_lp == self._current_lp:
             self._queues[target_lp].push_event(ev)
         else:

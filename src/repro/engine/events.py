@@ -100,7 +100,10 @@ class EventQueue:
         args: tuple = (),
     ) -> Event:
         """Create and enqueue an event; returns it (for cancellation)."""
-        seq = next(_seq)
+        # The global tiebreak counter is load-bearing for byte-identical
+        # (time, seq) ordering; the multi-core backend must replace it with
+        # per-LP counters + deterministic merge, not silently fork it.
+        seq = next(_seq)  # simlint: disable=SIM201
         ev = Event(time, seq, fn, args, node)
         heappush(self._heap, (time, seq, ev))
         return ev

@@ -16,6 +16,7 @@ which is why the paper sees smaller mapping gains for GridNPB.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import partial
 
 from ...online.agent import Agent
 from ...online.wrapsocket import WrapSocket
@@ -206,17 +207,20 @@ class GridNpbApp:
     def start(self, at: float = 0.0) -> None:
         """Launch every source task at simulated time ``at``."""
         delay = max(0.0, at - self.agent.now)
+        # Bound-method + args dispatch throughout: payloads stay
+        # statically picklable for the future LP boundary (simlint SIM203).
         for tid in self.workflow.sources:
             self.agent.schedule(
-                delay, lambda t=tid: self._run_task(t), node=self.placement[tid]
+                delay, self._run_task, node=self.placement[tid], args=(tid,)
             )
 
     def _run_task(self, tid: int) -> None:
         task = self.workflow.tasks[tid]
         self.agent.schedule(
             task.compute_s,
-            lambda: self._task_computed(tid),
+            self._task_computed,
             node=self.placement[tid],
+            args=(tid,),
         )
 
     def _task_computed(self, tid: int) -> None:
@@ -239,10 +243,10 @@ class GridNpbApp:
             # eventual compute run on the LP owning the successor's host.
             sock.send(
                 task.output_bytes,
-                on_received=lambda _t, s=succ: self._input_arrived(s),
+                on_received=partial(self._input_arrived, succ),
             )
 
-    def _input_arrived(self, tid: int) -> None:
+    def _input_arrived(self, tid: int, _t: float = 0.0) -> None:
         self._inputs_pending[tid] -= 1
         if self._inputs_pending[tid] == 0:
             self._run_task(tid)

@@ -93,7 +93,10 @@ class HttpTraffic:
         when = self.sim.now + gap
         if self.stop_at is not None and when >= self.stop_at:
             return
-        self.sim.sched.schedule_at(when, lambda c=client: self._issue(c), node=client)
+        # Closure-free dispatch: a bound method plus args tuple pickles
+        # across the future LP boundary; a capturing lambda never will
+        # (simlint SIM203).
+        self.sim.sched.schedule_at(when, self._issue, node=client, args=(client,))
 
     def _issue(self, client: int) -> None:
         rng = self.rngs[client]

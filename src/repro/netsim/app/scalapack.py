@@ -13,6 +13,7 @@ property the paper's results hinge on.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import partial
 
 import numpy as np
 
@@ -79,14 +80,20 @@ class ScaLapackApp:
             WrapSocket(agent, h, real_endpoint=f"{name}-rank{i}@node{h}")
             for i, h in enumerate(hosts)
         ]
+        # In-flight completion countdown for the current phase. Phases are
+        # strictly sequential (panel broadcast -> ring exchange -> compute),
+        # so one counter replaces the per-phase closure state and keeps
+        # every scheduled callback a picklable bound method (simlint SIM203).
+        self._pending = 0
 
     # ------------------------------------------------------------------
     def start(self, at: float = 0.0) -> None:
         """Begin iteration 0 at simulated time ``at``."""
         self.agent.schedule(
             max(0.0, at - self.agent.now),
-            lambda: self._iteration(0),
+            self._iteration,
             node=self.hosts[0],
+            args=(0,),
         )
 
     def _scaled(self, base: int, k: int) -> int:
@@ -102,12 +109,7 @@ class ScaLapackApp:
             return
         owner_idx = k % len(self.hosts)
         panel = self._scaled(self.panel_bytes, k)
-        pending = {"n": len(self.hosts) - 1}
-
-        def _panel_done(_t: float) -> None:
-            pending["n"] -= 1
-            if pending["n"] == 0:
-                self._ring_exchange(k)
+        self._pending = len(self.hosts) - 1
 
         sock = self.sockets[owner_idx]
         for i, h in enumerate(self.hosts):
@@ -116,21 +118,16 @@ class ScaLapackApp:
             sock.connect_node(h)
             self.stats.transfers += 1
             self.stats.bytes_sent += panel
-            sock.send(panel, _panel_done)
+            sock.send(panel, partial(self._panel_done, k))
+
+    def _panel_done(self, k: int, _t: float) -> None:
+        self._pending -= 1
+        if self._pending == 0:
+            self._ring_exchange(k)
 
     def _ring_exchange(self, k: int) -> None:
         block = self._scaled(self.block_bytes, k)
-        pending = {"n": len(self.hosts)}
-
-        def _block_done(_t: float) -> None:
-            pending["n"] -= 1
-            if pending["n"] == 0:
-                # Compute phase, then the next iteration.
-                self.agent.schedule(
-                    self.compute_s,
-                    lambda: self._advance(k),
-                    node=self.hosts[(k + 1) % len(self.hosts)],
-                )
+        self._pending = len(self.hosts)
 
         for i, h in enumerate(self.hosts):
             peer = self.hosts[(i + 1) % len(self.hosts)]
@@ -138,7 +135,18 @@ class ScaLapackApp:
             sock.connect_node(peer)
             self.stats.transfers += 1
             self.stats.bytes_sent += block
-            sock.send(block, _block_done)
+            sock.send(block, partial(self._block_done, k))
+
+    def _block_done(self, k: int, _t: float) -> None:
+        self._pending -= 1
+        if self._pending == 0:
+            # Compute phase, then the next iteration.
+            self.agent.schedule(
+                self.compute_s,
+                self._advance,
+                node=self.hosts[(k + 1) % len(self.hosts)],
+                args=(k,),
+            )
 
     def _advance(self, k: int) -> None:
         self.stats.iterations_completed = k + 1

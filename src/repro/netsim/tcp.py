@@ -201,7 +201,10 @@ class TcpSender:
             t = self._send_times.pop(ack - 1, None)
             if t is not None:
                 self._measure_rtt(self.sim.now - t)
-            for s in list(self._send_times):
+            # Sorted sweep: which keys are dropped is order-independent,
+            # but a canonical order keeps the mutation LP-shardable
+            # (simlint SIM202).
+            for s in sorted(self._send_times):
                 if 0 <= s < ack:
                     self._send_times.pop(s, None)
             if self.in_recovery:

@@ -39,6 +39,12 @@ __all__ = [
     "FAULTS_ROUTE_INVALIDATIONS",
     "FAULTS_BGP_SESSION_RESETS",
     "FAULTS_BGP_REESTABLISHED",
+    "LINT_FILES",
+    "LINT_RULES",
+    "LINT_FINDINGS_ERROR",
+    "LINT_FINDINGS_WARNING",
+    "LINT_FINDINGS_INFO",
+    "LINT_WALL",
     "HELP",
     "help_for",
 ]
@@ -105,6 +111,18 @@ FAULTS_BGP_SESSION_RESETS = "faults.bgp.session_resets"
 #: BGP sessions re-established after backoff retries (scalar)
 FAULTS_BGP_REESTABLISHED = "faults.bgp.session_reestablished"
 
+# --- static analysis (repro.analysis simlint runs) --------------------
+#: python files scanned by one lint invocation (scalar)
+LINT_FILES = "lint.files.scanned"
+#: lint rules executed (scalar)
+LINT_RULES = "lint.rules.run"
+#: findings by severity (scalars)
+LINT_FINDINGS_ERROR = "lint.findings.error"
+LINT_FINDINGS_WARNING = "lint.findings.warning"
+LINT_FINDINGS_INFO = "lint.findings.info"
+#: wall-clock span of the whole lint pass (span timer)
+LINT_WALL = "lint.wall"
+
 # --- exporter help text ----------------------------------------------
 #: One-line ``# HELP`` text per instrument, keyed by canonical name.
 #: The names-drift test asserts every constant above has an entry, so a
@@ -139,6 +157,12 @@ HELP: dict[str, str] = {
     FAULTS_ROUTE_INVALIDATIONS: "Forwarding-state invalidations forced by faults.",
     FAULTS_BGP_SESSION_RESETS: "BGP session teardowns (withdrawal propagations).",
     FAULTS_BGP_REESTABLISHED: "BGP sessions re-established after backoff retries.",
+    LINT_FILES: "Python files scanned by the simlint pass.",
+    LINT_RULES: "Lint rules executed by the simlint pass.",
+    LINT_FINDINGS_ERROR: "Error-severity lint findings.",
+    LINT_FINDINGS_WARNING: "Warning-severity lint findings.",
+    LINT_FINDINGS_INFO: "Info-severity lint findings.",
+    LINT_WALL: "Wall-clock span of the whole simlint pass.",
 }
 
 

@@ -12,6 +12,7 @@ the simulated network completes the operation.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import partial
 from typing import Any, Callable
 
 from ..netsim.simulator import NetworkSimulator
@@ -67,10 +68,15 @@ class Agent:
         boundary = getattr(self.sim.sched, "next_barrier_time", None)
         return self.sim.now if boundary is None else max(self.sim.now, boundary)
 
-    def schedule(self, delay: float, fn: Callable[[], Any], node: int = -1) -> Any:
-        """Schedule application-side work (compute phases, think time)."""
+    def schedule(
+        self, delay: float, fn: Callable[..., Any], node: int = -1, args: tuple = ()
+    ) -> Any:
+        """Schedule ``fn(*args)`` as application-side work (compute
+        phases, think time). The ``args`` tuple is the closure-free
+        dispatch path — payloads stay picklable for the future LP
+        boundary (simlint SIM203)."""
         when = max(self.sim.now + delay, self._injection_time())
-        return self.sim.sched.schedule_at(when, fn, node=node)
+        return self.sim.sched.schedule_at(when, fn, node=node, args=args)
 
     # ------------------------------------------------------------------
     # Live traffic entry points (called by WrapSocket)
@@ -94,27 +100,55 @@ class Agent:
         """
         self.stats.streams_opened += 1
         self.stats.bytes_requested += nbytes
+        # Bound method + args (no closures): the deferred start must stay
+        # picklable across the future LP boundary (simlint SIM203).
+        self.sim.sched.schedule_at(
+            self._injection_time(),
+            self._start_transfer,
+            node=src_node,
+            args=(src_node, dst_node, nbytes, on_complete, on_received),
+        )
 
-        def _done(t: float) -> None:
-            self.stats.streams_completed += 1
-            if on_complete is not None:
-                on_complete(t)
+    def _start_transfer(
+        self,
+        src_node: int,
+        dst_node: int,
+        nbytes: int,
+        on_complete: Callable[[float], None] | None,
+        on_received: Callable[[float], None] | None,
+    ) -> None:
+        """Barrier-deferred transfer start (runs on the source node's LP)."""
+        start_transfer(
+            self.sim,
+            src_node,
+            dst_node,
+            nbytes,
+            partial(self._transfer_done, on_complete),
+            on_received=on_received,
+        )
 
-        def _start() -> None:
-            start_transfer(
-                self.sim, src_node, dst_node, nbytes, _done, on_received=on_received
-            )
-
-        self.sim.sched.schedule_at(self._injection_time(), _start, node=src_node)
+    def _transfer_done(
+        self, on_complete: Callable[[float], None] | None, t: float
+    ) -> None:
+        self.stats.streams_completed += 1
+        if on_complete is not None:
+            on_complete(t)
 
     def datagram(self, src_node: int, dst_node: int, nbytes: int, port: int = 0) -> None:
         """Send a UDP datagram; injection is barrier-aligned like transfers."""
         self.stats.datagrams_sent += 1
         self.sim.sched.schedule_at(
             self._injection_time(),
-            lambda: send_datagram(self.sim, src_node, dst_node, nbytes, port=port),
+            self._send_datagram,
             node=src_node,
+            args=(src_node, dst_node, nbytes, port),
         )
+
+    def _send_datagram(
+        self, src_node: int, dst_node: int, nbytes: int, port: int
+    ) -> None:
+        """Barrier-deferred datagram injection."""
+        send_datagram(self.sim, src_node, dst_node, nbytes, port=port)
 
     # ------------------------------------------------------------------
     def attach_process(self, real_endpoint: str, node: int) -> str:

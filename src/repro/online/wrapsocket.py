@@ -141,41 +141,9 @@ class WrapSocket:
         on_timeout: Callable[[OnlineTimeoutError], None] | None,
     ) -> None:
         """Issue a transfer under a retry-with-backoff watchdog."""
-        peer = self._peer
-        src = self.node
-        state = {"done": False, "attempt": 0, "waited": 0.0}
-
-        def _complete(t: float) -> None:
-            if state["done"]:
-                return  # a timed-out attempt's ACK arriving late
-            state["done"] = True
-            if on_complete is not None:
-                on_complete(t)
-
-        def _attempt(current_timeout: float) -> None:
-            self.agent.transfer(src, peer, nbytes, _complete, on_received=received)
-
-            def _watchdog() -> None:
-                if state["done"]:
-                    return
-                state["waited"] += current_timeout
-                state["attempt"] += 1
-                if state["attempt"] > max_retries:
-                    state["done"] = True
-                    err = OnlineTimeoutError(
-                        f"send {nbytes}B node{src}->node{peer}",
-                        state["waited"],
-                        state["attempt"],
-                    )
-                    if on_timeout is not None:
-                        on_timeout(err)
-                        return
-                    raise err
-                _attempt(self._backoff_timeout(timeout_s, state["attempt"]))
-
-            self.agent.schedule(current_timeout, _watchdog, node=src)
-
-        _attempt(timeout_s)
+        _GuardedSend(
+            self, nbytes, on_complete, received, timeout_s, max_retries, on_timeout
+        ).attempt(timeout_s)
 
     def _backoff_timeout(self, base_s: float, attempt: int) -> float:
         rng = self._timeout_rng
@@ -203,3 +171,73 @@ class WrapSocket:
     def reset_listeners(cls) -> None:
         """Clear class-level listener state (between simulations/tests)."""
         cls._listeners.clear()
+
+
+class _GuardedSend:
+    """Retry state for one guarded send.
+
+    The watchdog/completion callbacks are bound methods of this object
+    rather than nested closures, so every payload handed to the scheduler
+    stays statically picklable for the future LP boundary (simlint
+    SIM203). One instance tracks one logical send across all of its
+    retransmission attempts.
+    """
+
+    def __init__(
+        self,
+        sock: WrapSocket,
+        nbytes: int,
+        on_complete: Callable[[float], None] | None,
+        received: Callable[[float], None],
+        timeout_s: float,
+        max_retries: int,
+        on_timeout: Callable[[OnlineTimeoutError], None] | None,
+    ) -> None:
+        self.sock = sock
+        self.src = sock.node
+        self.peer = sock._peer
+        self.nbytes = nbytes
+        self.on_complete = on_complete
+        self.received = received
+        self.timeout_s = timeout_s
+        self.max_retries = max_retries
+        self.on_timeout = on_timeout
+        self.done = False
+        self.attempt_no = 0
+        self.waited = 0.0
+
+    def complete(self, t: float) -> None:
+        """Sender-side final-ACK callback (idempotent under late ACKs)."""
+        if self.done:
+            return  # a timed-out attempt's ACK arriving late
+        self.done = True
+        if self.on_complete is not None:
+            self.on_complete(t)
+
+    def attempt(self, current_timeout: float) -> None:
+        """Issue one transfer attempt and arm its watchdog."""
+        self.sock.agent.transfer(
+            self.src, self.peer, self.nbytes, self.complete, on_received=self.received
+        )
+        self.sock.agent.schedule(
+            current_timeout, self.watchdog, node=self.src, args=(current_timeout,)
+        )
+
+    def watchdog(self, current_timeout: float) -> None:
+        """Timeout check: retransmit with backoff or give up."""
+        if self.done:
+            return
+        self.waited += current_timeout
+        self.attempt_no += 1
+        if self.attempt_no > self.max_retries:
+            self.done = True
+            err = OnlineTimeoutError(
+                f"send {self.nbytes}B node{self.src}->node{self.peer}",
+                self.waited,
+                self.attempt_no,
+            )
+            if self.on_timeout is not None:
+                self.on_timeout(err)
+                return
+            raise err
+        self.attempt(self.sock._backoff_timeout(self.timeout_s, self.attempt_no))

@@ -40,11 +40,16 @@ class BgpSpeaker:
             self.rib.setdefault(self.as_id, Route.originate(self.as_id))
 
     def exports_to(self, neighbor: int) -> list[Route]:
-        """Routes this speaker announces to ``neighbor`` under export policy."""
+        """Routes this speaker announces to ``neighbor`` under export policy.
+
+        Sorted by prefix so the announcement order is a function of RIB
+        *content*, never of dict insertion history — a precondition for
+        sharding speakers across LPs (simlint SIM202).
+        """
         rel = self.relationships[neighbor]
         return [
             r
-            for r in self.rib.values()
+            for _, r in sorted(self.rib.items())
             if export_allowed(r, rel, self.relationships)
         ]
 
@@ -95,9 +100,12 @@ class BgpEngine:
         """One synchronous exchange round; returns True if any RIB changed."""
         # Gather announcements against the *current* RIBs, then apply —
         # a synchronous (Jacobi) sweep keeps the result order-independent.
-        inbox: dict[int, list[Route]] = {a: [] for a in self.speakers}
-        for as_id, sp in self.speakers.items():
-            for nbr, rel_of_nbr in sp.relationships.items():
+        # Every dict sweep below is sorted: with best_route's strict total
+        # order the outcome is identical, and route installation no longer
+        # depends on per-process dict insertion order (simlint SIM202).
+        inbox: dict[int, list[Route]] = {a: [] for a in sorted(self.speakers)}
+        for as_id, sp in sorted(self.speakers.items()):
+            for nbr, rel_of_nbr in sorted(sp.relationships.items()):
                 for route in sp.exports_to(nbr):
                     if route.contains_loop(nbr) or route.prefix == nbr:
                         continue
@@ -108,7 +116,7 @@ class BgpEngine:
                     self._obs_sent.inc()
 
         changed = False
-        for as_id, sp in self.speakers.items():
+        for as_id, sp in sorted(self.speakers.items()):
             candidates: dict[int, list[Route]] = {}
             for route in inbox[as_id]:
                 if route.contains_loop(as_id):
@@ -118,7 +126,7 @@ class BgpEngine:
             new_rib: dict[int, Route] = (
                 {as_id: Route.originate(as_id)} if sp.originates else {}
             )
-            for prefix, cands in candidates.items():
+            for prefix, cands in sorted(candidates.items()):
                 if prefix == as_id:
                     continue
                 chosen = best_route(cands)
