@@ -61,6 +61,8 @@ def cmd_experiment(args) -> int:
     from .experiments import format_bars, format_result, run_experiment
 
     scale = _resolve_scale(args)
+    if args.backend == "mp":
+        return _cmd_experiment_mp(args, scale)
     kwargs = {"obs_out": args.obs_out} if args.obs_out else {}
     result = run_experiment(args.network, args.app, scale=scale, seed=args.seed, **kwargs)
     print(format_result(result))
@@ -74,6 +76,69 @@ def cmd_experiment(args) -> int:
 
         save_result(result, args.save)
         print(f"\nsaved to {args.save}")
+    return 0
+
+
+def _cmd_experiment_mp(args, scale) -> int:
+    """The ``--backend mp`` path: really execute across worker processes.
+
+    Only the packet-mediated UDP background workload shards (the online
+    application layer holds process-wide state — see
+    ``repro/experiments/shard.py``), so this path partitions the network
+    with the TOP approach, executes the seeded UDP workload on the
+    multi-process backend, and prints measured wall-clock next to the
+    cost model's prediction over the same window counters.
+    """
+    from .core.approaches import Approach
+    from .experiments.parallel import run_executed_workload
+    from .experiments.runner import MappingPipeline, build_network, cluster_for_scale
+    from .obs import export as obs_export
+    from .obs.registry import observed_run
+
+    net, _fib = build_network(args.network, scale, args.seed)
+    cluster = cluster_for_scale(scale)
+    pipeline = MappingPipeline(net, scale.num_engines, cluster, args.seed)
+    mapping = pipeline.run_all([Approach.TOP])[Approach.TOP]
+
+    def execute():
+        return run_executed_workload(
+            net, mapping, scale.profile_duration_s,
+            scale=scale, seed=args.seed, procs=args.procs,
+        )
+
+    if args.obs_out:
+        with observed_run() as reg:
+            run = execute()
+        obs_export.write_snapshot(
+            args.obs_out,
+            reg,
+            meta={
+                "network": args.network,
+                "app": "udp-background",
+                "scale": scale.name,
+                "seed": args.seed,
+                "backend": "mp",
+                "executed": run.summary(),
+            },
+        )
+    else:
+        run = execute()
+
+    s = run.summary()
+    print(f"executed multi-process run: {args.network} / udp-background "
+          f"(TOP mapping, {scale.num_engines} LPs, {run.procs} procs)")
+    print(f"  events executed    {s['events_executed']:>12,} "
+          f"(reference {run.reference_events:,})")
+    print(f"  reference wall     {s['reference_wall_s']:>12.3f} s  (1 process)")
+    print(f"  measured wall      {s['measured_wall_s']:>12.3f} s  "
+          f"speedup {s['measured_speedup']:.2f}x")
+    print(f"  predicted wall     {s['predicted_wall_s']:>12.3f} s  "
+          f"speedup {s['predicted_speedup']:.2f}x "
+          f"(sync fraction {s['predicted_sync_fraction']:.2f})")
+    print(f"  cross-shard mail   {s['mail_bytes']:>12,} bytes over "
+          f"{s['num_windows']} windows")
+    if args.obs_out:
+        print(f"\nobservability snapshot written to {args.obs_out}")
     return 0
 
 
@@ -324,7 +389,7 @@ def cmd_lint(args) -> int:
 def cmd_bench(args) -> int:
     from .bench import format_bench, run_bench, write_bench
 
-    doc = run_bench(quick=args.quick, seed=args.seed)
+    doc = run_bench(quick=args.quick, seed=args.seed, suite=args.suite)
     path = write_bench(doc, args.out_dir, threshold=args.threshold)
     print(format_bench(doc))
     print(f"wrote {path}")
@@ -387,6 +452,13 @@ def main(argv: list[str] | None = None) -> int:
                        help="also render ASCII bar charts per metric")
     p_exp.add_argument("--obs-out", dest="obs_out", metavar="PATH", default=None,
                        help="record the measured run's observability snapshot (JSON)")
+    p_exp.add_argument("--backend", choices=["model", "mp"], default="model",
+                       help="'model': single-process run + cost-model prediction "
+                       "(default); 'mp': execute the packet-mediated UDP workload "
+                       "across real worker processes and report measured vs "
+                       "predicted wall-clock")
+    p_exp.add_argument("--procs", type=int, default=2,
+                       help="worker processes for --backend mp (default: 2)")
     _add_scale(p_exp)
     p_exp.set_defaults(fn=cmd_experiment)
 
@@ -458,6 +530,11 @@ def main(argv: list[str] | None = None) -> int:
                          help="better-direction ratio below which a metric is "
                          "a regression (default: 0.8)")
     p_bench.add_argument("--seed", type=int, default=0)
+    p_bench.add_argument("--suite", choices=["hotpath", "parallel", "all"],
+                         default="all",
+                         help="hotpath: queue/packet benchmarks; parallel: "
+                         "executed multi-process speedup vs the cost model; "
+                         "all (default): both")
     p_bench.set_defaults(fn=cmd_bench)
 
     p_chaos = sub.add_parser(

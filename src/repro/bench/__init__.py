@@ -15,17 +15,23 @@ Document schema (``repro-bench/1``)::
       "date": "YYYY-MM-DD",
       "quick": false,             # --quick runs a reduced workload
       "seed": 0,
+      "suite": "all",             # hotpath | parallel | all
       "results": {                # flat metric -> float map
         "queue.legacy_ops_s": ..., "queue.heap_ops_s": ...,
         "queue.calendar_ops_s": ..., "queue.adaptive_ops_s": ...,
         "hotpath.legacy_packets_s": ..., "hotpath.packets_s": ...,
         "macro.fig6_events": ..., "macro.fig6_events_s": ...,
-        "macro.fig6_wall_s": ...
+        "macro.fig6_wall_s": ...,
+        "parallel.ref_wall_s": ..., "parallel.mp_wall_s": ...,
+        "parallel.predicted_wall_s": ..., "parallel.mp_events_s": ...,
+        "parallel.mail_bytes": ..., "parallel.run_events": ...
       },
       "speedups": {               # new path over the pre-PR baseline
         "queue_ops": ...,         # tuple-entry heap vs the legacy heap
         "queue_ops_adaptive": ..., # incl. the density-policy wrapper
-        "hop_throughput": ...
+        "hop_throughput": ...,
+        "mp_measured": ...,       # multi-process wall vs 1-process wall
+        "mp_predicted": ...       # the cost model's Tseq/Tpar, calibrated
       },
       "comparison": null | {      # vs the previous committed file
         "previous": "BENCH_....json", "threshold": 0.8,
@@ -49,10 +55,12 @@ from pathlib import Path
 
 from .macro import bench_fig6
 from .micro import bench_hop_throughput, bench_queue_ops
+from .parallel import bench_parallel
 
 __all__ = [
     "SCHEMA",
     "DEFAULT_THRESHOLD",
+    "bench_parallel",
     "run_bench",
     "compare_bench",
     "find_previous",
@@ -69,60 +77,74 @@ DEFAULT_THRESHOLD = 0.8
 _QUEUE_KINDS = ("legacy", "heap", "calendar", "adaptive")
 
 
-def run_bench(quick: bool = False, seed: int = 0) -> dict:
-    """Run every benchmark; returns the document (``comparison`` unset).
+def run_bench(quick: bool = False, seed: int = 0, suite: str = "all") -> dict:
+    """Run the requested suite; returns the document (``comparison`` unset).
 
     ``quick`` shrinks each workload by an order of magnitude for CI
     smoke coverage — the resulting numbers are noisy and only compared
-    against other quick runs.
+    against other quick runs. ``suite`` selects ``hotpath`` (queue +
+    packet micro/macro benchmarks), ``parallel`` (executed multi-process
+    speedup vs the cost model), or ``all``.
     """
-    if quick:
-        q_prefill, q_iter = 1024, 6_000
-        hop_packets, chain_nodes = 300, 17
-        macro_duration: float | None = 0.5
-    else:
-        q_prefill, q_iter = 4096, 60_000
-        hop_packets, chain_nodes = 2_500, 33
-        macro_duration = None  # the scale's profiling duration
+    if suite not in ("hotpath", "parallel", "all"):
+        raise ValueError(f"unknown bench suite: {suite!r}")
     results: dict[str, float] = {}
-    for kind in _QUEUE_KINDS:
-        r = bench_queue_ops(kind, prefill=q_prefill, iterations=q_iter, seed=seed)
-        results[f"queue.{kind}_ops_s"] = r["ops_s"]
-    if not quick:
-        # Document the heap/calendar crossover (the AdaptiveQueue promote
-        # threshold) at a paper-scale backlog.
-        for kind in ("heap", "calendar"):
-            r = bench_queue_ops(kind, prefill=262_144, iterations=20_000, seed=seed)
-            results[f"queue.{kind}_large_ops_s"] = r["ops_s"]
-    for path in ("legacy", "new"):
-        r = bench_hop_throughput(
-            path, packets=hop_packets, chain_nodes=chain_nodes, seed=seed
+    speedups: dict[str, float] = {}
+    if suite in ("hotpath", "all"):
+        if quick:
+            q_prefill, q_iter = 1024, 6_000
+            hop_packets, chain_nodes = 300, 17
+            macro_duration: float | None = 0.5
+        else:
+            q_prefill, q_iter = 4096, 60_000
+            hop_packets, chain_nodes = 2_500, 33
+            macro_duration = None  # the scale's profiling duration
+        for kind in _QUEUE_KINDS:
+            r = bench_queue_ops(kind, prefill=q_prefill, iterations=q_iter, seed=seed)
+            results[f"queue.{kind}_ops_s"] = r["ops_s"]
+        if not quick:
+            # Document the heap/calendar crossover (the AdaptiveQueue promote
+            # threshold) at a paper-scale backlog.
+            for kind in ("heap", "calendar"):
+                r = bench_queue_ops(kind, prefill=262_144, iterations=20_000, seed=seed)
+                results[f"queue.{kind}_large_ops_s"] = r["ops_s"]
+        for path in ("legacy", "new"):
+            r = bench_hop_throughput(
+                path, packets=hop_packets, chain_nodes=chain_nodes, seed=seed
+            )
+            key = "hotpath.legacy_packets_s" if path == "legacy" else "hotpath.packets_s"
+            results[key] = r["packets_s"]
+        macro = bench_fig6(scale_name="small", seed=seed, duration_s=macro_duration)
+        results["macro.fig6_events"] = float(macro["events"])
+        results["macro.fig6_events_s"] = macro["events_s"]
+        results["macro.fig6_wall_s"] = macro["wall_s"]
+        speedups.update(
+            {
+                # queue_ops is the queue-for-queue comparison: the tuple-entry
+                # heap this PR introduced against the pre-PR dataclass-event
+                # heap it replaced. queue_ops_adaptive adds the density-policy
+                # wrapper the kernel runs by default (a ~5% bookkeeping tax in
+                # heap mode, repaid only at backlogs past the promote point).
+                "queue_ops": results["queue.heap_ops_s"]
+                / results["queue.legacy_ops_s"],
+                "queue_ops_adaptive": results["queue.adaptive_ops_s"]
+                / results["queue.legacy_ops_s"],
+                "hop_throughput": results["hotpath.packets_s"]
+                / results["hotpath.legacy_packets_s"],
+            }
         )
-        key = "hotpath.legacy_packets_s" if path == "legacy" else "hotpath.packets_s"
-        results[key] = r["packets_s"]
-    macro = bench_fig6(scale_name="small", seed=seed, duration_s=macro_duration)
-    results["macro.fig6_events"] = float(macro["events"])
-    results["macro.fig6_events_s"] = macro["events_s"]
-    results["macro.fig6_wall_s"] = macro["wall_s"]
+    if suite in ("parallel", "all"):
+        par = bench_parallel(quick=quick, seed=seed)
+        results.update(par["results"])
+        speedups.update(par["speedups"])
     return {
         "schema": SCHEMA,
         "date": datetime.date.today().isoformat(),
         "quick": quick,
         "seed": seed,
+        "suite": suite,
         "results": results,
-        "speedups": {
-            # queue_ops is the queue-for-queue comparison: the tuple-entry
-            # heap this PR introduced against the pre-PR dataclass-event
-            # heap it replaced. queue_ops_adaptive adds the density-policy
-            # wrapper the kernel runs by default (a ~5% bookkeeping tax in
-            # heap mode, repaid only at backlogs past the promote point).
-            "queue_ops": results["queue.heap_ops_s"]
-            / results["queue.legacy_ops_s"],
-            "queue_ops_adaptive": results["queue.adaptive_ops_s"]
-            / results["queue.legacy_ops_s"],
-            "hop_throughput": results["hotpath.packets_s"]
-            / results["hotpath.legacy_packets_s"],
-        },
+        "speedups": speedups,
         "comparison": None,
     }
 
@@ -229,13 +251,21 @@ def format_bench(doc: dict) -> str:
     ]
     for metric in sorted(doc["results"]):
         value = doc["results"][metric]
-        lines.append(f"{metric:<28}{value:>16,.0f}")
+        # Sub-second wall clocks need decimals; rates and counters don't.
+        rendered = f"{value:>16,.3f}" if abs(value) < 1000 else f"{value:>16,.0f}"
+        lines.append(f"{metric:<28}{rendered}")
     sp = doc["speedups"]
-    lines.append(
-        f"speedup vs pre-PR baseline: queue ops {sp['queue_ops']:.2f}x "
-        f"(adaptive {sp.get('queue_ops_adaptive', sp['queue_ops']):.2f}x), "
-        f"hop throughput {sp['hop_throughput']:.2f}x"
-    )
+    if "queue_ops" in sp:
+        lines.append(
+            f"speedup vs pre-PR baseline: queue ops {sp['queue_ops']:.2f}x "
+            f"(adaptive {sp.get('queue_ops_adaptive', sp['queue_ops']):.2f}x), "
+            f"hop throughput {sp['hop_throughput']:.2f}x"
+        )
+    if "mp_measured" in sp:
+        lines.append(
+            f"multi-process speedup: measured {sp['mp_measured']:.2f}x, "
+            f"cost-model predicted {sp['mp_predicted']:.2f}x"
+        )
     cmp = doc.get("comparison")
     if cmp is None:
         lines.append("no previous comparable BENCH file — baseline run")

@@ -19,7 +19,6 @@ sequential kernel's whenever cross-LP event times respect the lookahead
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Any, Callable, Sequence
 
 import numpy as np
@@ -29,30 +28,13 @@ from ..obs.registry import get_registry
 from ..obs.trace import get_tracer
 from .calqueue import make_queue
 from .events import Event, _seq
+from .windows import WindowStats, iter_windows
 
 __all__ = ["LookaheadViolation", "WindowStats", "ConservativeEngine"]
 
 
 class LookaheadViolation(RuntimeError):
     """A cross-LP event was scheduled closer than the engine's lookahead."""
-
-
-@dataclass
-class WindowStats:
-    """Per-synchronization-window execution counters."""
-
-    window_index: int
-    start: float
-    end: float
-    #: events executed per LP in this window
-    events_per_lp: np.ndarray
-    #: cross-LP events *sent* per LP in this window
-    remote_sends_per_lp: np.ndarray
-
-    @property
-    def total_events(self) -> int:
-        """Events executed across all LPs in this window."""
-        return int(self.events_per_lp.sum())
 
 
 class ConservativeEngine:
@@ -228,11 +210,12 @@ class ConservativeEngine:
         :attr:`window_stats`.
         """
         executed_total = 0
-        window_index = len(self.window_stats)
-        # The epsilon absorbs float accumulation over many windows so a
-        # run to `until` never spawns a sliver final window.
-        while self.now < until - 1e-9 * self.lookahead:
-            window_end = min(self.now + self.lookahead, until)
+        # Window boundaries come from the shared iterator so this engine
+        # and the multi-process backend derive bit-identical float
+        # sequences (see repro.engine.windows).
+        for window_index, _start, window_end in iter_windows(
+            self.now, self.lookahead, until, first_index=len(self.window_stats)
+        ):
             self._window_end = window_end
             self._events_this_window[:] = 0
             self._remote_this_window[:] = 0
@@ -273,7 +256,6 @@ class ConservativeEngine:
                     remote_sends_per_lp=self._remote_this_window.copy(),
                 )
             )
-            window_index += 1
             self.now = window_end
         self.events_executed += executed_total
         return executed_total

@@ -1,0 +1,986 @@
+"""Multi-process conservative backend: real parallelism, same bytes.
+
+:class:`ParallelConservativeEngine` executes the barrier-window protocol
+of :class:`~repro.engine.conservative.ConservativeEngine` across real OS
+processes. LPs are sharded over workers (contiguous split, so the
+partitioner's locality survives); every worker replays the *identical*
+scenario construction, keeps only the events of the LPs it owns, runs
+each window with the existing per-LP kernels, and exchanges cross-shard
+mail at the barrier — batched per window and serialized through
+:mod:`repro.serialization`. There are no null messages: the window
+length equals the lookahead, so a barrier per window is sufficient for
+causality (the MaSSF/DaSSF composite-synchronization special case where
+every channel's lookahead is the global MLL).
+
+Byte-identity with the single-process engine comes from three rules:
+
+1. **Deterministic tiebreak keys.** The global ``seq`` counter cannot
+   exist across processes, so events carry ``(epoch, lane, counter)``
+   tuples: ``epoch`` is 0 during setup and ``window_index + 1`` during
+   execution, ``lane`` is the scheduling LP (0 for setup and control),
+   and ``counter`` is a per-worker monotone int. Within one destination
+   queue this lexicographic order reproduces the single-process
+   ``(time, seq)`` order exactly: phases execute sequentially in the
+   single-process engine (setup, then window 0 LP 0, window 0 LP 1, …),
+   every ``(epoch >= 1, lane)`` phase has a single producing worker, and
+   setup counters align across workers because construction is replayed
+   identically everywhere.
+
+2. **Replicated control plane.** Events targeting ``node == -1`` (fault
+   injections, other control work) run on LP 0. The worker owning LP 0
+   executes them interleaved with LP 0's traffic, exactly like the
+   single-process engine; every other worker *replays* them from a
+   replica queue before each window, so control-plane mutations (link
+   state, forwarding tables, loss probabilities) are visible to all LPs
+   with the same window granularity as the sequential schedule, where
+   LP 0 runs first in every window. Replica replay discards events it
+   would schedule onto real nodes — the owner already emits those as
+   mail — so nothing is ever delivered twice.
+
+3. **Shared boundary arithmetic.** Window boundaries come from
+   :func:`repro.engine.windows.iter_windows` in every process, so the
+   lookahead fence is the identical float everywhere.
+
+What does *not* shard: scenarios whose construction cannot be replayed
+per-process (live sockets, the online wrapper layer's process-wide
+listener table) and cross-shard event cancellation (all cancellations
+in the codebase are LP-local timers). This mirrors the feasibility
+boundary reported for distributed BGP simulation — shared mutable
+routing/daemon state is the hard part, packet-mediated traffic shards
+cleanly (see PAPERS.md).
+"""
+
+from __future__ import annotations
+
+import importlib
+import multiprocessing as mp
+import traceback
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from ..obs import names as obs_names
+from ..obs.registry import get_registry
+from ..obs.timers import Stopwatch
+from .calqueue import make_queue
+from .conservative import LookaheadViolation
+from .events import Event
+from .windows import WINDOW_EPSILON_FRACTION, WindowStats, iter_windows
+
+__all__ = [
+    "ParallelBackendError",
+    "WorkerCrashError",
+    "ParallelWorkerError",
+    "MailOrderError",
+    "UnregisteredHandlerError",
+    "ScenarioSpec",
+    "ShardScenario",
+    "ShardEngine",
+    "LocalShardGroup",
+    "ParallelRunResult",
+    "ParallelConservativeEngine",
+    "shard_lps",
+    "validate_mail_batch",
+]
+
+
+# ----------------------------------------------------------------------
+# Typed failure modes
+# ----------------------------------------------------------------------
+class ParallelBackendError(RuntimeError):
+    """Base class for multi-process backend failures."""
+
+
+class WorkerCrashError(ParallelBackendError):
+    """A worker process died or stopped responding at a barrier."""
+
+
+class ParallelWorkerError(ParallelBackendError):
+    """A worker raised; carries the remote traceback text."""
+
+    def __init__(self, shard_id: int, remote_traceback: str) -> None:
+        super().__init__(
+            f"worker {shard_id} failed remotely:\n{remote_traceback}"
+        )
+        self.shard_id = shard_id
+        self.remote_traceback = remote_traceback
+
+
+class MailOrderError(ParallelBackendError):
+    """Barrier mail arrived behind the barrier time (sender bug)."""
+
+
+class UnregisteredHandlerError(ParallelBackendError):
+    """A cross-shard event's handler has no registered wire name."""
+
+
+# ----------------------------------------------------------------------
+# Scenario contract
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """A picklable recipe every worker replays identically.
+
+    ``builder`` names a module-level function as ``"pkg.module:func"``;
+    it is called as ``builder(engine, params)`` and must return a
+    :class:`ShardScenario`. Builders must be deterministic pure
+    functions of ``params`` — any divergence between workers breaks the
+    key-alignment argument in the module docstring.
+    """
+
+    builder: str
+    params: dict = field(default_factory=dict)
+
+
+@dataclass
+class ShardScenario:
+    """What a scenario builder hands back to the backend.
+
+    ``handlers`` maps wire names to the bound methods that may cross a
+    process boundary inside mail (resolved by name on the receiving
+    shard — code objects never travel). ``collect`` is called after the
+    last window and must return a picklable result for the controller.
+    """
+
+    handlers: dict[str, Callable[..., Any]]
+    collect: Callable[[], Any] | None = None
+
+
+def shard_lps(num_lps: int, procs: int) -> list[list[int]]:
+    """Contiguous LP -> shard split (preserves partitioner locality)."""
+    if procs < 1:
+        raise ValueError("procs must be >= 1")
+    return [part.tolist() for part in np.array_split(np.arange(num_lps), procs)]
+
+
+def validate_mail_batch(
+    items: Sequence[tuple], barrier_time: float, lookahead: float, strict: bool = True
+) -> int:
+    """Receiver-side causality gate over one window's decoded mail.
+
+    Every item must land at or after the barrier (within the shared
+    relative epsilon) — anything earlier means the sender broke the
+    lookahead contract and in-window execution order is already lost.
+    Returns the violation count; raises :class:`MailOrderError` when
+    ``strict``.
+    """
+    eps = WINDOW_EPSILON_FRACTION * lookahead
+    violations = 0
+    for item in items:
+        time = item[2]
+        if time < barrier_time - eps:
+            violations += 1
+            if strict:
+                raise MailOrderError(
+                    f"mail event at t={time:.9f} arrives behind the barrier "
+                    f"at {barrier_time:.9f} (lookahead {lookahead:.9f}); "
+                    "out-of-order cross-shard delivery"
+                )
+    return violations
+
+
+# ----------------------------------------------------------------------
+# Per-shard engine
+# ----------------------------------------------------------------------
+class ShardEngine:
+    """One worker's view of the conservative engine: the LPs it owns.
+
+    Implements the same scheduler protocol as ``ConservativeEngine``
+    (``schedule_at`` / ``schedule`` / ``current_time`` /
+    ``next_barrier_time`` / ``lp_of``) so the packet simulator, fault
+    injector, and applications run unchanged. Events carry ``(epoch,
+    lane, counter)`` tiebreak keys instead of the process-global ``seq``
+    (see the module docstring for why the order is identical).
+    """
+
+    def __init__(
+        self,
+        assignment: Sequence[int] | np.ndarray,
+        num_lps: int,
+        lookahead: float,
+        owned_lps: Sequence[int],
+        strict: bool = True,
+        queue: str = "adaptive",
+    ) -> None:
+        if lookahead <= 0:
+            raise ValueError("lookahead must be positive")
+        self.assignment = np.asarray(assignment, dtype=np.int64)
+        if self.assignment.size and (
+            self.assignment.min() < 0 or self.assignment.max() >= num_lps
+        ):
+            raise ValueError("assignment references an LP out of range")
+        self.num_lps = int(num_lps)
+        self.lookahead = float(lookahead)
+        self.strict = strict
+        owned = sorted(int(lp) for lp in owned_lps)
+        if any(lp < 0 or lp >= self.num_lps for lp in owned):
+            raise ValueError("owned LP out of range")
+        self.owned_lps = owned
+        self._local_index = np.full(self.num_lps, -1, dtype=np.int64)
+        for i, lp in enumerate(owned):
+            self._local_index[lp] = i
+        #: True when this shard owns LP 0 and therefore runs the real
+        #: control plane (other shards replay a replica of it).
+        self.has_control = bool(owned) and owned[0] == 0
+        self._queues = [make_queue(queue) for _ in owned]
+        self._control_queue = None if self.has_control else make_queue(queue)
+        # Cross-LP mail between two LPs of the *same* shard still waits
+        # for the barrier, mirroring the single-process mailboxes.
+        self._local_mail: list[list[Event]] = [[] for _ in owned]
+        self._outbound: list[tuple[int, Event]] = []
+
+        self.now: float = 0.0
+        self._window_end: float = 0.0
+        self._current_lp: int | None = None
+        self._lp_now: float = 0.0
+        self._in_replica_control = False
+        self._phase_setup = True
+        # (epoch, lane, counter) key state: epoch 0 = setup, epoch w+1 =
+        # window w; lane = scheduling LP; one monotone counter per
+        # worker. The counter also advances for events a replay
+        # discards, keeping kept-event keys aligned across workers.
+        self._epoch = 0
+        self._lane = 0
+        self._kcount = 0
+
+        self.events_executed = 0
+        self.lookahead_violations = 0
+        self.events_this_window = np.zeros(self.num_lps, dtype=np.int64)
+        self.remote_this_window = np.zeros(self.num_lps, dtype=np.int64)
+
+    # -- scheduler protocol -------------------------------------------
+    @property
+    def current_time(self) -> float:
+        """Simulated time within the executing LP (barrier otherwise)."""
+        if self._current_lp is not None or self._in_replica_control:
+            return self._lp_now
+        return self.now
+
+    @property
+    def next_barrier_time(self) -> float:
+        """End of the current synchronization window."""
+        if self._current_lp is not None or self._in_replica_control:
+            return self._window_end
+        return self.now
+
+    @property
+    def execution_cursor(self) -> tuple[int, int]:
+        """(epoch, lane) of the executing phase — the global merge key.
+
+        Per-shard logs tagged with this cursor concatenate into the
+        exact single-process order under a stable sort: phases run
+        sequentially there (setup, then window by window, LP by LP
+        inside each window) and each ``(epoch, lane)`` phase executes
+        entirely on one shard.
+        """
+        return (self._epoch, self._lane)
+
+    def lp_of(self, node: int) -> int:
+        """The LP owning ``node`` (engine-internal events run on LP 0)."""
+        return 0 if node < 0 else int(self.assignment[node])
+
+    def _next_key(self) -> tuple[int, int, int]:
+        self._kcount += 1
+        return (self._epoch, self._lane, self._kcount)
+
+    def schedule_at(
+        self, time: float, fn: Callable[..., Any], node: int = -1, args: tuple = ()
+    ) -> Event:
+        """Schedule ``fn(*args)`` at ``time`` on the LP owning ``node``.
+
+        Same causality floors as the single-process engine. The fate of
+        the event depends on the phase: during setup everything is
+        replayed everywhere and only owned-LP (plus control) events are
+        kept; during replica control replay only follow-up *control*
+        events are kept; during window execution, off-LP events go to
+        the local mailbox or the cross-shard outbound batch.
+        """
+        executing = self._current_lp is not None or self._in_replica_control
+        if not executing:
+            if time < self.now:
+                raise ValueError("cannot schedule into the past")
+        elif time < self._lp_now:
+            raise ValueError(
+                f"cannot schedule into the executing LP's past "
+                f"(t={time:.9f} < LP-local now {self._lp_now:.9f})"
+            )
+        target_lp = self.lp_of(node)
+        ev = Event(time, self._next_key(), fn, args, node)
+        local = int(self._local_index[target_lp])
+        if self._in_replica_control:
+            if node < 0 and self._control_queue is not None:
+                self._control_queue.push_event(ev)
+            elif local >= 0:
+                # A control handler scheduling directly onto an owned
+                # node would also run on the owner's shard — delivering
+                # here too would execute it twice.
+                raise ParallelBackendError(
+                    "control replay scheduled onto a real node; control "
+                    "handlers must only mutate control-plane state"
+                )
+            return ev
+        if self._current_lp is None:
+            # Setup (or barrier-time) scheduling: replicated replay.
+            if local >= 0:
+                self._queues[local].push_event(ev)
+            elif node < 0 and self._control_queue is not None:
+                self._control_queue.push_event(ev)
+            elif not self._phase_setup:
+                raise ParallelBackendError(
+                    "cannot schedule onto an unowned LP at a barrier; "
+                    "cross-shard events must originate from executing events"
+                )
+            return ev
+        if target_lp == self._current_lp:
+            self._queues[local].push_event(ev)
+            return ev
+        # Cross-LP send during window execution: lookahead fence, then
+        # local mailbox (same shard) or outbound mail (other shard).
+        if time < self._window_end - WINDOW_EPSILON_FRACTION * self.lookahead:
+            self.lookahead_violations += 1
+            if self.strict:
+                raise LookaheadViolation(
+                    f"cross-LP event at t={time:.9f} lands inside the current "
+                    f"window ending at {self._window_end:.9f} "
+                    f"(lookahead {self.lookahead:.9f})"
+                )
+        self.remote_this_window[self._current_lp] += 1
+        if local >= 0:
+            self._local_mail[local].append(ev)
+        else:
+            self._outbound.append((target_lp, ev))
+        return ev
+
+    def schedule(
+        self, delay: float, fn: Callable[..., Any], node: int = -1, args: tuple = ()
+    ) -> Event:
+        """Schedule relative to the executing LP's current time."""
+        return self.schedule_at(self.current_time + delay, fn, node=node, args=args)
+
+    # -- lifecycle -----------------------------------------------------
+    def seal_setup(self) -> None:
+        """End the replicated-construction phase; windows may now run."""
+        self._phase_setup = False
+
+    def run_window(self, window_index: int, window_end: float) -> int:
+        """Execute one synchronization window over the owned LPs.
+
+        Returns the number of events executed (owned LPs only; replica
+        control replay is not counted — the owner counts it). Cross-LP
+        mail produced during the window waits in the local mailboxes
+        (delivered here at the end, like the single-process barrier) or
+        in the outbound batch (``drain_outbound``).
+        """
+        if self._phase_setup:
+            raise ParallelBackendError("seal_setup() must run before windows")
+        self._epoch = window_index + 1
+        self._window_end = window_end
+        self.events_this_window[:] = 0
+        self.remote_this_window[:] = 0
+        if self._control_queue is not None:
+            self._run_replica_control(window_end)
+        executed = 0
+        for i, lp in enumerate(self.owned_lps):
+            self._current_lp = lp
+            self._lane = lp
+            n = self._run_lp_queue(i, window_end)
+            self.events_this_window[lp] = n
+            executed += n
+        self._current_lp = None
+        self._lane = 0
+        for i, mail in enumerate(self._local_mail):
+            for ev in mail:
+                self._queues[i].push_event(ev)
+            mail.clear()
+        self.now = window_end
+        self.events_executed += executed
+        return executed
+
+    def _run_replica_control(self, window_end: float) -> None:
+        # Pre-window replay of the control plane: equivalent to the
+        # sequential schedule, where LP 0 (including all control events)
+        # runs before every other LP within each window.
+        self._in_replica_control = True
+        self._lane = 0
+        queue = self._control_queue
+        while True:
+            ev = queue.pop_until(window_end)
+            if ev is None:
+                break
+            self._lp_now = ev.time
+            ev.fn(*ev.args)
+        self._in_replica_control = False
+
+    def _run_lp_queue(self, local: int, window_end: float) -> int:
+        queue = self._queues[local]
+        executed = 0
+        while True:
+            ev = queue.pop_until(window_end)
+            if ev is None:
+                break
+            self._lp_now = ev.time
+            ev.fn(*ev.args)
+            executed += 1
+        return executed
+
+    # -- mail ----------------------------------------------------------
+    def drain_outbound(self) -> list[tuple[int, Event]]:
+        """Remove and return this window's live cross-shard mail."""
+        out = [(lp, ev) for lp, ev in self._outbound if not ev.cancelled]
+        self._outbound.clear()
+        return out
+
+    def push_remote(self, target_lp: int, ev: Event) -> None:
+        """Enqueue a decoded mail event onto an owned LP's queue."""
+        local = int(self._local_index[target_lp])
+        if local < 0:
+            raise ParallelBackendError(
+                f"mail for LP {target_lp} routed to a shard that does not own it"
+            )
+        self._queues[local].push_event(ev)
+
+    @property
+    def pending(self) -> int:
+        """Live events across owned queues, mailboxes, and outbound."""
+        queued = sum(len(q) for q in self._queues)
+        mailed = sum(len(m) for m in self._local_mail)
+        return queued + mailed + len(self._outbound)
+
+
+# ----------------------------------------------------------------------
+# Shared shard-side protocol steps (worker process and local group)
+# ----------------------------------------------------------------------
+def _resolve_builder(path: str) -> Callable[..., ShardScenario]:
+    module_name, _, fn_name = path.partition(":")
+    if not module_name or not fn_name:
+        raise ParallelBackendError(
+            f"builder {path!r} must be 'package.module:function'"
+        )
+    try:
+        module = importlib.import_module(module_name)
+    except ImportError as exc:
+        raise ParallelBackendError(
+            f"builder {path!r}: cannot import its module ({exc})"
+        ) from exc
+    fn = getattr(module, fn_name, None)
+    if fn is None:
+        raise ParallelBackendError(f"builder {path!r} not found")
+    return fn
+
+
+def _build_shard(
+    engine: ShardEngine, spec: ScenarioSpec
+) -> tuple[ShardScenario, dict[Any, str], dict[str, Callable[..., Any]]]:
+    """Run the scenario builder and index its wire handlers both ways."""
+    scenario = _resolve_builder(spec.builder)(engine, spec.params)
+    name_to_fn = dict(scenario.handlers)
+    fn_to_name = {}
+    for name in sorted(name_to_fn):
+        fn_to_name[name_to_fn[name]] = name
+    engine.seal_setup()
+    return scenario, fn_to_name, name_to_fn
+
+
+def _encode_outbound(
+    engine: ShardEngine,
+    shard_of: Sequence[int],
+    fn_to_name: dict[Any, str],
+    procs: int,
+) -> list[bytes]:
+    """Batch and serialize one window's cross-shard mail per destination."""
+    from .. import serialization as ser  # deferred: serialization -> core -> engine
+
+    buckets: list[list[tuple]] = [[] for _ in range(procs)]
+    for target_lp, ev in engine.drain_outbound():
+        name = fn_to_name.get(ev.fn)
+        if name is None:
+            raise UnregisteredHandlerError(
+                f"handler {ev.fn!r} is not registered for cross-process "
+                "mail; add it to the scenario's handlers dict"
+            )
+        buckets[int(shard_of[target_lp])].append(
+            (int(target_lp), int(ev.node), ev.time, ev.seq, name, ev.args)
+        )
+    return [ser.encode_mail_batch(b) if b else b"" for b in buckets]
+
+
+def _deliver_encoded_mail(
+    engine: ShardEngine,
+    payloads: Sequence[bytes],
+    barrier_time: float,
+    name_to_fn: dict[str, Callable[..., Any]],
+) -> None:
+    """Decode, validate, and enqueue one window's inbound mail."""
+    from .. import serialization as ser  # deferred: serialization -> core -> engine
+
+    items: list[tuple] = []
+    for payload in payloads:
+        if payload:
+            items.extend(ser.decode_mail_batch(payload))
+    engine.lookahead_violations += validate_mail_batch(
+        items, barrier_time, engine.lookahead, strict=engine.strict
+    )
+    for target_lp, node, time, key, handler, args in items:
+        fn = name_to_fn.get(handler)
+        if fn is None:
+            raise UnregisteredHandlerError(
+                f"mail references unknown handler {handler!r}; sender and "
+                "receiver scenarios disagree"
+            )
+        engine.push_remote(
+            target_lp, Event(time, tuple(key), fn, tuple(args), node)
+        )
+
+
+def _shard_result(engine: ShardEngine, scenario: ShardScenario) -> dict[str, Any]:
+    return {
+        "collect": scenario.collect() if scenario.collect is not None else None,
+        "events_executed": int(engine.events_executed),
+        "lookahead_violations": int(engine.lookahead_violations),
+    }
+
+
+def _worker_main(conn, config_bytes: bytes) -> None:
+    """Worker process entry: build, run windows, talk the barrier wire.
+
+    Per window the worker sends ``("window", w, payloads, events_col,
+    remote_col)`` and blocks until the controller routes everyone's mail
+    back as ``("mail", w, payloads)``. Failures surface as ``("error",
+    traceback_text)`` so the controller can raise a typed error instead
+    of deadlocking at the barrier.
+    """
+    from .. import serialization as ser  # deferred: serialization -> core -> engine
+
+    try:
+        config = ser.decode_payload(config_bytes)
+        engine = ShardEngine(
+            config["assignment"],
+            config["num_lps"],
+            config["lookahead"],
+            config["owned_lps"],
+            strict=config["strict"],
+            queue=config["queue"],
+        )
+        scenario, fn_to_name, name_to_fn = _build_shard(engine, config["spec"])
+        shard_of = config["shard_of"]
+        procs = config["procs"]
+        barrier_wait_s = 0.0
+        mail_bytes = 0
+        waiting = Stopwatch()
+        for w, _start, end in iter_windows(0.0, engine.lookahead, config["until"]):
+            engine.run_window(w, end)
+            payloads = _encode_outbound(engine, shard_of, fn_to_name, procs)
+            mail_bytes += sum(len(p) for p in payloads)
+            conn.send(
+                (
+                    "window",
+                    w,
+                    payloads,
+                    engine.events_this_window.tolist(),
+                    engine.remote_this_window.tolist(),
+                )
+            )
+            waiting.restart()
+            msg = conn.recv()
+            barrier_wait_s += waiting.elapsed()
+            if msg[0] != "mail" or msg[1] != w:
+                raise ParallelBackendError(
+                    f"barrier protocol desync: expected mail for window {w}, "
+                    f"got {msg[:2]!r}"
+                )
+            _deliver_encoded_mail(engine, msg[2], end, name_to_fn)
+        result = _shard_result(engine, scenario)
+        result["barrier_wait_s"] = barrier_wait_s
+        result["mail_bytes"] = mail_bytes
+        conn.send(("done", ser.encode_payload(result)))
+        conn.close()
+    except BaseException:  # noqa: BLE001 - report, then die
+        try:
+            conn.send(("error", traceback.format_exc()))
+            conn.close()
+        except (BrokenPipeError, OSError):  # pragma: no cover - dead pipe
+            pass
+
+
+# ----------------------------------------------------------------------
+# Results
+# ----------------------------------------------------------------------
+@dataclass
+class ParallelRunResult:
+    """Merged outcome of one multi-process (or local-group) run."""
+
+    procs: int
+    until: float
+    lookahead: float
+    #: contiguous LP split actually used, one list per shard
+    shards: list[list[int]]
+    #: per-window stats summed across shards (same shape the
+    #: single-process engine records — cost-model ready)
+    window_stats: list[WindowStats]
+    events_executed: int
+    lookahead_violations: int
+    #: controller wall-clock for the whole run (build + windows)
+    wall_s: float
+    #: per-worker seconds spent blocked at barriers
+    barrier_wait_s: list[float]
+    #: per-worker serialized mail bytes sent
+    mail_bytes: list[int]
+    #: per-worker events executed
+    worker_events: list[int]
+    #: per-shard ``ShardScenario.collect()`` values
+    collected: list[Any]
+
+    @property
+    def total_mail_bytes(self) -> int:
+        """Serialized cross-shard mail volume over the whole run."""
+        return int(sum(self.mail_bytes))
+
+
+def _merge_window_rows(
+    num_lps: int,
+    rows: dict[int, list[tuple[list[int], list[int]]]],
+    boundaries: list[tuple[int, float, float]],
+) -> list[WindowStats]:
+    stats = []
+    for w, start, end in boundaries:
+        events = np.zeros(num_lps, dtype=np.int64)
+        remote = np.zeros(num_lps, dtype=np.int64)
+        for events_col, remote_col in rows[w]:
+            events += np.asarray(events_col, dtype=np.int64)
+            remote += np.asarray(remote_col, dtype=np.int64)
+        stats.append(
+            WindowStats(
+                window_index=w,
+                start=start,
+                end=end,
+                events_per_lp=events,
+                remote_sends_per_lp=remote,
+            )
+        )
+    return stats
+
+
+# ----------------------------------------------------------------------
+# Controller
+# ----------------------------------------------------------------------
+class ParallelConservativeEngine:
+    """Conservative barrier-window engine over real worker processes.
+
+    Parameters mirror :class:`ConservativeEngine`, plus:
+
+    procs:
+        Worker process count. LPs are split contiguously across workers
+        (``shard_lps``); ``procs > num_lps`` leaves trailing workers
+        with empty shards, which no-op cleanly.
+    start_method:
+        ``multiprocessing`` start method. ``"fork"`` (default on Linux)
+        is fastest; ``"spawn"`` additionally proves every payload
+        pickles (the differential suite runs both).
+    window_timeout_s:
+        Per-barrier controller patience before declaring a worker hung
+        (:class:`WorkerCrashError`).
+    """
+
+    def __init__(
+        self,
+        assignment: Sequence[int] | np.ndarray,
+        num_lps: int,
+        lookahead: float,
+        procs: int = 2,
+        strict: bool = True,
+        queue: str = "adaptive",
+        start_method: str = "fork",
+        window_timeout_s: float = 120.0,
+    ) -> None:
+        if lookahead <= 0:
+            raise ValueError("lookahead must be positive")
+        self.assignment = np.asarray(assignment, dtype=np.int64)
+        self.num_lps = int(num_lps)
+        self.lookahead = float(lookahead)
+        self.procs = int(procs)
+        self.strict = strict
+        self.queue = queue
+        self.start_method = start_method
+        self.window_timeout_s = float(window_timeout_s)
+        self.shards = shard_lps(self.num_lps, self.procs)
+        self._shard_of = np.empty(self.num_lps, dtype=np.int64)
+        for shard_id, lps in enumerate(self.shards):
+            for lp in lps:
+                self._shard_of[lp] = shard_id
+
+        reg = get_registry()
+        self._obs = reg
+        self._obs_barrier_hist = reg.histogram(
+            obs_names.PARALLEL_BARRIER_WAIT, (1e-4, 1e-3, 1e-2, 0.1, 1.0, 10.0)
+        )
+        self._obs_mail_bytes = reg.counter(obs_names.PARALLEL_MAIL_BYTES)
+        self._obs_worker_events = reg.vector_counter(
+            obs_names.PARALLEL_WORKER_EVENTS, self.procs
+        )
+        self._obs_windows = reg.counter(obs_names.ENGINE_WINDOWS)
+
+    @classmethod
+    def from_mapping(
+        cls, mapping, lookahead: float | None = None, **kwargs
+    ) -> "ParallelConservativeEngine":
+        """Build from partitioner output (:class:`NetworkMapping`).
+
+        The lookahead defaults to the mapping's achieved MLL — the same
+        window rule the modeled engine uses; pass ``lookahead``
+        explicitly when the mapping has no finite cross-LP latency
+        (single-engine mappings).
+        """
+        if lookahead is None:
+            mll = float(mapping.evaluation.mll_s)
+            if not np.isfinite(mll) or mll <= 0:
+                raise ValueError(
+                    "mapping has no finite achieved MLL; pass lookahead="
+                )
+            lookahead = mll
+        return cls(
+            mapping.assignment, mapping.num_engines, lookahead, **kwargs
+        )
+
+    # -- controller-side wire helpers ---------------------------------
+    def _recv(self, conns, procs, shard_id):
+        conn = conns[shard_id]
+        proc = procs[shard_id]
+        waited = Stopwatch()
+        while True:
+            if conn.poll(0.05):
+                try:
+                    msg = conn.recv()
+                except EOFError:
+                    raise WorkerCrashError(
+                        f"worker {shard_id} closed its pipe mid-protocol "
+                        f"(exitcode {proc.exitcode})"
+                    ) from None
+                if msg[0] == "error":
+                    raise ParallelWorkerError(shard_id, msg[1])
+                return msg
+            if not proc.is_alive() and not conn.poll(0.0):
+                raise WorkerCrashError(
+                    f"worker {shard_id} died at a barrier without reporting "
+                    f"(exitcode {proc.exitcode})"
+                )
+            if waited.elapsed() > self.window_timeout_s:
+                raise WorkerCrashError(
+                    f"worker {shard_id} unresponsive for more than "
+                    f"{self.window_timeout_s:.0f}s at a barrier"
+                )
+
+    def _worker_config(self, shard_id: int, spec: ScenarioSpec, until: float) -> bytes:
+        from .. import serialization as ser  # deferred: serialization -> core -> engine
+
+        return ser.encode_payload(
+            {
+                "assignment": self.assignment,
+                "num_lps": self.num_lps,
+                "lookahead": self.lookahead,
+                "owned_lps": self.shards[shard_id],
+                "strict": self.strict,
+                "queue": self.queue,
+                "spec": spec,
+                "shard_of": self._shard_of.tolist(),
+                "procs": self.procs,
+                "until": float(until),
+                "shard_id": shard_id,
+            }
+        )
+
+    def run_scenario(self, spec: ScenarioSpec, until: float) -> ParallelRunResult:
+        """Run ``spec`` to simulated time ``until`` across the workers.
+
+        Blocks until every worker finishes (or fails — worker errors
+        surface as :class:`ParallelWorkerError`, crashes and hangs as
+        :class:`WorkerCrashError`). Returns the merged result; per-LP
+        window stats are summed across shards into the same
+        :class:`WindowStats` rows the single-process engine records.
+        """
+        from .. import serialization as ser  # deferred: serialization -> core -> engine
+
+        ctx = mp.get_context(self.start_method)
+        conns = []
+        workers = []
+        wall = Stopwatch()
+        try:
+            for shard_id in range(self.procs):
+                parent_conn, child_conn = ctx.Pipe(duplex=True)
+                proc = ctx.Process(
+                    target=_worker_main,
+                    args=(child_conn, self._worker_config(shard_id, spec, until)),
+                    name=f"repro-shard-{shard_id}",
+                    daemon=True,
+                )
+                proc.start()
+                child_conn.close()
+                conns.append(parent_conn)
+                workers.append(proc)
+
+            boundaries = list(iter_windows(0.0, self.lookahead, until))
+            rows: dict[int, list[tuple[list[int], list[int]]]] = {
+                w: [] for w, _s, _e in boundaries
+            }
+            for w, _start, _end in boundaries:
+                msgs = []
+                for shard_id in range(self.procs):
+                    msg = self._recv(conns, workers, shard_id)
+                    if msg[0] != "window" or msg[1] != w:
+                        raise ParallelBackendError(
+                            f"barrier protocol desync: worker {shard_id} sent "
+                            f"{msg[:2]!r}, expected window {w}"
+                        )
+                    msgs.append(msg)
+                    rows[w].append((msg[3], msg[4]))
+                # Route: destination j receives one payload per sender.
+                for shard_id in range(self.procs):
+                    inbound = [msgs[src][2][shard_id] for src in range(self.procs)]
+                    conns[shard_id].send(("mail", w, inbound))
+                if self._obs.enabled:
+                    self._obs_windows.inc()
+            results = []
+            for shard_id in range(self.procs):
+                msg = self._recv(conns, workers, shard_id)
+                if msg[0] != "done":
+                    raise ParallelBackendError(
+                        f"barrier protocol desync: worker {shard_id} sent "
+                        f"{msg[0]!r}, expected done"
+                    )
+                results.append(ser.decode_payload(msg[1]))
+            for proc in workers:
+                proc.join(timeout=self.window_timeout_s)
+        finally:
+            for conn in conns:
+                conn.close()
+            for proc in workers:
+                if proc.is_alive():  # pragma: no cover - crash cleanup
+                    proc.terminate()
+                    proc.join(timeout=5.0)
+
+        wall_s = wall.elapsed()
+        window_stats = _merge_window_rows(self.num_lps, rows, boundaries)
+        worker_events = [r["events_executed"] for r in results]
+        barrier_wait = [r["barrier_wait_s"] for r in results]
+        mail_bytes = [r["mail_bytes"] for r in results]
+        if self._obs.enabled:
+            self._obs_mail_bytes.inc(int(sum(mail_bytes)))
+            for wait_s in barrier_wait:
+                self._obs_barrier_hist.observe(float(wait_s))
+            self._obs_worker_events.add_array(
+                np.asarray(worker_events, dtype=np.int64)
+            )
+        return ParallelRunResult(
+            procs=self.procs,
+            until=float(until),
+            lookahead=self.lookahead,
+            shards=[list(s) for s in self.shards],
+            window_stats=window_stats,
+            events_executed=int(sum(worker_events)),
+            lookahead_violations=int(
+                sum(r["lookahead_violations"] for r in results)
+            ),
+            wall_s=wall_s,
+            barrier_wait_s=barrier_wait,
+            mail_bytes=mail_bytes,
+            worker_events=worker_events,
+            collected=[r["collect"] for r in results],
+        )
+
+
+# ----------------------------------------------------------------------
+# In-process reference group (tests, hypothesis sweeps)
+# ----------------------------------------------------------------------
+class LocalShardGroup:
+    """Drive K :class:`ShardEngine` shards in one process.
+
+    Executes the identical barrier/mail protocol — including the
+    round-trip through :mod:`repro.serialization` — without OS
+    processes. This is the reference executor the differential suite
+    sweeps with hypothesis (arbitrary shard counts and partitions are
+    cheap), while :class:`ParallelConservativeEngine` proves the same
+    bytes survive real process boundaries.
+    """
+
+    def __init__(
+        self,
+        assignment: Sequence[int] | np.ndarray,
+        num_lps: int,
+        lookahead: float,
+        procs: int = 2,
+        strict: bool = True,
+        queue: str = "adaptive",
+        shards: list[list[int]] | None = None,
+    ) -> None:
+        self.assignment = np.asarray(assignment, dtype=np.int64)
+        self.num_lps = int(num_lps)
+        self.lookahead = float(lookahead)
+        self.strict = strict
+        self.queue = queue
+        self.shards = shards if shards is not None else shard_lps(num_lps, procs)
+        self.procs = len(self.shards)
+        seen = sorted(lp for part in self.shards for lp in part)
+        if seen != list(range(self.num_lps)):
+            raise ValueError("shards must partition range(num_lps) exactly")
+        self._shard_of = np.empty(self.num_lps, dtype=np.int64)
+        for shard_id, lps in enumerate(self.shards):
+            for lp in lps:
+                self._shard_of[lp] = shard_id
+
+    def run_scenario(self, spec: ScenarioSpec, until: float) -> ParallelRunResult:
+        """Run ``spec`` to ``until`` over the in-process shard group."""
+        wall = Stopwatch()
+        engines = [
+            ShardEngine(
+                self.assignment,
+                self.num_lps,
+                self.lookahead,
+                owned,
+                strict=self.strict,
+                queue=self.queue,
+            )
+            for owned in self.shards
+        ]
+        built = [_build_shard(engine, spec) for engine in engines]
+        boundaries = list(iter_windows(0.0, self.lookahead, until))
+        rows: dict[int, list[tuple[list[int], list[int]]]] = {}
+        mail_bytes = [0] * self.procs
+        for w, _start, end in boundaries:
+            payload_grid = []
+            rows[w] = []
+            for shard_id, engine in enumerate(engines):
+                engine.run_window(w, end)
+                payloads = _encode_outbound(
+                    engine, self._shard_of, built[shard_id][1], self.procs
+                )
+                mail_bytes[shard_id] += sum(len(p) for p in payloads)
+                payload_grid.append(payloads)
+                rows[w].append(
+                    (
+                        engine.events_this_window.tolist(),
+                        engine.remote_this_window.tolist(),
+                    )
+                )
+            for shard_id, engine in enumerate(engines):
+                inbound = [payload_grid[src][shard_id] for src in range(self.procs)]
+                _deliver_encoded_mail(engine, inbound, end, built[shard_id][2])
+        results = [
+            _shard_result(engine, built[shard_id][0])
+            for shard_id, engine in enumerate(engines)
+        ]
+        return ParallelRunResult(
+            procs=self.procs,
+            until=float(until),
+            lookahead=self.lookahead,
+            shards=[list(s) for s in self.shards],
+            window_stats=_merge_window_rows(self.num_lps, rows, boundaries),
+            events_executed=int(sum(r["events_executed"] for r in results)),
+            lookahead_violations=int(
+                sum(r["lookahead_violations"] for r in results)
+            ),
+            wall_s=wall.elapsed(),
+            barrier_wait_s=[0.0] * self.procs,
+            mail_bytes=mail_bytes,
+            worker_events=[r["events_executed"] for r in results],
+            collected=[r["collect"] for r in results],
+        )

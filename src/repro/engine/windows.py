@@ -1,0 +1,77 @@
+"""Shared barrier-window protocol: stats and boundary arithmetic.
+
+The conservative engine and the multi-process backend must agree — to
+the last float ULP — on where every synchronization window starts and
+ends: the window boundary is the causality fence (cross-LP events may
+not land before it), and the lookahead check compares against it with a
+relative epsilon. Extracting the boundary iteration here means every
+executor (the in-process :class:`~repro.engine.conservative
+.ConservativeEngine`, each :class:`~repro.engine.parallel.ShardEngine`
+worker, and the controller that merges their results) computes the
+*identical* float sequence, so a window index means the same simulated
+interval everywhere.
+
+:class:`WindowStats` — the per-window per-LP execution counters the
+cluster cost model consumes — lives here for the same reason: workers
+report partial columns and the controller sums them into the same
+structure the single-process engine records directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+__all__ = ["WindowStats", "iter_windows", "WINDOW_EPSILON_FRACTION"]
+
+#: Relative tolerance applied to every window-boundary comparison, as a
+#: fraction of the lookahead. An *absolute* epsilon falls below one
+#: float ULP once simulated time passes ~0.01 s, turning legitimate
+#: window-boundary events into spurious violations (see PR 4).
+WINDOW_EPSILON_FRACTION = 1e-9
+
+
+@dataclass
+class WindowStats:
+    """Per-synchronization-window execution counters."""
+
+    window_index: int
+    start: float
+    end: float
+    #: events executed per LP in this window
+    events_per_lp: np.ndarray
+    #: cross-LP events *sent* per LP in this window
+    remote_sends_per_lp: np.ndarray
+
+    @property
+    def total_events(self) -> int:
+        """Events executed across all LPs in this window."""
+        return int(self.events_per_lp.sum())
+
+
+def iter_windows(
+    start: float, lookahead: float, until: float, first_index: int = 0
+) -> Iterator[tuple[int, float, float]]:
+    """Yield ``(window_index, window_start, window_end)`` barrier windows.
+
+    Reproduces the conservative engine's historical loop exactly —
+    ``window_end = min(now + lookahead, until)`` with the relative
+    epsilon absorbing float accumulation over many windows so a run to
+    ``until`` never spawns a sliver final window. Because the float
+    operations (and their order) are fixed here, every process running
+    the same ``(start, lookahead, until)`` derives bit-identical
+    boundaries — the property the cross-process barrier protocol rests
+    on.
+    """
+    if lookahead <= 0:
+        raise ValueError("lookahead must be positive")
+    eps = WINDOW_EPSILON_FRACTION * lookahead
+    now = start
+    index = first_index
+    while now < until - eps:
+        window_end = min(now + lookahead, until)
+        yield index, now, window_end
+        index += 1
+        now = window_end

@@ -17,6 +17,9 @@ __all__ = [
     "ENGINE_WINDOW_EVENTS_HIST",
     "ENGINE_BARRIER_WAIT",
     "ENGINE_LOOKAHEAD_VIOLATIONS",
+    "PARALLEL_BARRIER_WAIT",
+    "PARALLEL_MAIL_BYTES",
+    "PARALLEL_WORKER_EVENTS",
     "NETSIM_NODE_EVENTS",
     "NETSIM_NODE_RATE_BINS",
     "NETSIM_LINK_BYTES",
@@ -64,6 +67,15 @@ ENGINE_WINDOW_EVENTS_HIST = "engine.window.events"
 ENGINE_BARRIER_WAIT = "engine.barrier.wait"
 #: tolerated lookahead violations (scalar; strict engines raise instead)
 ENGINE_LOOKAHEAD_VIOLATIONS = "engine.lookahead.violations"
+
+# --- multi-process backend (repro.engine.parallel) --------------------
+#: per-worker wall-clock blocked at barriers, one sample per worker per
+#: run (histogram)
+PARALLEL_BARRIER_WAIT = "parallel.barrier.wait_s"
+#: serialized cross-shard mail volume shipped over worker pipes (scalar)
+PARALLEL_MAIL_BYTES = "parallel.mail.bytes"
+#: events executed per worker process (vector[procs])
+PARALLEL_WORKER_EVENTS = "parallel.worker.events"
 
 # --- packet-level network simulator ----------------------------------
 #: packets handled per node — the PROF load signal (vector[num_nodes])
@@ -135,6 +147,9 @@ HELP: dict[str, str] = {
     ENGINE_WINDOW_EVENTS_HIST: "Distribution of per-window total event counts.",
     ENGINE_BARRIER_WAIT: "Wall-clock spent delivering cross-LP mail at barriers.",
     ENGINE_LOOKAHEAD_VIOLATIONS: "Tolerated lookahead violations (strict engines raise).",
+    PARALLEL_BARRIER_WAIT: "Per-worker wall-clock blocked at multi-process barriers.",
+    PARALLEL_MAIL_BYTES: "Serialized cross-shard mail bytes shipped between workers.",
+    PARALLEL_WORKER_EVENTS: "Events executed per worker process.",
     NETSIM_NODE_EVENTS: "Packets handled per node (the PROF load signal).",
     NETSIM_NODE_RATE_BINS: "Per-node event counts binned over simulated time.",
     NETSIM_LINK_BYTES: "Bytes carried per link, both directions.",

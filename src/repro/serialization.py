@@ -11,6 +11,7 @@ can be reused across sessions.
 from __future__ import annotations
 
 import json
+import pickle
 from pathlib import Path
 from typing import Any
 
@@ -33,9 +34,27 @@ __all__ = [
     "load_mapping_assignment",
     "result_to_dict",
     "save_result",
+    "encode_payload",
+    "decode_payload",
+    "encode_mail_batch",
+    "decode_mail_batch",
+    "PayloadFormatError",
 ]
 
 FORMAT_VERSION = 1
+
+#: Wire-format version for cross-process payloads (mail batches, worker
+#: configs, result envelopes). Bumped whenever the tuple layout of a mail
+#: item changes, so a version skew between controller and worker fails
+#: loudly instead of mis-decoding.
+WIRE_VERSION = 1
+
+#: Magic prefix identifying a repro cross-process payload.
+_WIRE_MAGIC = b"RPW"
+
+
+class PayloadFormatError(ValueError):
+    """A cross-process payload had the wrong magic or wire version."""
 
 
 # ----------------------------------------------------------------------
@@ -225,3 +244,59 @@ def result_to_dict(result) -> dict[str, Any]:
 def save_result(result, path: str | Path) -> None:
     """Write an experiment-result summary to a JSON file."""
     Path(path).write_text(json.dumps(result_to_dict(result), indent=2))
+
+
+# ----------------------------------------------------------------------
+# Cross-process wire payloads (multi-process conservative backend)
+# ----------------------------------------------------------------------
+def encode_payload(obj: Any) -> bytes:
+    """Serialize ``obj`` for transport across a process boundary.
+
+    Every object the multi-process backend ships between controller and
+    workers — worker configs, barrier mail, result envelopes — goes
+    through this one choke point: a versioned, magic-prefixed pickle.
+    The version header turns controller/worker skew into a
+    :class:`PayloadFormatError` instead of silent corruption, and the
+    single entry point is what the SIM203 closure rule protects — only
+    module-level functions and bound methods of picklable objects
+    survive this call, never lambdas or nested closures.
+    """
+    body = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+    return _WIRE_MAGIC + bytes([WIRE_VERSION]) + body
+
+
+def decode_payload(data: bytes) -> Any:
+    """Inverse of :func:`encode_payload`, validating magic and version."""
+    if len(data) < len(_WIRE_MAGIC) + 1 or not data.startswith(_WIRE_MAGIC):
+        raise PayloadFormatError(
+            "not a repro wire payload (bad magic); controller and worker "
+            "must both serialize through repro.serialization"
+        )
+    version = data[len(_WIRE_MAGIC)]
+    if version != WIRE_VERSION:
+        raise PayloadFormatError(
+            f"wire version mismatch: payload v{version}, this process "
+            f"speaks v{WIRE_VERSION}"
+        )
+    return pickle.loads(data[len(_WIRE_MAGIC) + 1 :])
+
+
+def encode_mail_batch(items: list[tuple]) -> bytes:
+    """Serialize one barrier window's cross-shard mail for one destination.
+
+    Each item is ``(target_lp, node, time, key, handler_name, args)``
+    with ``key`` the event's ``(epoch, lane, counter)`` tiebreak tuple.
+    Handlers cross the boundary *by registered name*, never as code
+    objects — the receiving shard resolves the name against its own
+    replica of the scenario, which is what keeps the wire format small
+    and the closure rule enforceable.
+    """
+    return encode_payload(list(items))
+
+
+def decode_mail_batch(data: bytes) -> list[tuple]:
+    """Inverse of :func:`encode_mail_batch`."""
+    items = decode_payload(data)
+    if not isinstance(items, list):
+        raise PayloadFormatError("mail batch payload must decode to a list")
+    return items

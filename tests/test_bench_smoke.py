@@ -23,6 +23,12 @@ REQUIRED_METRICS = {
     "macro.fig6_events",
     "macro.fig6_events_s",
     "macro.fig6_wall_s",
+    "parallel.ref_wall_s",
+    "parallel.mp_wall_s",
+    "parallel.predicted_wall_s",
+    "parallel.mp_events_s",
+    "parallel.mail_bytes",
+    "parallel.run_events",
 }
 
 
@@ -61,10 +67,13 @@ class TestQuickBenchCli:
             "queue_ops",
             "queue_ops_adaptive",
             "hop_throughput",
+            "mp_measured",
+            "mp_predicted",
         }
         assert doc["comparison"] is None  # first point in an empty dir
         out = capsys.readouterr().out
         assert "speedup vs pre-PR baseline" in out
+        assert "multi-process speedup" in out
 
 
 class TestComparison:
@@ -122,7 +131,9 @@ class TestCliExitCode:
         degraded = dict(_BASE)
         degraded["hotpath.packets_s"] = 10.0  # 0.1x, far below threshold
         monkeypatch.setattr(
-            bench_mod, "run_bench", lambda quick=False, seed=0: _doc(degraded, "2000-01-02")
+            bench_mod,
+            "run_bench",
+            lambda quick=False, seed=0, suite="all": _doc(degraded, "2000-01-02"),
         )
         rc = main(["bench", "--quick", "--out-dir", str(tmp_path)])
         assert rc == 1
@@ -133,7 +144,9 @@ class TestCliExitCode:
 
         write_bench(_doc(_BASE, "2000-01-01"), tmp_path)
         monkeypatch.setattr(
-            bench_mod, "run_bench", lambda quick=False, seed=0: _doc(_BASE, "2000-01-02")
+            bench_mod,
+            "run_bench",
+            lambda quick=False, seed=0, suite="all": _doc(_BASE, "2000-01-02"),
         )
         rc = main(["bench", "--quick", "--out-dir", str(tmp_path)])
         assert rc == 0

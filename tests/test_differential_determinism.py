@@ -1,4 +1,4 @@
-"""Differential determinism across scheduler and queue backends.
+"""Differential determinism across scheduler, queue, and process backends.
 
 The same seeded workload is run on the sequential kernel and on the
 conservative engine with heap-backed and calendar-backed LP queues. The
@@ -7,14 +7,31 @@ queue backend must be invisible: the two conservative runs must match
 produce the same set of deliveries, the same traffic counters, and the
 same per-node packet counts (its interleaving across LPs legitimately
 differs within a window, so only its log *order* is compared sorted).
+
+The cross-process classes extend the bar to the multi-process backend:
+1, 2, and 4 real worker processes must produce byte-identical delivery
+logs, traffic-counter fingerprints, and fault outcomes against the
+single-process reference — on a plain workload and under a chaos
+schedule — and a hypothesis sweep drives arbitrary LP counts and
+partition interleavings through the in-process shard group (which runs
+the identical barrier/mail protocol, serialization included).
 """
 
 from __future__ import annotations
 
 import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.engine.conservative import ConservativeEngine
 from repro.engine.kernel import SimKernel
+from repro.engine.parallel import LocalShardGroup, ParallelConservativeEngine
+from repro.experiments.shard import (
+    chain_spec,
+    delivery_log_bytes,
+    merge_collected,
+    run_reference,
+)
 from repro.faults import FaultEvent, FaultInjector, FaultKind, FaultSchedule
 from repro.netsim.packet import Packet, Protocol
 from repro.netsim.simulator import NetworkSimulator
@@ -197,3 +214,129 @@ class TestFaultDeterminism:
         assert faulted_sim.counters.as_dict() == plain_sim.counters.as_dict()
         assert faulted_sim.dropped_fault == 0
         assert np.array_equal(faulted_sim.node_packets, plain_sim.node_packets)
+
+
+# ----------------------------------------------------------------------
+# Cross-process suite: real worker processes, same bytes
+# ----------------------------------------------------------------------
+UNTIL = 0.05
+
+
+def _reference(spec):
+    _, collected = run_reference(spec, ASSIGNMENT, 2, LATENCY_S, UNTIL)
+    return collected
+
+
+def _mp_run(spec, procs, start_method="fork", until=UNTIL):
+    engine = ParallelConservativeEngine(
+        ASSIGNMENT, 2, LATENCY_S, procs=procs, start_method=start_method
+    )
+    result = engine.run_scenario(spec, until=until)
+    return result, merge_collected(result.collected)
+
+
+class TestCrossProcessDeterminism:
+    """1, 2, and 4 worker processes against the single-process engine:
+    identical delivery-log bytes, identical TrafficCounters fingerprint,
+    identical fault outcomes — the headline acceptance bar."""
+
+    def test_plain_workload_byte_identical_across_procs(self):
+        spec = chain_spec(NUM_NODES, LATENCY_S, PACKETS)
+        ref = _reference(spec)
+        ref_bytes = delivery_log_bytes(ref)
+        assert ref["counters"]["delivered"] == PACKETS
+        for procs in (1, 2, 4):
+            result, merged = _mp_run(spec, procs)
+            assert delivery_log_bytes(merged) == ref_bytes, (
+                f"{procs}-process delivery log diverged"
+            )
+            assert merged["counters"] == ref["counters"]
+            assert merged["node_packets"] == ref["node_packets"]
+            assert merged["events_executed"] == ref["events_executed"]
+            assert result.lookahead_violations == 0
+
+    def test_chaos_workload_byte_identical_across_procs(self):
+        spec = chain_spec(NUM_NODES, LATENCY_S, PACKETS, faults=FAULT_EVENTS)
+        ref = _reference(spec)
+        ref_bytes = delivery_log_bytes(ref)
+        # The schedule bites: lossy burst plus a down link.
+        assert ref["dropped_fault"] > 0 or sum(ref["link_lost"]) > 0
+        assert ref["counters"]["delivered"] < PACKETS
+        for procs in (1, 2, 4):
+            _, merged = _mp_run(spec, procs)
+            assert delivery_log_bytes(merged) == ref_bytes, (
+                f"{procs}-process chaos delivery log diverged"
+            )
+            assert merged["counters"] == ref["counters"]
+            assert merged["dropped_fault"] == ref["dropped_fault"]
+            assert merged["link_lost"] == ref["link_lost"]
+            assert merged["faults"] == ref["faults"]
+            assert merged["fault_counts"] == ref["fault_counts"]
+            assert merged["schedule_digest"] == ref["schedule_digest"]
+
+    def test_two_proc_run_stays_within_ci_budget(self):
+        # The tier-1 gate runs this file on every commit; the procs=2
+        # barrier loop must stay comfortably inside the suite's budget.
+        spec = chain_spec(NUM_NODES, LATENCY_S, PACKETS)
+        result, merged = _mp_run(spec, 2)
+        assert result.wall_s < 60.0
+        assert delivery_log_bytes(merged) == delivery_log_bytes(_reference(spec))
+
+    def test_spawn_start_method_proves_picklability(self):
+        # spawn re-imports everything in a fresh interpreter, so any
+        # non-picklable payload in configs, mail, or results fails here.
+        spec = chain_spec(NUM_NODES, LATENCY_S, PACKETS, faults=FAULT_EVENTS)
+        ref = _reference(spec)
+        _, merged = _mp_run(spec, 2, start_method="spawn")
+        assert delivery_log_bytes(merged) == delivery_log_bytes(ref)
+        assert merged["counters"] == ref["counters"]
+        assert merged["fault_counts"] == ref["fault_counts"]
+
+
+class TestShardSweepDeterminism:
+    """Hypothesis-driven LP counts, assignments, and shard partitions
+    through the in-process group (identical protocol, serialization
+    round-trip included): every interleaving must reproduce its own
+    single-process reference bit-for-bit."""
+
+    @settings(max_examples=12, deadline=None)
+    @given(data=st.data())
+    def test_arbitrary_partitions_match_reference(self, data):
+        num_lps = data.draw(st.integers(1, 5), label="num_lps")
+        assignment = data.draw(
+            st.lists(
+                st.integers(0, num_lps - 1),
+                min_size=NUM_NODES,
+                max_size=NUM_NODES,
+            ),
+            label="assignment",
+        )
+        num_shards = data.draw(st.integers(1, num_lps), label="num_shards")
+        shard_of_lp = data.draw(
+            st.lists(
+                st.integers(0, num_shards - 1),
+                min_size=num_lps,
+                max_size=num_lps,
+            ),
+            label="shard_of_lp",
+        )
+        shards = [
+            [lp for lp in range(num_lps) if shard_of_lp[lp] == s]
+            for s in range(num_shards)
+        ]
+        # Every chain link's latency equals the lookahead, so *any*
+        # node->LP assignment satisfies the conservative contract.
+        spec = chain_spec(NUM_NODES, LATENCY_S, packets=25)
+        until = 0.02
+        _, ref = run_reference(
+            spec, np.asarray(assignment), num_lps, LATENCY_S, until
+        )
+        group = LocalShardGroup(
+            assignment, num_lps, LATENCY_S, shards=shards
+        )
+        result = group.run_scenario(spec, until=until)
+        merged = merge_collected(result.collected)
+        assert delivery_log_bytes(merged) == delivery_log_bytes(ref)
+        assert merged["counters"] == ref["counters"]
+        assert merged["node_packets"] == ref["node_packets"]
+        assert merged["events_executed"] == ref["events_executed"]

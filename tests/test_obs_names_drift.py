@@ -38,6 +38,7 @@ def registered_names(monkeypatch) -> set[str]:
     # get_registry() resolves against the fresh registry.
     from repro.analysis.lintstats import LintStats
     from repro.engine.conservative import ConservativeEngine
+    from repro.engine.parallel import ParallelConservativeEngine
     from repro.faults import FaultInjector, FaultSchedule
     from repro.netsim.simulator import NetworkSimulator
     from repro.routing.bgp.engine import BgpEngine, BgpSpeaker
@@ -47,6 +48,9 @@ def registered_names(monkeypatch) -> set[str]:
     h0 = net.add_node(NodeKind.HOST)
     net.add_link(r0, h0, 1e9, 1e-3)
     engine = ConservativeEngine(np.zeros(net.num_nodes, dtype=np.int64), 1, 1.0)
+    # Constructing the controller registers the parallel.* instruments;
+    # no worker processes start until run_scenario().
+    ParallelConservativeEngine(np.zeros(net.num_nodes, dtype=np.int64), 1, 1.0)
     fib = ForwardingPlane(net)
     sim = NetworkSimulator(net, fib, engine)
     BgpEngine({1: BgpSpeaker(1, {2: "peer"}), 2: BgpSpeaker(2, {1: "peer"})})
