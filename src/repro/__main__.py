@@ -88,12 +88,25 @@ def _cmd_experiment_mp(args, scale) -> int:
     with the TOP approach, executes the seeded UDP workload on the
     multi-process backend, and prints measured wall-clock next to the
     cost model's prediction over the same window counters.
+
+    With ``--obs-out`` the run executes under both the registry and the
+    tracer: every worker ships its instrument and trace snapshots back on
+    the control plane, and the merged, shard-labeled snapshot — with the
+    measured per-window worker spans and the measured-vs-modeled
+    calibration table — is written as one JSON document
+    (:func:`repro.obs.distributed.merged_snapshot_document`).
     """
+    import json
+    from pathlib import Path
+
     from .core.approaches import Approach
     from .experiments.parallel import run_executed_workload
     from .experiments.runner import MappingPipeline, build_network, cluster_for_scale
-    from .obs import export as obs_export
+    from .obs import blame
+    from .obs import names as obs_names
+    from .obs.distributed import merged_snapshot_document
     from .obs.registry import observed_run
+    from .obs.trace import get_tracer, traced_run
 
     net, _fib = build_network(args.network, scale, args.seed)
     cluster = cluster_for_scale(scale)
@@ -104,14 +117,18 @@ def _cmd_experiment_mp(args, scale) -> int:
         return run_executed_workload(
             net, mapping, scale.profile_duration_s,
             scale=scale, seed=args.seed, procs=args.procs,
+            incremental_obs=args.incremental_obs,
         )
 
     if args.obs_out:
-        with observed_run() as reg:
+        with observed_run(), traced_run(get_tracer()):
             run = execute()
-        obs_export.write_snapshot(
-            args.obs_out,
-            reg,
+        out = Path(args.obs_out)
+        if out.is_dir():
+            out = out / "obs_mp_snapshot.json"
+        doc = merged_snapshot_document(
+            run.merged_registry,
+            run.merged_trace,
             meta={
                 "network": args.network,
                 "app": "udp-background",
@@ -120,7 +137,9 @@ def _cmd_experiment_mp(args, scale) -> int:
                 "backend": "mp",
                 "executed": run.summary(),
             },
+            calibration=run.calibration,
         )
+        out.write_text(json.dumps(doc, indent=2))
     else:
         run = execute()
 
@@ -138,7 +157,31 @@ def _cmd_experiment_mp(args, scale) -> int:
     print(f"  cross-shard mail   {s['mail_bytes']:>12,} bytes over "
           f"{s['num_windows']} windows")
     if args.obs_out:
-        print(f"\nobservability snapshot written to {args.obs_out}")
+        print()
+        print("measured per-shard wall decomposition:")
+        mreport = blame.analyze_measured(
+            run.merged_trace.restore(), num_shards=run.procs
+        )
+        print(blame.format_measured_table(mreport))
+        wait = run.merged_registry.histograms.get(obs_names.PARALLEL_BARRIER_WAIT)
+        if wait is not None and wait[1].sum() > 0:
+            hist = run.merged_registry.restore().histogram(
+                obs_names.PARALLEL_BARRIER_WAIT, tuple(wait[0])
+            )
+            print(f"barrier wait per window: p50 {hist.quantile(0.5) * 1e3:.4f} ms, "
+                  f"p95 {hist.quantile(0.95) * 1e3:.4f} ms, "
+                  f"p99 {hist.quantile(0.99) * 1e3:.4f} ms")
+        if run.calibration and run.calibration["worst_window"] is not None:
+            worst = run.calibration["worst_window"]
+            print(f"calibration: measured/predicted wall ratio "
+                  f"{run.calibration['overall_ratio']:.2f} over "
+                  f"{len(run.calibration['windows'])} windows; worst window "
+                  f"{worst['window']} (measured {worst['measured_s'] * 1e3:.3f} ms, "
+                  f"predicted {worst['predicted_s'] * 1e3:.3f} ms)")
+        if args.incremental_obs:
+            print(f"incremental obs deltas: {s['obs_bytes']:,} control-plane "
+                  f"bytes (never mail)")
+        print(f"\nmerged observability snapshot written to {out}")
     return 0
 
 
@@ -451,7 +494,10 @@ def main(argv: list[str] | None = None) -> int:
     p_exp.add_argument("--bars", action="store_true",
                        help="also render ASCII bar charts per metric")
     p_exp.add_argument("--obs-out", dest="obs_out", metavar="PATH", default=None,
-                       help="record the measured run's observability snapshot (JSON)")
+                       help="record the measured run's observability snapshot "
+                       "(JSON); with --backend mp, the merged per-shard snapshot "
+                       "with measured window spans and the calibration table "
+                       "(PATH may be a directory: obs_mp_snapshot.json inside)")
     p_exp.add_argument("--backend", choices=["model", "mp"], default="model",
                        help="'model': single-process run + cost-model prediction "
                        "(default); 'mp': execute the packet-mediated UDP workload "
@@ -459,6 +505,11 @@ def main(argv: list[str] | None = None) -> int:
                        "predicted wall-clock")
     p_exp.add_argument("--procs", type=int, default=2,
                        help="worker processes for --backend mp (default: 2)")
+    p_exp.add_argument("--incremental-obs", dest="incremental_obs",
+                       action="store_true",
+                       help="with --backend mp and --obs-out: workers also ship "
+                       "per-window registry deltas on the control plane (live "
+                       "merged view; end-of-run snapshot is always shipped)")
     _add_scale(p_exp)
     p_exp.set_defaults(fn=cmd_experiment)
 

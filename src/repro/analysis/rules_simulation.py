@@ -19,6 +19,7 @@ __all__ = [
     "check_mutable_default",
     "check_schedule_node",
     "check_silent_except",
+    "check_worker_registry_mutation",
 ]
 
 _TIMESTAMP_NAMES = frozenset({"now", "time", "timestamp", "when", "deadline"})
@@ -177,3 +178,66 @@ def check_silent_except(ctx: ModuleContext) -> Iterator[tuple[ast.AST, str]]:
                 "`except Exception` with an empty body hides failures; "
                 "narrow the type or handle (at least record) the error"
             )
+
+
+_REGISTRY_MUTATORS = frozenset({"enable", "disable", "reset", "clear"})
+_REGISTRY_GETTERS = frozenset({"get_registry", "get_tracer"})
+
+
+@rule(
+    "SIM108",
+    "worker-registry-mutation",
+    Severity.ERROR,
+    scope=("engine/parallel", "experiments/shard"),
+)
+def check_worker_registry_mutation(ctx: ModuleContext) -> Iterator[tuple[ast.AST, str]]:
+    """Direct global registry/tracer mutation in worker-side code paths.
+
+    Worker processes of the multi-process backend must set up
+    observability through ``repro.obs.distributed
+    .configure_worker_observability`` — it clears fork-inherited state
+    and applies the controller's config stanza atomically. Ad-hoc
+    ``get_registry().reset()`` / ``.enabled = ...`` in the shard/worker
+    modules bypasses that layer, desynchronizing worker snapshots from
+    the controller's merge expectations.
+    """
+    # Names bound from get_registry()/get_tracer() anywhere in the module
+    # (coarse on purpose: shard/worker modules should not hold a mutable
+    # handle on the globals at all).
+    global_handles: set[str] = set()
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Assign) or not isinstance(node.value, ast.Call):
+            continue
+        if _terminal_name(node.value.func) in _REGISTRY_GETTERS:
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    global_handles.add(target.id)
+
+    def is_global_handle(base: ast.AST) -> bool:
+        if isinstance(base, ast.Call):
+            return _terminal_name(base.func) in _REGISTRY_GETTERS
+        return isinstance(base, ast.Name) and base.id in global_handles
+
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+            if node.func.attr in _REGISTRY_MUTATORS and is_global_handle(
+                node.func.value
+            ):
+                yield node, (
+                    f"direct `.{node.func.attr}()` on the process-global "
+                    "registry/tracer in worker-side code; configure through "
+                    "repro.obs.distributed.configure_worker_observability"
+                )
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                if (
+                    isinstance(target, ast.Attribute)
+                    and target.attr == "enabled"
+                    and is_global_handle(target.value)
+                ):
+                    yield target, (
+                        "direct `.enabled = ...` on the process-global "
+                        "registry/tracer in worker-side code; configure "
+                        "through repro.obs.distributed"
+                        ".configure_worker_observability"
+                    )

@@ -22,7 +22,9 @@ import numpy as np
 from ..engine.parallel import ParallelConservativeEngine
 from ..experiments.parallel import calibrated_cluster, predict_from_windows
 from ..experiments.shard import run_reference, udp_spec
+from ..obs.registry import get_registry
 from ..obs.timers import Stopwatch
+from ..obs.trace import get_tracer
 from ..topology.models import Network, NodeKind
 
 __all__ = ["bench_parallel"]
@@ -74,6 +76,28 @@ def bench_parallel(
     )
     result = engine.run_scenario(spec, until=duration_s)
 
+    # Observability overhead: the same workload once more with the
+    # registry and tracer live, so the trajectory tracks what turning
+    # the distributed obs layer on costs in wall-clock and whether the
+    # zero-mail-bytes invariant holds (the delta must stay exactly 0 —
+    # snapshots ride the control plane, never barrier mail).
+    reg, tracer = get_registry(), get_tracer()
+    reg_was, tracer_was = reg.enabled, tracer.enabled
+    reg.clear()
+    tracer.reset()
+    reg.enabled = True
+    tracer.enabled = True
+    try:
+        obs_engine = ParallelConservativeEngine(
+            assignment, num_lps, latency_s, procs=procs, start_method="fork"
+        )
+        obs_result = obs_engine.run_scenario(spec, until=duration_s)
+    finally:
+        reg.enabled = reg_was
+        tracer.enabled = tracer_was
+        reg.clear()
+        tracer.reset()
+
     cluster = calibrated_cluster(procs, ref_wall_s, ref_engine.events_executed)
     predicted = predict_from_windows(
         result.window_stats, num_lps, cluster, shards=engine.shards
@@ -86,6 +110,13 @@ def bench_parallel(
         "parallel.mp_events_s": events / result.wall_s if result.wall_s else 0.0,
         "parallel.mail_bytes": float(result.total_mail_bytes),
         "parallel.run_events": float(events),
+        "parallel.obs_wall_s": obs_result.wall_s,
+        "parallel.obs_mail_delta_bytes": float(
+            obs_result.total_mail_bytes - result.total_mail_bytes
+        ),
+        "parallel.obs_snapshot_shards": float(
+            len(obs_result.registry_snapshots)
+        ),
     }
     speedups = {
         # measured: this machine, pipes and real processes; predicted:
@@ -95,6 +126,11 @@ def bench_parallel(
             cluster.event_cost_s * ref_engine.events_executed / predicted.total_s
             if predicted.total_s
             else 0.0
+        ),
+        # disabled-obs wall over enabled-obs wall: 1.0 means free, lower
+        # means the obs layer cost that fraction of throughput.
+        "obs_overhead": (
+            result.wall_s / obs_result.wall_s if obs_result.wall_s else 0.0
         ),
     }
     return {"results": results, "speedups": speedups, "procs": procs}

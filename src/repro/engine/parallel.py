@@ -61,8 +61,15 @@ from typing import Any, Callable, Sequence
 import numpy as np
 
 from ..obs import names as obs_names
+from ..obs.distributed import (
+    RegistrySnapshot,
+    TraceSnapshot,
+    configure_worker_observability,
+    worker_obs_config,
+)
 from ..obs.registry import get_registry
 from ..obs.timers import Stopwatch
+from ..obs.trace import get_tracer
 from .calqueue import make_queue
 from .conservative import LookaheadViolation
 from .events import Event
@@ -113,6 +120,10 @@ class MailOrderError(ParallelBackendError):
 
 class UnregisteredHandlerError(ParallelBackendError):
     """A cross-shard event's handler has no registered wire name."""
+
+
+#: Bucket bounds of the per-worker barrier-wait histogram (seconds).
+_BARRIER_WAIT_BOUNDS = (1e-4, 1e-3, 1e-2, 0.1, 1.0, 10.0)
 
 
 # ----------------------------------------------------------------------
@@ -202,9 +213,13 @@ class ShardEngine:
         owned_lps: Sequence[int],
         strict: bool = True,
         queue: str = "adaptive",
+        shard_id: int = 0,
+        num_shards: int = 1,
     ) -> None:
         if lookahead <= 0:
             raise ValueError("lookahead must be positive")
+        self.shard_id = int(shard_id)
+        self.num_shards = max(int(num_shards), 1)
         self.assignment = np.asarray(assignment, dtype=np.int64)
         if self.assignment.size and (
             self.assignment.min() < 0 or self.assignment.max() >= num_lps
@@ -248,6 +263,36 @@ class ShardEngine:
         self.lookahead_violations = 0
         self.events_this_window = np.zeros(self.num_lps, dtype=np.int64)
         self.remote_this_window = np.zeros(self.num_lps, dtype=np.int64)
+
+        # Observability hook points, resolved once here (the registry
+        # contract: name lookups at construction, guarded writes after).
+        # Engine-level instruments mirror ConservativeEngine exactly —
+        # each shard records its owned columns, so worker snapshots
+        # merged by repro.obs.distributed sum to the single-process
+        # values. parallel.* instruments are per-worker (shard-labeled
+        # by this engine's shard_id / the worker-events index).
+        reg = get_registry()
+        self._obs = reg
+        self._obs_events = reg.counter(obs_names.ENGINE_EVENTS)
+        self._obs_violations = reg.counter(obs_names.ENGINE_LOOKAHEAD_VIOLATIONS)
+        self._obs_lp_events = reg.vector_counter(
+            obs_names.ENGINE_LP_EVENTS, self.num_lps
+        )
+        self._obs_lp_remote = reg.vector_counter(
+            obs_names.ENGINE_LP_REMOTE_SENDS, self.num_lps
+        )
+        self._obs_barrier = reg.timer(obs_names.ENGINE_BARRIER_WAIT)
+        self._obs_worker_events = reg.vector_counter(
+            obs_names.PARALLEL_WORKER_EVENTS, self.num_shards
+        )
+        self._obs_barrier_hist = reg.histogram(
+            obs_names.PARALLEL_BARRIER_WAIT, _BARRIER_WAIT_BOUNDS
+        )
+        self._obs_mail_bytes = reg.counter(obs_names.PARALLEL_MAIL_BYTES)
+        self._obs_window_execute = reg.timer(obs_names.PARALLEL_WINDOW_EXECUTE)
+        self._obs_mail_encode = reg.timer(obs_names.PARALLEL_MAIL_ENCODE)
+        self._obs_mail_decode = reg.timer(obs_names.PARALLEL_MAIL_DECODE)
+        self._trace = get_tracer()
 
     # -- scheduler protocol -------------------------------------------
     @property
@@ -339,6 +384,7 @@ class ShardEngine:
         # local mailbox (same shard) or outbound mail (other shard).
         if time < self._window_end - WINDOW_EPSILON_FRACTION * self.lookahead:
             self.lookahead_violations += 1
+            self._obs_violations.inc()
             if self.strict:
                 raise LookaheadViolation(
                     f"cross-LP event at t={time:.9f} lands inside the current "
@@ -350,6 +396,8 @@ class ShardEngine:
             self._local_mail[local].append(ev)
         else:
             self._outbound.append((target_lp, ev))
+        if self._trace.enabled:
+            self._trace.edge(self._current_lp, target_lp, self._lp_now, time)
         return ev
 
     def schedule(
@@ -389,10 +437,25 @@ class ShardEngine:
             executed += n
         self._current_lp = None
         self._lane = 0
+        barrier_token = self._obs_barrier.start()
         for i, mail in enumerate(self._local_mail):
             for ev in mail:
                 self._queues[i].push_event(ev)
             mail.clear()
+        self._obs_barrier.stop(barrier_token)
+        if self._obs.enabled:
+            self._obs_events.inc(int(executed))
+            self._obs_lp_events.add_array(self.events_this_window)
+            self._obs_lp_remote.add_array(self.remote_this_window)
+            self._obs_worker_events.inc(self.shard_id, float(executed))
+        if self._trace.enabled:
+            self._trace.window(
+                window_index,
+                self.now,
+                window_end,
+                self.events_this_window,
+                self.remote_this_window,
+            )
         self.now = window_end
         self.events_executed += executed
         return executed
@@ -414,6 +477,7 @@ class ShardEngine:
 
     def _run_lp_queue(self, local: int, window_end: float) -> int:
         queue = self._queues[local]
+        tracer = self._trace
         executed = 0
         while True:
             ev = queue.pop_until(window_end)
@@ -422,6 +486,8 @@ class ShardEngine:
             self._lp_now = ev.time
             ev.fn(*ev.args)
             executed += 1
+            if tracer.enabled:
+                tracer.event(ev.time, ev.node)
         return executed
 
     # -- mail ----------------------------------------------------------
@@ -446,6 +512,42 @@ class ShardEngine:
         queued = sum(len(q) for q in self._queues)
         mailed = sum(len(m) for m in self._local_mail)
         return queued + mailed + len(self._outbound)
+
+    # -- measured observability ----------------------------------------
+    def observe_window_walls(
+        self,
+        window_index: int,
+        executed: int,
+        execute_s: float,
+        barrier_wait_s: float,
+        mail_encode_s: float,
+        mail_decode_s: float,
+        mail_bytes: int,
+    ) -> None:
+        """Record one window's *measured* wall-clock decomposition.
+
+        Called by the worker loop with externally measured spans (the
+        loop owns the stopwatches so the barrier wait includes the pipe
+        round-trip, which the engine cannot see). Feeds the per-worker
+        ``parallel.*`` instruments and the tracer's measured channel;
+        every write is guarded, so an unobserved run records nothing.
+        """
+        if self._obs.enabled:
+            self._obs_window_execute.add(execute_s)
+            self._obs_barrier_hist.observe(barrier_wait_s)
+            self._obs_mail_encode.add(mail_encode_s)
+            self._obs_mail_decode.add(mail_decode_s)
+            self._obs_mail_bytes.inc(float(mail_bytes))
+        self._trace.measured_window(
+            window_index,
+            self.shard_id,
+            execute_s,
+            barrier_wait_s,
+            mail_encode_s,
+            mail_decode_s,
+            executed,
+            mail_bytes,
+        )
 
 
 # ----------------------------------------------------------------------
@@ -549,11 +651,22 @@ def _worker_main(conn, config_bytes: bytes) -> None:
     back as ``("mail", w, payloads)``. Failures surface as ``("error",
     traceback_text)`` so the controller can raise a typed error instead
     of deadlocking at the barrier.
+
+    When the controller's config carries an ``obs`` stanza the worker
+    enables its own process-global registry/tracer, measures per-window
+    wall-clock spans, and appends a registry + trace snapshot to the
+    ``done`` result (with ``incremental`` on, also a per-window registry
+    delta as a sixth element of each window tuple). With obs off, none
+    of that code runs and every message is byte-identical to a build
+    without the observability layer — mail adds zero bytes.
     """
     from .. import serialization as ser  # deferred: serialization -> core -> engine
 
     try:
         config = ser.decode_payload(config_bytes)
+        obs_cfg = config.get("obs")
+        obs_on = configure_worker_observability(obs_cfg)
+        shard_id = config["shard_id"]
         engine = ShardEngine(
             config["assignment"],
             config["num_lps"],
@@ -561,38 +674,82 @@ def _worker_main(conn, config_bytes: bytes) -> None:
             config["owned_lps"],
             strict=config["strict"],
             queue=config["queue"],
+            shard_id=shard_id,
+            num_shards=config["procs"],
         )
         scenario, fn_to_name, name_to_fn = _build_shard(engine, config["spec"])
         shard_of = config["shard_of"]
         procs = config["procs"]
         barrier_wait_s = 0.0
         mail_bytes = 0
+        obs_bytes = 0
         waiting = Stopwatch()
+        label = f"worker-{shard_id}"
+        incremental = bool(obs_cfg.get("incremental")) if obs_on else False
+        prev_snap = (
+            RegistrySnapshot.capture(shard_id=shard_id, label=label)
+            if incremental
+            else None
+        )
+        clock = Stopwatch()
         for w, _start, end in iter_windows(0.0, engine.lookahead, config["until"]):
-            engine.run_window(w, end)
+            if obs_on:
+                clock.restart()
+            executed = engine.run_window(w, end)
+            execute_s = clock.elapsed() if obs_on else 0.0
+            if obs_on:
+                clock.restart()
             payloads = _encode_outbound(engine, shard_of, fn_to_name, procs)
-            mail_bytes += sum(len(p) for p in payloads)
-            conn.send(
-                (
-                    "window",
-                    w,
-                    payloads,
-                    engine.events_this_window.tolist(),
-                    engine.remote_this_window.tolist(),
-                )
+            encode_s = clock.elapsed() if obs_on else 0.0
+            window_mail = sum(len(p) for p in payloads)
+            mail_bytes += window_mail
+            message = (
+                "window",
+                w,
+                payloads,
+                engine.events_this_window.tolist(),
+                engine.remote_this_window.tolist(),
             )
+            if incremental:
+                snap = RegistrySnapshot.capture(shard_id=shard_id, label=label)
+                delta = ser.encode_snapshot(snap.diff(prev_snap))
+                prev_snap = snap
+                obs_bytes += len(delta)
+                message = message + (delta,)
+            conn.send(message)
             waiting.restart()
             msg = conn.recv()
-            barrier_wait_s += waiting.elapsed()
+            wait_s = waiting.elapsed()
+            barrier_wait_s += wait_s
             if msg[0] != "mail" or msg[1] != w:
                 raise ParallelBackendError(
                     f"barrier protocol desync: expected mail for window {w}, "
                     f"got {msg[:2]!r}"
                 )
+            if obs_on:
+                clock.restart()
             _deliver_encoded_mail(engine, msg[2], end, name_to_fn)
+            if obs_on:
+                engine.observe_window_walls(
+                    w,
+                    executed,
+                    execute_s,
+                    wait_s,
+                    encode_s,
+                    clock.elapsed(),
+                    window_mail,
+                )
         result = _shard_result(engine, scenario)
         result["barrier_wait_s"] = barrier_wait_s
         result["mail_bytes"] = mail_bytes
+        if obs_on:
+            result["obs_bytes"] = obs_bytes
+            result["obs"] = {
+                "registry": RegistrySnapshot.capture(
+                    shard_id=shard_id, label=label
+                ),
+                "trace": TraceSnapshot.capture(shard_id=shard_id, label=label),
+            }
         conn.send(("done", ser.encode_payload(result)))
         conn.close()
     except BaseException:  # noqa: BLE001 - report, then die
@@ -630,6 +787,13 @@ class ParallelRunResult:
     worker_events: list[int]
     #: per-shard ``ShardScenario.collect()`` values
     collected: list[Any]
+    #: per-worker registry snapshots (empty when the run was unobserved)
+    registry_snapshots: list[RegistrySnapshot] = field(default_factory=list)
+    #: per-worker trace snapshots (empty when the run was unobserved)
+    trace_snapshots: list[TraceSnapshot] = field(default_factory=list)
+    #: per-worker bytes of incremental obs deltas shipped over the pipe
+    #: (always 0 unless ``incremental_obs``; never part of mail bytes)
+    obs_bytes: list[int] = field(default_factory=list)
 
     @property
     def total_mail_bytes(self) -> int:
@@ -680,6 +844,11 @@ class ParallelConservativeEngine:
     window_timeout_s:
         Per-barrier controller patience before declaring a worker hung
         (:class:`WorkerCrashError`).
+    incremental_obs:
+        When observability is enabled, additionally ship a per-window
+        registry delta from every worker (``live_snapshot()`` then shows
+        mid-run state). Off by default — end-of-run snapshots always
+        arrive with the results, and the deltas cost pipe bytes.
     """
 
     def __init__(
@@ -692,6 +861,7 @@ class ParallelConservativeEngine:
         queue: str = "adaptive",
         start_method: str = "fork",
         window_timeout_s: float = 120.0,
+        incremental_obs: bool = False,
     ) -> None:
         if lookahead <= 0:
             raise ValueError("lookahead must be positive")
@@ -709,16 +879,22 @@ class ParallelConservativeEngine:
             for lp in lps:
                 self._shard_of[lp] = shard_id
 
+        self.incremental_obs = bool(incremental_obs)
+        #: per-shard merged incremental registry deltas (incremental_obs)
+        self._live_deltas: dict[int, RegistrySnapshot] = {}
+
+        # Controller-side instruments: only the *global* per-window
+        # aggregates a single worker cannot know (the window count and
+        # the all-shards event-count distribution). Everything per-worker
+        # — barrier waits, mail bytes, worker events — is recorded inside
+        # the workers with shard labels and arrives via snapshot merging
+        # (repro.obs.distributed).
         reg = get_registry()
         self._obs = reg
-        self._obs_barrier_hist = reg.histogram(
-            obs_names.PARALLEL_BARRIER_WAIT, (1e-4, 1e-3, 1e-2, 0.1, 1.0, 10.0)
-        )
-        self._obs_mail_bytes = reg.counter(obs_names.PARALLEL_MAIL_BYTES)
-        self._obs_worker_events = reg.vector_counter(
-            obs_names.PARALLEL_WORKER_EVENTS, self.procs
-        )
         self._obs_windows = reg.counter(obs_names.ENGINE_WINDOWS)
+        self._obs_window_hist = reg.histogram(
+            obs_names.ENGINE_WINDOW_EVENTS_HIST, (1.0, 10.0, 100.0, 1e3, 1e4, 1e5)
+        )
 
     @classmethod
     def from_mapping(
@@ -786,6 +962,7 @@ class ParallelConservativeEngine:
                 "procs": self.procs,
                 "until": float(until),
                 "shard_id": shard_id,
+                "obs": worker_obs_config(incremental=self.incremental_obs),
             }
         )
 
@@ -839,6 +1016,19 @@ class ParallelConservativeEngine:
                     conns[shard_id].send(("mail", w, inbound))
                 if self._obs.enabled:
                     self._obs_windows.inc()
+                    self._obs_window_hist.observe(
+                        float(sum(sum(cols) for cols, _remote in rows[w]))
+                    )
+                if self.incremental_obs:
+                    for shard_id, msg in enumerate(msgs):
+                        if len(msg) > 5 and msg[5]:
+                            delta = ser.decode_snapshot(msg[5])
+                            prev = self._live_deltas.get(shard_id)
+                            self._live_deltas[shard_id] = (
+                                delta
+                                if prev is None
+                                else RegistrySnapshot.merge([prev, delta])
+                            )
             results = []
             for shard_id in range(self.procs):
                 msg = self._recv(conns, workers, shard_id)
@@ -863,13 +1053,11 @@ class ParallelConservativeEngine:
         worker_events = [r["events_executed"] for r in results]
         barrier_wait = [r["barrier_wait_s"] for r in results]
         mail_bytes = [r["mail_bytes"] for r in results]
-        if self._obs.enabled:
-            self._obs_mail_bytes.inc(int(sum(mail_bytes)))
-            for wait_s in barrier_wait:
-                self._obs_barrier_hist.observe(float(wait_s))
-            self._obs_worker_events.add_array(
-                np.asarray(worker_events, dtype=np.int64)
-            )
+        registry_snapshots = [
+            r["obs"]["registry"] for r in results if "obs" in r
+        ]
+        trace_snapshots = [r["obs"]["trace"] for r in results if "obs" in r]
+        obs_bytes = [int(r.get("obs_bytes", 0)) for r in results]
         return ParallelRunResult(
             procs=self.procs,
             until=float(until),
@@ -885,6 +1073,26 @@ class ParallelConservativeEngine:
             mail_bytes=mail_bytes,
             worker_events=worker_events,
             collected=[r["collect"] for r in results],
+            registry_snapshots=registry_snapshots,
+            trace_snapshots=trace_snapshots,
+            obs_bytes=obs_bytes,
+        )
+
+    def live_snapshot(self) -> RegistrySnapshot:
+        """Merged registry state from incremental deltas received so far.
+
+        Only meaningful with ``incremental_obs``; before the first
+        barrier (or without the flag) this is an empty snapshot.
+        """
+        deltas = [self._live_deltas[s] for s in sorted(self._live_deltas)]
+        return RegistrySnapshot.merge(deltas) if deltas else RegistrySnapshot(
+            provenance=(),
+            counters={},
+            vectors={},
+            gauges={},
+            histograms={},
+            timers={},
+            series={},
         )
 
 
@@ -926,6 +1134,17 @@ class LocalShardGroup:
         for shard_id, lps in enumerate(self.shards):
             for lp in lps:
                 self._shard_of[lp] = shard_id
+        # The in-process group shares the one process-global registry
+        # across all shard engines, so per-shard instruments aggregate
+        # in place — no snapshot merging needed (or possible). Only the
+        # global per-window aggregates are recorded here, like the
+        # multi-process controller.
+        reg = get_registry()
+        self._obs = reg
+        self._obs_windows = reg.counter(obs_names.ENGINE_WINDOWS)
+        self._obs_window_hist = reg.histogram(
+            obs_names.ENGINE_WINDOW_EVENTS_HIST, (1.0, 10.0, 100.0, 1e3, 1e4, 1e5)
+        )
 
     def run_scenario(self, spec: ScenarioSpec, until: float) -> ParallelRunResult:
         """Run ``spec`` to ``until`` over the in-process shard group."""
@@ -938,8 +1157,10 @@ class LocalShardGroup:
                 owned,
                 strict=self.strict,
                 queue=self.queue,
+                shard_id=shard_id,
+                num_shards=self.procs,
             )
-            for owned in self.shards
+            for shard_id, owned in enumerate(self.shards)
         ]
         built = [_build_shard(engine, spec) for engine in engines]
         boundaries = list(iter_windows(0.0, self.lookahead, until))
@@ -964,6 +1185,11 @@ class LocalShardGroup:
             for shard_id, engine in enumerate(engines):
                 inbound = [payload_grid[src][shard_id] for src in range(self.procs)]
                 _deliver_encoded_mail(engine, inbound, end, built[shard_id][2])
+            if self._obs.enabled:
+                self._obs_windows.inc()
+                self._obs_window_hist.observe(
+                    float(sum(sum(cols) for cols, _remote in rows[w]))
+                )
         results = [
             _shard_result(engine, built[shard_id][0])
             for shard_id, engine in enumerate(engines)

@@ -38,7 +38,14 @@ from ..engine.parallel import ParallelConservativeEngine, ParallelRunResult
 from ..engine.windows import WindowStats
 from ..cluster.syncmodel import ClusterSpec
 from ..netsim.simulator import NetworkSimulator
-from ..obs.registry import Registry, observed_run
+from ..obs.distributed import (
+    RegistrySnapshot,
+    TraceSnapshot,
+    merged_registry_snapshot,
+    merged_trace_snapshot,
+    window_calibration,
+)
+from ..obs.registry import Registry, get_registry, observed_run
 from ..obs.timers import Stopwatch
 from ..obs.trace import TraceBuffer, get_tracer, traced_run
 from ..online.agent import Agent
@@ -56,6 +63,7 @@ __all__ = [
     "calibrated_cluster",
     "predict_from_window_stats",
     "predict_from_windows",
+    "predicted_window_walls",
 ]
 
 
@@ -166,6 +174,35 @@ def predict_from_windows(
     return predict_wallclock(events, remotes, cluster, num_lps)
 
 
+def predicted_window_walls(
+    window_stats: list[WindowStats],
+    cluster: ClusterSpec,
+    shards: list[list[int]],
+) -> dict[int, float]:
+    """Cost-model wall-clock *per window*, keyed by window index.
+
+    The per-window slice of :func:`predict_from_windows` under the shard
+    deployment shape: each window costs the busiest shard's compute
+    (events at the local rate plus cross-LP sends at the remote rate)
+    plus one barrier over ``len(shards)`` nodes. This is what the
+    measured-vs-modeled calibration table
+    (:func:`repro.obs.distributed.window_calibration`) compares against
+    the workers' measured window spans.
+    """
+    sync = cluster.sync_cost_s(len(shards)) if shards else 0.0
+    out: dict[int, float] = {}
+    for ws in window_stats:
+        busy = 0.0
+        for lps in shards:
+            shard_busy = (
+                float(ws.events_per_lp[lps].sum()) * cluster.event_cost_s
+                + float(ws.remote_sends_per_lp[lps].sum()) * cluster.remote_event_cost_s
+            )
+            busy = max(busy, shard_busy)
+        out[ws.window_index] = busy + sync
+    return out
+
+
 def predict_from_window_stats(
     engine: ConservativeEngine, cluster: ClusterSpec
 ) -> WallclockPrediction:
@@ -228,6 +265,12 @@ class ExecutedParallelRun:
     cluster: ClusterSpec
     predicted: WallclockPrediction
     meta: dict = field(default_factory=dict)
+    #: merged worker+controller instrument snapshot (obs enabled only)
+    merged_registry: RegistrySnapshot | None = None
+    #: merged worker+controller trace snapshot (obs enabled only)
+    merged_trace: TraceSnapshot | None = None
+    #: measured-vs-modeled per-window wall table (obs enabled only)
+    calibration: dict | None = None
 
     @property
     def measured_wall_s(self) -> float:
@@ -265,6 +308,12 @@ class ExecutedParallelRun:
             "barrier_wait_s": list(self.result.barrier_wait_s),
             "mail_bytes": self.result.total_mail_bytes,
             "num_windows": len(self.result.window_stats),
+            "obs_bytes": sum(self.result.obs_bytes),
+            **(
+                {"calibration_overall_ratio": self.calibration["overall_ratio"]}
+                if self.calibration
+                else {}
+            ),
             **self.meta,
         }
 
@@ -281,6 +330,7 @@ def run_executed_workload(
     start_method: str = "fork",
     record_deliveries: bool = False,
     window_timeout_s: float = 120.0,
+    incremental_obs: bool = False,
 ) -> ExecutedParallelRun:
     """Execute UDP background traffic across real worker processes.
 
@@ -304,12 +354,31 @@ def run_executed_workload(
         net, duration_s, packets=packets, seed=seed,
         record_deliveries=record_deliveries,
     )
+    # The reference pass is a timing baseline, not an observed run: shield
+    # the process-global registry and tracer so the merged multi-process
+    # snapshot covers exactly one execution of the workload (the
+    # merged-snapshot identity tests depend on this).
+    reg = get_registry()
+    tracer = get_tracer()
+    reg_was, tracer_was = reg.enabled, tracer.enabled
+    reg.enabled = False
+    tracer.enabled = False
     watch = Stopwatch()
-    ref_engine, _ref_collected = run_reference(
-        spec, mapping.assignment, mapping.num_engines, lookahead, duration_s,
-        strict=strict,
-    )
-    reference_wall_s = watch.elapsed()
+    try:
+        ref_engine, _ref_collected = run_reference(
+            spec, mapping.assignment, mapping.num_engines, lookahead, duration_s,
+            strict=strict,
+        )
+    finally:
+        reference_wall_s = watch.elapsed()
+        reg.enabled = reg_was
+        tracer.enabled = tracer_was
+    cluster = calibrated_cluster(procs, reference_wall_s, ref_engine.events_executed)
+    if tracer.enabled:
+        # Workers inherit these costs through the obs config stanza, so
+        # their window records carry modeled busy times comparable to the
+        # calibration table's predictions.
+        tracer.set_costs(cluster.event_cost_s, cluster.remote_event_cost_s)
     engine = ParallelConservativeEngine(
         mapping.assignment,
         mapping.num_engines,
@@ -318,13 +387,24 @@ def run_executed_workload(
         strict=strict,
         start_method=start_method,
         window_timeout_s=window_timeout_s,
+        incremental_obs=incremental_obs,
     )
     result = engine.run_scenario(spec, until=duration_s)
     collected = merge_collected(result.collected)
-    cluster = calibrated_cluster(procs, reference_wall_s, ref_engine.events_executed)
     predicted = predict_from_windows(
         result.window_stats, mapping.num_engines, cluster, shards=engine.shards
     )
+    merged_registry = merged_trace = calibration = None
+    if result.registry_snapshots or result.trace_snapshots:
+        # Order matters: calibration records its calibration.* instruments
+        # into the controller registry, and the merged registry snapshot
+        # is captured afterwards so it includes them.
+        merged_trace = merged_trace_snapshot(result)
+        calibration = window_calibration(
+            merged_trace.measured,
+            predicted_window_walls(result.window_stats, cluster, engine.shards),
+        )
+        merged_registry = merged_registry_snapshot(result)
     return ExecutedParallelRun(
         procs=procs,
         duration_s=duration_s,
@@ -336,4 +416,7 @@ def run_executed_workload(
         cluster=cluster,
         predicted=predicted,
         meta={"packets": packets, "seed": seed, "start_method": start_method},
+        merged_registry=merged_registry,
+        merged_trace=merged_trace,
+        calibration=calibration,
     )

@@ -38,6 +38,7 @@ from ..engine.parallel import ScenarioSpec, ShardScenario, _resolve_builder
 from ..faults import FaultInjector, FaultSchedule
 from ..netsim.packet import Packet, Protocol
 from ..netsim.simulator import NetworkSimulator
+from ..obs.registry import Registry
 from ..obs.trace import TraceBuffer
 from ..routing.fib import ForwardingPlane
 from ..serialization import network_from_dict, network_to_dict
@@ -133,7 +134,15 @@ def _install_faults(
     events = params.get("faults")
     if not events:
         return None, None
-    injector = FaultInjector(sim, fib, FaultSchedule.from_events(list(events)))
+    # Replica (non-control) shards replay every fault application, so
+    # their faults.* counters would N-count in a merged snapshot; give
+    # them a private disabled registry instead. The control shard (and
+    # the single-process reference, which is its own control shard)
+    # records into the process-global registry like any instrumented run.
+    registry = None if getattr(engine, "has_control", True) else Registry()
+    injector = FaultInjector(
+        sim, fib, FaultSchedule.from_events(list(events)), registry=registry
+    )
     # Private per-shard trace buffer: the process-global tracer would
     # interleave replica replays when several shards share one process
     # (LocalShardGroup); rebinding the injector's sink keeps each

@@ -82,6 +82,12 @@ class FaultInjector:
         The BGP session manager for multi-AS networks (``None`` for
         single-AS runs — BGP fault kinds are then ignored with a trace
         note rather than an exception).
+    registry:
+        The instrument registry to record ``faults.*`` counters into;
+        defaults to the process-global one. Replica (non-control) shards
+        of the multi-process backend pass a private disabled registry so
+        their replayed fault applications are not double-counted when
+        worker snapshots merge (:mod:`repro.obs.distributed`).
     """
 
     def __init__(
@@ -91,6 +97,7 @@ class FaultInjector:
         schedule: FaultSchedule,
         *,
         sessions: BgpSessionManager | None = None,
+        registry=None,
     ) -> None:
         self.sim = sim
         self.fib = fib
@@ -105,7 +112,7 @@ class FaultInjector:
         self.links_down: set[int] = set()
         self.nodes_down: set[int] = set()
 
-        reg = get_registry()
+        reg = registry if registry is not None else get_registry()
         self._obs = reg
         self._obs_injected = reg.counter(obs_names.FAULTS_INJECTED)
         self._obs_link = reg.counter(obs_names.FAULTS_LINK_TRANSITIONS)

@@ -24,7 +24,7 @@ See ``docs/observability.md`` for the full catalogue of instruments.
 
 from __future__ import annotations
 
-from . import blame, export, names, trace_export
+from . import blame, distributed, export, names, trace_export
 from .counters import BinnedSeries, Counter, Histogram, MaxGauge, VectorCounter
 from .profile_bridge import profile_from_registry, rate_series_from_registry
 from .registry import (
@@ -74,6 +74,7 @@ __all__ = [
     "traced_run",
     "DEFAULT_TRACE_CAPACITY",
     "blame",
+    "distributed",
     "whatif",
     "trace_export",
 ]

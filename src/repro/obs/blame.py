@@ -37,6 +37,9 @@ __all__ = [
     "analyze",
     "node_blame",
     "format_blame_table",
+    "MeasuredBlameReport",
+    "analyze_measured",
+    "format_measured_table",
 ]
 
 
@@ -232,5 +235,139 @@ def format_blame_table(report: BlameReport) -> str:
         lines.append(
             f"note: trace overflowed ({report.dropped_records} records "
             f"dropped); blame covers the retained suffix"
+        )
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Measured mode: wall-clock decomposition from worker-recorded spans
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class MeasuredBlameReport:
+    """Wall-clock attribution from *measured* per-window worker spans.
+
+    Where :class:`BlameReport` works on modeled busy times (event counts
+    times cost-model rates), this report decomposes the wall clock the
+    multi-process backend actually spent: each worker records execute /
+    mail-encode / barrier-wait / mail-decode spans per window
+    (:class:`~repro.obs.trace.MeasuredWindowRecord`), and the straggler
+    of a window is the shard with the largest measured total.
+    """
+
+    num_shards: int
+    num_windows: int
+    #: measured seconds per shard, one vector per span kind
+    shard_execute_s: np.ndarray
+    shard_encode_s: np.ndarray
+    shard_wait_s: np.ndarray
+    shard_decode_s: np.ndarray
+    #: events executed and mail bytes shipped per shard
+    shard_events: np.ndarray
+    shard_mail_bytes: np.ndarray
+    #: windows each shard was the measured straggler of
+    shard_straggler_windows: np.ndarray
+    #: sum over windows of the straggler's measured total — the measured
+    #: analogue of the modeled ``critical_s``
+    critical_s: float
+    dropped_records: int = 0
+
+    @property
+    def shard_total_s(self) -> np.ndarray:
+        """Total measured seconds per shard across all span kinds."""
+        return (
+            self.shard_execute_s
+            + self.shard_encode_s
+            + self.shard_wait_s
+            + self.shard_decode_s
+        )
+
+
+def analyze_measured(
+    trace: TraceBuffer, num_shards: int | None = None
+) -> MeasuredBlameReport:
+    """Decompose measured worker spans into a per-shard blame report.
+
+    Works on any trace carrying ``measured`` records — a worker's own
+    buffer, or (the usual case) the restored merge of every worker's
+    snapshot (:meth:`repro.obs.distributed.TraceSnapshot.restore`).
+    ``num_shards`` defaults to one past the largest shard id seen.
+    """
+    records = list(trace.measured)
+    if num_shards is None:
+        num_shards = 1 + max((r.shard_id for r in records), default=-1)
+    S = max(int(num_shards), 0)
+    execute = np.zeros(S, dtype=np.float64)
+    encode = np.zeros(S, dtype=np.float64)
+    wait = np.zeros(S, dtype=np.float64)
+    decode = np.zeros(S, dtype=np.float64)
+    events = np.zeros(S, dtype=np.float64)
+    mail = np.zeros(S, dtype=np.float64)
+    straggler = np.zeros(S, dtype=np.int64)
+    by_window: dict[int, tuple[int, float]] = {}
+    for r in records:
+        if not 0 <= r.shard_id < S:
+            raise ValueError(f"measured record names shard {r.shard_id} of {S}")
+        execute[r.shard_id] += r.execute_s
+        encode[r.shard_id] += r.mail_encode_s
+        wait[r.shard_id] += r.barrier_wait_s
+        decode[r.shard_id] += r.mail_decode_s
+        events[r.shard_id] += r.events
+        mail[r.shard_id] += r.mail_bytes
+        best = by_window.get(r.window_index)
+        if best is None or r.total_s > best[1]:
+            by_window[r.window_index] = (r.shard_id, r.total_s)
+    critical = 0.0
+    for shard_id, total in by_window.values():
+        straggler[shard_id] += 1
+        critical += total
+    return MeasuredBlameReport(
+        num_shards=S,
+        num_windows=len(by_window),
+        shard_execute_s=execute,
+        shard_encode_s=encode,
+        shard_wait_s=wait,
+        shard_decode_s=decode,
+        shard_events=events,
+        shard_mail_bytes=mail,
+        shard_straggler_windows=straggler,
+        critical_s=critical,
+        dropped_records=trace.dropped_records,
+    )
+
+
+def format_measured_table(report: MeasuredBlameReport) -> str:
+    """Render the per-shard measured decomposition table."""
+    lines = [
+        f"{'shard':>6}{'execute (ms)':>14}{'encode (ms)':>13}"
+        f"{'wait (ms)':>11}{'decode (ms)':>13}{'events':>9}"
+        f"{'mail (B)':>10}{'straggler wins':>16}"
+    ]
+    for s in range(report.num_shards):
+        lines.append(
+            f"{s:>6}{report.shard_execute_s[s] * 1e3:>14.3f}"
+            f"{report.shard_encode_s[s] * 1e3:>13.3f}"
+            f"{report.shard_wait_s[s] * 1e3:>11.3f}"
+            f"{report.shard_decode_s[s] * 1e3:>13.3f}"
+            f"{int(report.shard_events[s]):>9}"
+            f"{int(report.shard_mail_bytes[s]):>10}"
+            f"{report.shard_straggler_windows[s]:>16}"
+        )
+    lines.append(
+        f"{'sum':>6}{report.shard_execute_s.sum() * 1e3:>14.3f}"
+        f"{report.shard_encode_s.sum() * 1e3:>13.3f}"
+        f"{report.shard_wait_s.sum() * 1e3:>11.3f}"
+        f"{report.shard_decode_s.sum() * 1e3:>13.3f}"
+        f"{int(report.shard_events.sum()):>9}"
+        f"{int(report.shard_mail_bytes.sum()):>10}"
+        f"{int(report.shard_straggler_windows.sum()):>16}"
+    )
+    lines.append(
+        f"measured critical path {report.critical_s * 1e3:.3f} ms over "
+        f"{report.num_windows} windows (straggler totals)"
+    )
+    if report.dropped_records:
+        lines.append(
+            f"note: trace overflowed ({report.dropped_records} records "
+            f"dropped); decomposition covers the retained suffix"
         )
     return "\n".join(lines)

@@ -27,7 +27,18 @@ import numpy as np
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .registry import Registry
 
-__all__ = ["Counter", "VectorCounter", "MaxGauge", "Histogram", "BinnedSeries"]
+__all__ = [
+    "Counter",
+    "VectorCounter",
+    "MaxGauge",
+    "Histogram",
+    "BinnedSeries",
+    "HistogramMergeError",
+]
+
+
+class HistogramMergeError(ValueError):
+    """Two histograms with different bucket bounds cannot merge exactly."""
 
 
 class Counter:
@@ -217,6 +228,24 @@ class Histogram:
                 return lower + (bound - lower) * fraction
             cumulative += in_bucket
         return self.bounds[-1]
+
+    def merge_from(self, other: "Histogram") -> None:
+        """Fold ``other`` into this histogram, exactly.
+
+        Merging is lossless only when both histograms bucket identically,
+        so identical bounds add bin-wise (counts and sums); any bounds
+        mismatch raises :class:`HistogramMergeError` — re-binning would
+        silently fabricate data, and the merged ``quantile`` would lie.
+        This is how per-worker barrier-wait histograms combine into the
+        global distribution (:mod:`repro.obs.distributed`).
+        """
+        if self.bounds != other.bounds:
+            raise HistogramMergeError(
+                f"histogram {self.name!r} bounds {self.bounds} cannot merge "
+                f"with {other.name!r} bounds {other.bounds}"
+            )
+        self._counts += other._counts
+        self._sum += other._sum
 
     def reset(self) -> None:
         """Zero all buckets."""

@@ -20,6 +20,13 @@ __all__ = [
     "PARALLEL_BARRIER_WAIT",
     "PARALLEL_MAIL_BYTES",
     "PARALLEL_WORKER_EVENTS",
+    "PARALLEL_WINDOW_EXECUTE",
+    "PARALLEL_MAIL_ENCODE",
+    "PARALLEL_MAIL_DECODE",
+    "CALIBRATION_WINDOWS",
+    "CALIBRATION_RATIO",
+    "CALIBRATION_MEASURED_WALL",
+    "CALIBRATION_PREDICTED_WALL",
     "NETSIM_NODE_EVENTS",
     "NETSIM_NODE_RATE_BINS",
     "NETSIM_LINK_BYTES",
@@ -69,13 +76,31 @@ ENGINE_BARRIER_WAIT = "engine.barrier.wait"
 ENGINE_LOOKAHEAD_VIOLATIONS = "engine.lookahead.violations"
 
 # --- multi-process backend (repro.engine.parallel) --------------------
+# These are recorded *inside each worker process* (shard-labeled) and
+# reach the controller through repro.obs.distributed snapshot merging.
 #: per-worker wall-clock blocked at barriers, one sample per worker per
-#: run (histogram)
+#: window (histogram)
 PARALLEL_BARRIER_WAIT = "parallel.barrier.wait_s"
 #: serialized cross-shard mail volume shipped over worker pipes (scalar)
 PARALLEL_MAIL_BYTES = "parallel.mail.bytes"
 #: events executed per worker process (vector[procs])
 PARALLEL_WORKER_EVENTS = "parallel.worker.events"
+#: per-worker wall-clock executing window events (span timer)
+PARALLEL_WINDOW_EXECUTE = "parallel.window.execute"
+#: per-worker wall-clock serializing outbound mail batches (span timer)
+PARALLEL_MAIL_ENCODE = "parallel.mail.encode"
+#: per-worker wall-clock decoding + enqueueing inbound mail (span timer)
+PARALLEL_MAIL_DECODE = "parallel.mail.decode"
+
+# --- measured-vs-modeled window calibration (repro.obs.distributed) ---
+#: windows with both a measured and a predicted wall-clock (scalar)
+CALIBRATION_WINDOWS = "calibration.windows.compared"
+#: distribution of per-window measured/predicted wall ratios (histogram)
+CALIBRATION_RATIO = "calibration.window.ratio"
+#: summed measured per-window wall-clock, seconds (scalar)
+CALIBRATION_MEASURED_WALL = "calibration.measured.wall_s"
+#: summed cost-model predicted per-window wall-clock, seconds (scalar)
+CALIBRATION_PREDICTED_WALL = "calibration.predicted.wall_s"
 
 # --- packet-level network simulator ----------------------------------
 #: packets handled per node — the PROF load signal (vector[num_nodes])
@@ -147,9 +172,16 @@ HELP: dict[str, str] = {
     ENGINE_WINDOW_EVENTS_HIST: "Distribution of per-window total event counts.",
     ENGINE_BARRIER_WAIT: "Wall-clock spent delivering cross-LP mail at barriers.",
     ENGINE_LOOKAHEAD_VIOLATIONS: "Tolerated lookahead violations (strict engines raise).",
-    PARALLEL_BARRIER_WAIT: "Per-worker wall-clock blocked at multi-process barriers.",
+    PARALLEL_BARRIER_WAIT: "Per-worker wall-clock blocked at multi-process barriers, one sample per window.",
     PARALLEL_MAIL_BYTES: "Serialized cross-shard mail bytes shipped between workers.",
     PARALLEL_WORKER_EVENTS: "Events executed per worker process.",
+    PARALLEL_WINDOW_EXECUTE: "Per-worker wall-clock executing window events.",
+    PARALLEL_MAIL_ENCODE: "Per-worker wall-clock serializing outbound mail batches.",
+    PARALLEL_MAIL_DECODE: "Per-worker wall-clock decoding and enqueueing inbound mail.",
+    CALIBRATION_WINDOWS: "Windows with both a measured and a predicted wall-clock.",
+    CALIBRATION_RATIO: "Distribution of per-window measured/predicted wall ratios.",
+    CALIBRATION_MEASURED_WALL: "Summed measured per-window wall-clock in seconds.",
+    CALIBRATION_PREDICTED_WALL: "Summed cost-model predicted per-window wall-clock in seconds.",
     NETSIM_NODE_EVENTS: "Packets handled per node (the PROF load signal).",
     NETSIM_NODE_RATE_BINS: "Per-node event counts binned over simulated time.",
     NETSIM_LINK_BYTES: "Bytes carried per link, both directions.",

@@ -59,6 +59,17 @@ class SpanTimer:
         if token >= 0.0:
             self._record(time.perf_counter() - token)
 
+    def add(self, elapsed_s: float) -> None:
+        """Record one externally measured span of ``elapsed_s`` seconds.
+
+        For call sites that already hold a wall-clock duration (a
+        :class:`Stopwatch` shared with another sink, a merged snapshot)
+        and must not pay a second pair of clock reads. Guarded like
+        every public write method.
+        """
+        if self._reg.enabled:
+            self._record(elapsed_s)
+
     def _record(self, elapsed_s: float) -> None:
         self._total_s += elapsed_s
         self._count += 1

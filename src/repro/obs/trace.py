@@ -44,6 +44,7 @@ __all__ = [
     "EdgeRecord",
     "SpanRecord",
     "FaultRecord",
+    "MeasuredWindowRecord",
     "TraceBuffer",
     "get_tracer",
     "traced_run",
@@ -129,6 +130,50 @@ class FaultRecord:
 
 
 @dataclass(frozen=True)
+class MeasuredWindowRecord:
+    """One barrier window as one *worker process* actually spent it.
+
+    Where :class:`WindowRecord` carries modeled busy time derived from
+    event counts, this record carries measured wall-clock: the worker's
+    window decomposed into executing events, serializing outbound mail,
+    blocking on the barrier round-trip, and decoding inbound mail.
+    Recorded per shard per window by the multi-process backend
+    (:mod:`repro.engine.parallel`); merged across workers by
+    :class:`repro.obs.distributed.TraceSnapshot`. Wall-clock values are
+    *not* part of a run's deterministic fingerprint.
+    """
+
+    window_index: int
+    #: worker/shard that measured this window
+    shard_id: int
+    #: wall-clock executing the window's owned-LP events
+    execute_s: float
+    #: wall-clock blocked waiting for the controller's mail round-trip
+    barrier_wait_s: float
+    #: wall-clock serializing outbound cross-shard mail
+    mail_encode_s: float
+    #: wall-clock decoding + enqueueing inbound cross-shard mail
+    mail_decode_s: float
+    #: events the shard executed in this window
+    events: int
+    #: serialized outbound mail bytes this window
+    mail_bytes: int = 0
+
+    @property
+    def total_s(self) -> float:
+        """The worker's full measured wall-clock for this window."""
+        return (
+            self.execute_s + self.barrier_wait_s
+            + self.mail_encode_s + self.mail_decode_s
+        )
+
+    @property
+    def busy_s(self) -> float:
+        """Measured non-blocked wall-clock (execute + encode + decode)."""
+        return self.execute_s + self.mail_encode_s + self.mail_decode_s
+
+
+@dataclass(frozen=True)
 class SpanRecord:
     """A named wall-clock span (BGP convergence runs and the like)."""
 
@@ -183,6 +228,8 @@ class TraceBuffer:
         self.transmissions: deque[tuple[float, int, int]] = deque()
         #: fault injections and recovery transitions (repro.faults)
         self.faults: deque[FaultRecord] = deque()
+        #: measured per-worker window decompositions (repro.engine.parallel)
+        self.measured: deque[MeasuredWindowRecord] = deque()
         self.dropped_records = 0
 
     # ------------------------------------------------------------------
@@ -217,6 +264,7 @@ class TraceBuffer:
             self.events,
             self.transmissions,
             self.faults,
+            self.measured,
         )
 
     def __len__(self) -> int:
@@ -274,6 +322,28 @@ class TraceBuffer:
         if self.enabled:
             self._append(
                 self.faults, FaultRecord(float(t), kind, phase, tuple(target), detail)
+            )
+
+    def measured_window(
+        self,
+        window_index: int,
+        shard_id: int,
+        execute_s: float,
+        barrier_wait_s: float,
+        mail_encode_s: float,
+        mail_decode_s: float,
+        events: int,
+        mail_bytes: int = 0,
+    ) -> None:
+        """Record one worker's measured window decomposition (mp backend)."""
+        if self.enabled:
+            self._append(
+                self.measured,
+                MeasuredWindowRecord(
+                    int(window_index), int(shard_id), float(execute_s),
+                    float(barrier_wait_s), float(mail_encode_s),
+                    float(mail_decode_s), int(events), int(mail_bytes),
+                ),
             )
 
     def span_begin(self) -> float:

@@ -14,6 +14,13 @@ seconds with the cost model calibration the trace recorded, and windows
 are laid out back to back the way the barrier-synchronized engine would
 execute them. Straggler slices carry ``args.straggler = true`` so the
 slowest LP of every window is one query away.
+
+Traces from the multi-process backend additionally carry *measured*
+per-window worker spans (:class:`~repro.obs.trace.MeasuredWindowRecord`);
+those render as a second process (``pid=1``) with one thread track per
+worker shard, each window decomposed into real execute / mail-encode /
+barrier-wait / mail-decode slices on the shard's own cumulative
+wall-clock — the measured timeline next to the modeled one.
 """
 
 from __future__ import annotations
@@ -31,6 +38,9 @@ MAX_FLOW_EVENTS = 2_000
 
 #: Track id of the barrier/sync slices (LP tracks use their LP index).
 _BARRIER_TID = -1
+
+#: Process id of the measured per-worker tracks (modeled tracks use 0).
+_MEASURED_PID = 1
 
 
 def to_chrome_trace(
@@ -123,7 +133,73 @@ def to_chrome_trace(
         wall_us += max_busy_us + sync_cost_s * 1e6
 
     events.extend(_flow_events(trace, windows, layout, max_flows))
+    events.extend(_measured_events(trace))
     return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def _measured_events(trace: TraceBuffer) -> list[dict]:
+    """Measured worker spans as per-shard thread tracks under ``pid=1``.
+
+    Each shard's windows lie back to back on that shard's own measured
+    wall-clock (cumulative over its records in window order), with the
+    four span kinds as adjacent slices — so the width of a track is the
+    wall time that worker process really spent, and barrier-wait slices
+    line up visually with the stragglers that caused them.
+    """
+    records = sorted(trace.measured, key=lambda r: (r.shard_id, r.window_index))
+    if not records:
+        return []
+    out: list[dict] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": _MEASURED_PID,
+            "tid": 0,
+            "args": {"name": "repro mp workers (measured)"},
+        }
+    ]
+    for shard_id in sorted({r.shard_id for r in records}):
+        out.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": _MEASURED_PID,
+                "tid": shard_id,
+                "args": {"name": f"worker {shard_id}"},
+            }
+        )
+    clocks: dict[int, float] = {}
+    for r in records:
+        wall_us = clocks.get(r.shard_id, 0.0)
+        spans = (
+            ("execute", r.execute_s),
+            ("mail-encode", r.mail_encode_s),
+            ("barrier-wait", r.barrier_wait_s),
+            ("mail-decode", r.mail_decode_s),
+        )
+        for name, span_s in spans:
+            dur_us = float(span_s) * 1e6
+            if dur_us <= 0.0:
+                continue
+            out.append(
+                {
+                    "name": name,
+                    "cat": "measured",
+                    "ph": "X",
+                    "ts": wall_us,
+                    "dur": dur_us,
+                    "pid": _MEASURED_PID,
+                    "tid": r.shard_id,
+                    "args": {
+                        "window": r.window_index,
+                        "events": r.events,
+                        "mail_bytes": r.mail_bytes,
+                    },
+                }
+            )
+            wall_us += dur_us
+        clocks[r.shard_id] = wall_us
+    return out
 
 
 def _flow_events(

@@ -38,6 +38,8 @@ __all__ = [
     "decode_payload",
     "encode_mail_batch",
     "decode_mail_batch",
+    "encode_snapshot",
+    "decode_snapshot",
     "PayloadFormatError",
 ]
 
@@ -300,3 +302,20 @@ def decode_mail_batch(data: bytes) -> list[tuple]:
     if not isinstance(items, list):
         raise PayloadFormatError("mail batch payload must decode to a list")
     return items
+
+
+def encode_snapshot(snapshot: Any) -> bytes:
+    """Serialize an observability snapshot for the control plane.
+
+    Registry/trace snapshots (:mod:`repro.obs.distributed`) ride the
+    worker result envelope or, with incremental obs on, a per-window
+    delta slot — never barrier mail, so a disabled-obs run ships zero
+    snapshot bytes (``tests/test_obs_overhead.py`` proves it). Same
+    versioned wire framing as every other cross-process payload.
+    """
+    return encode_payload(snapshot)
+
+
+def decode_snapshot(data: bytes) -> Any:
+    """Inverse of :func:`encode_snapshot`."""
+    return decode_payload(data)

@@ -26,7 +26,8 @@ class TestRuleRegistry:
     def test_all_code_rules_registered(self):
         registered = {r.rule_id for r in all_rules()}
         assert {
-            "SIM101", "SIM102", "SIM103", "SIM104", "SIM105", "SIM106", "SIM107"
+            "SIM101", "SIM102", "SIM103", "SIM104", "SIM105", "SIM106",
+            "SIM107", "SIM108"
         } <= registered
 
     def test_get_rule_unknown_id(self):
@@ -498,3 +499,113 @@ class TestDriver:
             """
         )
         assert sorted(ids(findings)) == ["SIM101", "SIM102", "SIM104"]
+
+
+class TestWorkerRegistryMutation:
+    """SIM108: worker-side code must not mutate the global registry."""
+
+    MP_PATH = "src/repro/engine/parallel.py"
+
+    def test_chained_reset_fires(self):
+        findings = lint(
+            """
+            from repro.obs.registry import get_registry
+
+            def worker_main(config):
+                get_registry().reset()
+            """,
+            path=self.MP_PATH,
+        )
+        assert ids(findings) == ["SIM108"]
+        assert "configure_worker_observability" in findings[0].message
+
+    def test_mutation_via_local_handle_fires(self):
+        findings = lint(
+            """
+            from repro.obs.registry import get_registry
+
+            def worker_main(config):
+                reg = get_registry()
+                reg.clear()
+                reg.enabled = True
+            """,
+            path=self.MP_PATH,
+        )
+        assert ids(findings) == ["SIM108", "SIM108"]
+
+    def test_tracer_mutation_fires(self):
+        findings = lint(
+            """
+            from repro.obs.trace import get_tracer
+
+            def worker_main(config):
+                get_tracer().enable()
+            """,
+            path=self.MP_PATH,
+        )
+        assert ids(findings) == ["SIM108"]
+
+    def test_configure_layer_is_clean(self):
+        findings = lint(
+            """
+            from repro.obs.distributed import configure_worker_observability
+
+            def worker_main(config):
+                configure_worker_observability(config.get("obs"))
+            """,
+            path=self.MP_PATH,
+        )
+        assert ids(findings) == []
+
+    def test_out_of_scope_module_is_exempt(self):
+        # Controller-side experiment code legitimately toggles the global
+        # registry (reference-run shielding); the rule is worker-scoped.
+        findings = lint(
+            """
+            from repro.obs.registry import get_registry
+
+            def shield():
+                reg = get_registry()
+                reg.enabled = False
+            """,
+            path="src/repro/experiments/parallel.py",
+        )
+        assert ids(findings) == []
+
+    def test_private_registry_is_clean(self):
+        findings = lint(
+            """
+            from repro.obs.registry import Registry
+
+            def fresh():
+                reg = Registry()
+                reg.reset()
+                return reg
+            """,
+            path=self.MP_PATH,
+        )
+        assert ids(findings) == []
+
+    def test_suppression_comment_honored(self):
+        findings = lint(
+            """
+            from repro.obs.registry import get_registry
+
+            def worker_main(config):
+                get_registry().reset()  # simlint: disable=SIM108
+            """,
+            path=self.MP_PATH,
+        )
+        assert ids(findings) == []
+
+    def test_repo_worker_paths_have_no_findings(self):
+        # The shipped worker modules must themselves satisfy the rule —
+        # zero findings, so the committed baseline stays unchanged.
+        from pathlib import Path
+
+        from repro.analysis import lint_source
+
+        for rel in ("src/repro/engine/parallel.py", "src/repro/experiments/shard.py"):
+            src = Path(rel).read_text()
+            found = [f for f in lint_source(src, rel) if f.rule_id == "SIM108"]
+            assert not found, [f.message for f in found]

@@ -29,7 +29,14 @@ REQUIRED_METRICS = {
     "parallel.mp_events_s",
     "parallel.mail_bytes",
     "parallel.run_events",
+    "parallel.obs_wall_s",
+    "parallel.obs_mail_delta_bytes",
+    "parallel.obs_snapshot_shards",
 }
+
+#: Metrics whose healthy value is exactly zero: enabling the obs layer
+#: must add no mail bytes (snapshots ride the control plane).
+ZERO_BY_DESIGN = {"parallel.obs_mail_delta_bytes"}
 
 
 def _doc(results: dict, date: str, quick: bool = True) -> dict:
@@ -62,13 +69,19 @@ class TestQuickBenchCli:
         assert doc["schema"] == SCHEMA
         assert doc["quick"] is True
         assert REQUIRED_METRICS <= set(doc["results"])
-        assert all(v > 0 for v in doc["results"].values())
+        assert all(
+            v > 0
+            for m, v in doc["results"].items()
+            if m not in ZERO_BY_DESIGN
+        )
+        assert all(doc["results"][m] == 0.0 for m in ZERO_BY_DESIGN)
         assert set(doc["speedups"]) == {
             "queue_ops",
             "queue_ops_adaptive",
             "hop_throughput",
             "mp_measured",
             "mp_predicted",
+            "obs_overhead",
         }
         assert doc["comparison"] is None  # first point in an empty dir
         out = capsys.readouterr().out

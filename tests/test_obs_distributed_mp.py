@@ -1,0 +1,192 @@
+"""End-to-end distributed observability over real worker processes.
+
+The headline invariant of ``obs.distributed``: for deterministic
+instruments, the merge of N worker snapshots (plus the controller's own
+capture) *equals* the single-process observed run on the same workload —
+procs 1, 2, and 4, under both fork and spawn start methods. Plus the
+``--backend mp --obs-out`` CLI path writing one merged JSON document.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+import repro.obs.registry as registry_mod
+import repro.obs.trace as trace_mod
+from repro.engine.parallel import ParallelConservativeEngine
+from repro.experiments.shard import chain_spec, run_reference
+from repro.obs.distributed import (
+    RegistrySnapshot,
+    merged_registry_snapshot,
+    merged_trace_snapshot,
+)
+from repro.obs.registry import Registry, observed_run
+from repro.obs.trace import TraceBuffer, get_tracer, traced_run
+
+ASSIGNMENT = np.array([0, 0, 0, 0, 1, 1, 1, 1])
+NUM_LPS = 2
+LOOKAHEAD = 1e-4
+DURATION = 0.02
+
+#: Instruments only a distributed run records; excluded from the
+#: single-process identity comparison by construction.
+MP_ONLY = ("parallel.", "calibration.")
+
+
+def spec():
+    return chain_spec(num_nodes=8, latency_s=LOOKAHEAD, packets=20)
+
+
+def deterministic_view(snap: RegistrySnapshot) -> dict:
+    """Deterministic instrument values (timers are wall-clock; skipped)."""
+
+    def keep(name: str) -> bool:
+        return not name.startswith(MP_ONLY)
+
+    return {
+        "counters": {n: v for n, v in snap.counters.items() if keep(n)},
+        "vectors": {n: v.tolist() for n, v in snap.vectors.items() if keep(n)},
+        "histograms": {
+            n: (h[0], h[1].tolist(), h[2])
+            for n, h in snap.histograms.items()
+            if keep(n)
+        },
+        "series": {
+            n: (s[0], s[1], s[2].tolist())
+            for n, s in snap.series.items()
+            if keep(n)
+        },
+    }
+
+
+@pytest.fixture(autouse=True)
+def fresh_obs_globals(monkeypatch):
+    """Fresh process-global registry/tracer per test.
+
+    Other test modules register instruments sized to *their* scenarios
+    in the process-global registry; `observed_run` resets values but
+    keeps registrations, and the controller's capture of those
+    foreign-shaped (zero-valued) vectors would collide with the
+    workers' in merge. Fork workers inherit the patched globals.
+    """
+    monkeypatch.setattr(registry_mod, "_GLOBAL", Registry())
+    monkeypatch.setattr(trace_mod, "_GLOBAL", TraceBuffer())
+
+
+@pytest.fixture()
+def single_process_view():
+    with observed_run() as reg:
+        run_reference(spec(), ASSIGNMENT, NUM_LPS, LOOKAHEAD, DURATION)
+        return deterministic_view(RegistrySnapshot.capture(reg))
+
+
+class TestMergedSnapshotIdentity:
+    @pytest.mark.parametrize("start_method", ["fork", "spawn"])
+    @pytest.mark.parametrize("procs", [1, 2, 4])
+    def test_merged_equals_single_process(
+        self, procs, start_method, single_process_view
+    ):
+        with observed_run():
+            engine = ParallelConservativeEngine(
+                ASSIGNMENT, NUM_LPS, LOOKAHEAD,
+                procs=procs, start_method=start_method,
+            )
+            result = engine.run_scenario(spec(), until=DURATION)
+            merged = merged_registry_snapshot(result)
+        assert len(result.registry_snapshots) == procs
+        assert deterministic_view(merged) == single_process_view
+
+    def test_provenance_lists_controller_then_workers(self):
+        with observed_run():
+            engine = ParallelConservativeEngine(
+                ASSIGNMENT, NUM_LPS, LOOKAHEAD, procs=2, start_method="fork"
+            )
+            result = engine.run_scenario(spec(), until=DURATION)
+            merged = merged_registry_snapshot(result)
+        assert [p["label"] for p in merged.provenance] == [
+            "controller", "worker-0", "worker-1",
+        ]
+
+
+class TestMeasuredChannelEndToEnd:
+    def test_workers_ship_measured_spans_for_every_window(self):
+        with observed_run(), traced_run(get_tracer()):
+            engine = ParallelConservativeEngine(
+                ASSIGNMENT, NUM_LPS, LOOKAHEAD, procs=2, start_method="fork"
+            )
+            result = engine.run_scenario(spec(), until=DURATION)
+            merged = merged_trace_snapshot(result)
+        shards_by_window: dict[int, list[int]] = {}
+        for m in merged.measured:
+            shards_by_window.setdefault(m.window_index, []).append(m.shard_id)
+        assert len(shards_by_window) == len(result.window_stats)
+        assert all(sorted(v) == [0, 1] for v in shards_by_window.values())
+        # the measured channel is self-consistent with the run totals
+        assert sum(m.events for m in merged.measured) == result.events_executed
+        assert sum(m.mail_bytes for m in merged.measured) == (
+            result.total_mail_bytes
+        )
+
+    def test_incremental_deltas_accumulate_to_the_final_snapshot(self):
+        with observed_run():
+            engine = ParallelConservativeEngine(
+                ASSIGNMENT, NUM_LPS, LOOKAHEAD,
+                procs=2, start_method="fork", incremental_obs=True,
+            )
+            result = engine.run_scenario(spec(), until=DURATION)
+            merged = merged_registry_snapshot(result)
+        assert sum(result.obs_bytes) > 0
+        with observed_run() as reg:
+            run_reference(spec(), ASSIGNMENT, NUM_LPS, LOOKAHEAD, DURATION)
+            single = deterministic_view(RegistrySnapshot.capture(reg))
+        assert deterministic_view(merged) == single
+
+
+class TestObsOutCli:
+    def test_backend_mp_obs_out_writes_merged_document(
+        self, monkeypatch, tmp_path, capsys
+    ):
+        from repro.__main__ import main
+        from repro.experiments import SCALES
+        from repro.experiments.config import ExperimentScale
+
+        tiny = ExperimentScale(
+            name="small",
+            flat_routers=24,
+            flat_hosts=12,
+            num_ases=2,
+            routers_per_as=4,
+            multi_hosts=8,
+            http_clients=6,
+            http_servers=2,
+            http_mean_gap_s=0.5,
+            num_engines=2,
+            app_processes=2,
+            scalapack_iterations=1,
+            duration_s=1.0,
+            profile_duration_s=0.5,
+        )
+        monkeypatch.setitem(SCALES, "small", tiny)
+        rc = main(
+            [
+                "experiment", "single-as", "scalapack",
+                "--backend", "mp", "--procs", "2",
+                "--scale", "small", "--seed", "1",
+                "--obs-out", str(tmp_path),
+            ]
+        )
+        assert rc == 0
+        doc = json.loads((tmp_path / "obs_mp_snapshot.json").read_text())
+        assert doc["meta"]["backend"] == "mp"
+        labels = [s["label"] for s in doc["shards"]]
+        assert labels[0] == "controller"
+        assert {"worker-0", "worker-1"} <= set(labels)
+        assert doc["measured_windows"]
+        assert doc["calibration"]["windows"]
+        assert doc["counters"]["engine.events.executed"] > 0
+        out = capsys.readouterr().out
+        assert "measured per-shard wall decomposition" in out
+        assert "merged observability snapshot written to" in out

@@ -38,9 +38,10 @@ def registered_names(monkeypatch) -> set[str]:
     # get_registry() resolves against the fresh registry.
     from repro.analysis.lintstats import LintStats
     from repro.engine.conservative import ConservativeEngine
-    from repro.engine.parallel import ParallelConservativeEngine
+    from repro.engine.parallel import ParallelConservativeEngine, ShardEngine
     from repro.faults import FaultInjector, FaultSchedule
     from repro.netsim.simulator import NetworkSimulator
+    from repro.obs.distributed import CalibrationRecorder
     from repro.routing.bgp.engine import BgpEngine, BgpSpeaker
 
     net = Network()
@@ -48,9 +49,14 @@ def registered_names(monkeypatch) -> set[str]:
     h0 = net.add_node(NodeKind.HOST)
     net.add_link(r0, h0, 1e9, 1e-3)
     engine = ConservativeEngine(np.zeros(net.num_nodes, dtype=np.int64), 1, 1.0)
-    # Constructing the controller registers the parallel.* instruments;
-    # no worker processes start until run_scenario().
+    # Constructing the controller registers the controller-side
+    # parallel instruments; the worker-side parallel.* set lives in
+    # ShardEngine (per-worker recording with shard labels), and the
+    # calibration.* set in the CalibrationRecorder. No worker processes
+    # start until run_scenario().
     ParallelConservativeEngine(np.zeros(net.num_nodes, dtype=np.int64), 1, 1.0)
+    ShardEngine(np.zeros(net.num_nodes, dtype=np.int64), 1, 1.0, owned_lps=[0])
+    CalibrationRecorder()
     fib = ForwardingPlane(net)
     sim = NetworkSimulator(net, fib, engine)
     BgpEngine({1: BgpSpeaker(1, {2: "peer"}), 2: BgpSpeaker(2, {1: "peer"})})

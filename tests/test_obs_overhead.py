@@ -140,3 +140,100 @@ def test_every_instrument_has_its_record_layer(cls, meth):
     # The monkeypatch proof above silently weakens if a write layer is
     # renamed; pin the public/_record split per class.
     assert callable(getattr(cls, meth))
+
+
+# ----------------------------------------------------------------------
+# Multi-process backend: the same contract, across the pipe
+# ----------------------------------------------------------------------
+import numpy as np
+
+import repro.engine.parallel as parallel_mod
+from repro.engine.parallel import ParallelConservativeEngine
+from repro.experiments.shard import chain_spec, delivery_log_bytes, merge_collected
+from repro.obs.distributed import RegistrySnapshot, TraceSnapshot
+from repro.obs.trace import traced_run
+
+CHAIN_ASSIGNMENT = np.array([0, 0, 0, 0, 1, 1, 1, 1])
+CHAIN_DURATION = 0.02
+
+
+def run_chain_mp(procs: int = 2, incremental: bool = False):
+    spec = chain_spec(num_nodes=8, latency_s=1e-4, packets=20)
+    engine = ParallelConservativeEngine(
+        CHAIN_ASSIGNMENT,
+        2,
+        1e-4,
+        procs=procs,
+        start_method="fork",  # fork propagates monkeypatched tripwires
+        incremental_obs=incremental,
+    )
+    return engine.run_scenario(spec, until=CHAIN_DURATION)
+
+
+class TestDistributedDisabledMeansNoObs:
+    """Disabled-mode mp runs never touch the snapshot layer at all."""
+
+    def test_disabled_mp_run_never_builds_a_snapshot(self, monkeypatch):
+        monkeypatch.setattr(get_registry(), "enabled", False)
+        monkeypatch.setattr(get_tracer(), "enabled", False)
+        for cls in (RegistrySnapshot, TraceSnapshot):
+            def tripwire(*a, _cls=cls, **kw):
+                raise AssertionError(
+                    f"{_cls.__name__}.capture reached with obs disabled"
+                )
+            monkeypatch.setattr(cls, "capture", tripwire)
+        result = run_chain_mp()
+        assert result.registry_snapshots == []
+        assert result.trace_snapshots == []
+        assert result.obs_bytes == [0, 0]
+        assert result.events_executed > 0
+
+    def test_disabled_mail_is_byte_identical_without_obs_layer(self, monkeypatch):
+        import repro.serialization as ser
+
+        monkeypatch.setattr(get_registry(), "enabled", False)
+        monkeypatch.setattr(get_tracer(), "enabled", False)
+        with_layer = run_chain_mp()
+
+        # Re-run with the `obs` stanza stripped from every worker config:
+        # the wire a build without the observability layer would speak.
+        orig = ParallelConservativeEngine._worker_config
+
+        def stripped(self, shard_id, spec, until):
+            cfg = ser.decode_payload(orig(self, shard_id, spec, until))
+            cfg.pop("obs", None)
+            return ser.encode_payload(cfg)
+
+        monkeypatch.setattr(ParallelConservativeEngine, "_worker_config", stripped)
+        without_layer = run_chain_mp()
+
+        assert with_layer.mail_bytes == without_layer.mail_bytes
+        merged_with = merge_collected(with_layer.collected)
+        merged_without = merge_collected(without_layer.collected)
+        assert delivery_log_bytes(merged_with) == delivery_log_bytes(merged_without)
+        assert merged_with["counters"] == merged_without["counters"]
+
+    def test_enabled_obs_adds_zero_mail_bytes(self, monkeypatch):
+        monkeypatch.setattr(get_registry(), "enabled", False)
+        monkeypatch.setattr(get_tracer(), "enabled", False)
+        disabled = run_chain_mp()
+
+        with observed_run(), traced_run(get_tracer()):
+            enabled = run_chain_mp()
+            incremental = run_chain_mp(incremental=True)
+
+        # Positive control: the enabled runs really shipped snapshots...
+        assert len(enabled.registry_snapshots) == 2
+        assert len(enabled.trace_snapshots) == 2
+        assert sum(incremental.obs_bytes) > 0
+        # ...and none of it rode the mail batches. Snapshots and deltas
+        # travel the control plane; mail volume is invariant.
+        assert enabled.mail_bytes == disabled.mail_bytes
+        assert incremental.mail_bytes == disabled.mail_bytes
+
+    def test_worker_snapshots_carry_provenance(self):
+        with observed_run(), traced_run(get_tracer()):
+            result = run_chain_mp()
+        provenance = [p for s in result.registry_snapshots for p in s.provenance]
+        assert [p["shard_id"] for p in provenance] == [0, 1]
+        assert [p["label"] for p in provenance] == ["worker-0", "worker-1"]
