@@ -112,12 +112,26 @@ def _cmd_experiment_mp(args, scale) -> int:
     cluster = cluster_for_scale(scale)
     pipeline = MappingPipeline(net, scale.num_engines, cluster, args.seed)
     mapping = pipeline.run_all([Approach.TOP])[Approach.TOP]
+    rebalance = None
+    if getattr(args, "rebalance", False):
+        from .partition.rebalance import RebalanceConfig
+
+        rebalance = RebalanceConfig(
+            threshold=args.rebalance_threshold,
+            patience=args.rebalance_patience,
+            cooldown=args.rebalance_cooldown,
+            max_migrations=args.rebalance_max_moves,
+            source=args.rebalance_source,
+            event_cost_s=cluster.event_cost_s,
+            remote_event_cost_s=cluster.remote_event_cost_s,
+        )
 
     def execute():
         return run_executed_workload(
             net, mapping, scale.profile_duration_s,
             scale=scale, seed=args.seed, procs=args.procs,
             incremental_obs=args.incremental_obs,
+            rebalance=rebalance,
         )
 
     if args.obs_out:
@@ -156,6 +170,15 @@ def _cmd_experiment_mp(args, scale) -> int:
           f"(sync fraction {s['predicted_sync_fraction']:.2f})")
     print(f"  cross-shard mail   {s['mail_bytes']:>12,} bytes over "
           f"{s['num_windows']} windows")
+    if rebalance is not None:
+        moves = run.result.migrations
+        print(f"  rebalance          {len(moves):>12} migration(s) "
+              f"[source={rebalance.source}]")
+        for d in moves:
+            print(f"    window {d.window_index}: LP {d.lp} shard "
+                  f"{d.src_shard} -> {d.dst_shard} "
+                  f"(concentration {d.concentration:.2f}, "
+                  f"predicted gain {d.predicted_gain_s * 1e3:.3f} ms)")
     if args.obs_out:
         print()
         print("measured per-shard wall decomposition:")
@@ -510,6 +533,26 @@ def main(argv: list[str] | None = None) -> int:
                        help="with --backend mp and --obs-out: workers also ship "
                        "per-window registry deltas on the control plane (live "
                        "merged view; end-of-run snapshot is always shipped)")
+    p_exp.add_argument("--rebalance", action="store_true",
+                       help="with --backend mp: watch per-window blame "
+                       "concentration and migrate LPs between workers at "
+                       "barriers (delivery log stays byte-identical)")
+    p_exp.add_argument("--rebalance-threshold", type=float, default=0.5,
+                       help="blame-share concentration that arms a migration "
+                       "(default: 0.5)")
+    p_exp.add_argument("--rebalance-patience", type=int, default=2,
+                       help="consecutive over-threshold windows before "
+                       "migrating (default: 2)")
+    p_exp.add_argument("--rebalance-cooldown", type=int, default=4,
+                       help="windows to wait after a migration before "
+                       "re-arming (default: 4)")
+    p_exp.add_argument("--rebalance-max-moves", type=int, default=4,
+                       help="migration budget for the whole run (default: 4)")
+    p_exp.add_argument("--rebalance-source", choices=["modeled", "measured"],
+                       default="modeled",
+                       help="blame source: 'modeled' (window counters x cost "
+                       "model; deterministic) or 'measured' (workers' measured "
+                       "window walls)")
     _add_scale(p_exp)
     p_exp.set_defaults(fn=cmd_experiment)
 

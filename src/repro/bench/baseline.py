@@ -178,7 +178,10 @@ class LegacyLinkRuntime:
         self.packets_carried = [0, 0]
         self.packets_dropped = [0, 0]
         self.failed = False
-        self._rng = np.random.default_rng(0x9E3779B9 ^ link.link_id)
+        # Distinct seed base from the live LinkRuntime: the legacy and
+        # current transmitters must not draw from aliased bit-generator
+        # streams when both simulate the same link_id side by side.
+        self._rng = np.random.default_rng(0xB5297A4D ^ link.link_id)
 
     def direction(self, from_node: int) -> int:
         """Direction index for traffic leaving ``from_node`` (0 or 1)."""

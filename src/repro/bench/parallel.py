@@ -17,11 +17,14 @@ one.
 
 from __future__ import annotations
 
+import statistics
+
 import numpy as np
 
 from ..engine.parallel import ParallelConservativeEngine
 from ..experiments.parallel import calibrated_cluster, predict_from_windows
 from ..experiments.shard import run_reference, udp_spec
+from ..partition.rebalance import RebalanceConfig
 from ..obs.registry import get_registry
 from ..obs.timers import Stopwatch
 from ..obs.trace import get_tracer
@@ -98,6 +101,60 @@ def bench_parallel(
         reg.clear()
         tracer.reset()
 
+    # Online re-balancing: a deliberately bad static split runs with and
+    # without the blame-driven re-balancer. The reversed assignment puts
+    # the hot region (nodes 0-7, all on LP 3) and the elephant flow's
+    # source (node 15, LP 2) on the same shard while the flow crosses
+    # the static shard boundary (LP 2 -> LP 1); the correct single move
+    # — LP 2 to shard 0 — both relieves the blamed shard and turns the
+    # flow's mail into local mailbox traffic. Chained injection keeps
+    # the mid-run migration payload O(in-flight). Walls are medians of
+    # alternating paired reps (this box is noisy); mail and the move
+    # list are deterministic.
+    rb_nodes = 32
+    rb_assignment = np.asarray(
+        [3 - (i * 4 // rb_nodes) for i in range(rb_nodes)], dtype=np.int64
+    )
+    rb_packets, rb_duration = (8000, 0.15) if quick else (20000, 0.2)
+    rb_spec = udp_spec(
+        _chain_network(rb_nodes, latency_s),
+        rb_duration,
+        packets=rb_packets,
+        seed=seed + 11,
+        record_deliveries=False,
+        hot_fraction=0.85,
+        hot_span=8,
+        flow_fraction=0.35,
+        flow_src=15,
+        flow_dst=16,
+        chain_injects=True,
+    )
+    rb_cfg = RebalanceConfig(
+        threshold=0.5,
+        patience=2,
+        cooldown=2,
+        history=8,
+        min_gain_fraction=0.05,
+        max_migrations=1,
+    )
+    static_walls: list[float] = []
+    rb_walls: list[float] = []
+    static_mail = rb_mail = 0
+    rb_migrations = 0
+    for _ in range(3):
+        s_run = ParallelConservativeEngine(
+            rb_assignment, 4, latency_s, procs=2, start_method="fork"
+        ).run_scenario(rb_spec, until=rb_duration)
+        r_run = ParallelConservativeEngine(
+            rb_assignment, 4, latency_s, procs=2, start_method="fork",
+            rebalance=rb_cfg,
+        ).run_scenario(rb_spec, until=rb_duration)
+        static_walls.append(s_run.wall_s)
+        rb_walls.append(r_run.wall_s)
+        static_mail = s_run.total_mail_bytes
+        rb_mail = r_run.total_mail_bytes
+        rb_migrations = len(r_run.migrations)
+
     cluster = calibrated_cluster(procs, ref_wall_s, ref_engine.events_executed)
     predicted = predict_from_windows(
         result.window_stats, num_lps, cluster, shards=engine.shards
@@ -117,6 +174,11 @@ def bench_parallel(
         "parallel.obs_snapshot_shards": float(
             len(obs_result.registry_snapshots)
         ),
+        "parallel.rebalance.static_wall_s": statistics.median(static_walls),
+        "parallel.rebalance.wall_s": statistics.median(rb_walls),
+        "parallel.rebalance.static_mail_bytes": float(static_mail),
+        "parallel.rebalance.mail_bytes": float(rb_mail),
+        "parallel.rebalance.migrations": float(rb_migrations),
     }
     speedups = {
         # measured: this machine, pipes and real processes; predicted:
@@ -131,6 +193,13 @@ def bench_parallel(
         # means the obs layer cost that fraction of throughput.
         "obs_overhead": (
             result.wall_s / obs_result.wall_s if obs_result.wall_s else 0.0
+        ),
+        # bad static split over the re-balanced run of the same
+        # workload: > 1.0 means the mid-run migration paid for itself.
+        "rebalance_gain": (
+            statistics.median(static_walls) / statistics.median(rb_walls)
+            if statistics.median(rb_walls)
+            else 0.0
         ),
     }
     return {"results": results, "speedups": speedups, "procs": procs}

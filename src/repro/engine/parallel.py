@@ -152,10 +152,20 @@ class ShardScenario:
     process boundary inside mail (resolved by name on the receiving
     shard — code objects never travel). ``collect`` is called after the
     last window and must return a picklable result for the controller.
+
+    ``capture_lp`` / ``restore_lp`` are the optional migration hooks the
+    online re-balancer uses: ``capture_lp(lp)`` returns a picklable blob
+    of the LP's *dynamic* scenario state (link busy horizons, RNG
+    states of exclusively-owned links — never counters, never
+    control-replicated state), and ``restore_lp(lp, blob)`` applies it
+    on the adopting shard. Scenarios without the hooks simply cannot be
+    rebalanced mid-run.
     """
 
     handlers: dict[str, Callable[..., Any]]
     collect: Callable[[], Any] | None = None
+    capture_lp: Callable[[int], Any] | None = None
+    restore_lp: Callable[[int, Any], None] | None = None
 
 
 def shard_lps(num_lps: int, procs: int) -> list[list[int]]:
@@ -238,6 +248,7 @@ class ShardEngine:
         #: True when this shard owns LP 0 and therefore runs the real
         #: control plane (other shards replay a replica of it).
         self.has_control = bool(owned) and owned[0] == 0
+        self._queue_kind = queue
         self._queues = [make_queue(queue) for _ in owned]
         self._control_queue = None if self.has_control else make_queue(queue)
         # Cross-LP mail between two LPs of the *same* shard still waits
@@ -263,6 +274,12 @@ class ShardEngine:
         self.lookahead_violations = 0
         self.events_this_window = np.zeros(self.num_lps, dtype=np.int64)
         self.remote_this_window = np.zeros(self.num_lps, dtype=np.int64)
+        # Cross-SHARD sends only (the subset of remote sends that hit
+        # the mail pipes). Placement-aware by construction — after an LP
+        # migrates, its mail to its new shard-mates stops counting. The
+        # re-balancer's cost model consumes this column; obs keeps the
+        # placement-independent cross-LP count above.
+        self.xshard_this_window = np.zeros(self.num_lps, dtype=np.int64)
 
         # Observability hook points, resolved once here (the registry
         # contract: name lookups at construction, guarded writes after).
@@ -395,6 +412,7 @@ class ShardEngine:
         if local >= 0:
             self._local_mail[local].append(ev)
         else:
+            self.xshard_this_window[self._current_lp] += 1
             self._outbound.append((target_lp, ev))
         if self._trace.enabled:
             self._trace.edge(self._current_lp, target_lp, self._lp_now, time)
@@ -426,6 +444,7 @@ class ShardEngine:
         self._window_end = window_end
         self.events_this_window[:] = 0
         self.remote_this_window[:] = 0
+        self.xshard_this_window[:] = 0
         if self._control_queue is not None:
             self._run_replica_control(window_end)
         executed = 0
@@ -512,6 +531,78 @@ class ShardEngine:
         queued = sum(len(q) for q in self._queues)
         mailed = sum(len(m) for m in self._local_mail)
         return queued + mailed + len(self._outbound)
+
+    # -- barrier-time LP migration (online re-partitioning) ------------
+    def _reindex_owned(self) -> None:
+        self._local_index[:] = -1
+        for i, lp in enumerate(self.owned_lps):
+            self._local_index[lp] = i
+
+    def release_lp(self, lp: int) -> list[Event]:
+        """Disown ``lp`` at a barrier; returns its still-pending events.
+
+        Only callable between windows (at the barrier, after mail
+        delivery), when the LP's mailbox is empty and every pending
+        event lies at or beyond the barrier. The events keep their
+        original ``(epoch, lane, counter)`` keys — migration moves the
+        queue, it never re-keys, which is what preserves the global
+        merge order. LP 0 never migrates: control-plane ownership is
+        structural (``has_control``), not load.
+        """
+        if lp == 0:
+            raise ParallelBackendError(
+                "LP 0 owns the control plane and cannot migrate"
+            )
+        local = int(self._local_index[lp])
+        if local < 0:
+            raise ParallelBackendError(
+                f"cannot release LP {lp}: this shard does not own it"
+            )
+        if self._current_lp is not None or self._phase_setup:
+            raise ParallelBackendError(
+                "LP migration is only legal at a barrier"
+            )
+        if self._local_mail[local]:
+            raise ParallelBackendError(
+                f"cannot release LP {lp} with undelivered local mail"
+            )
+        queue = self._queues[local]
+        events: list[Event] = []
+        while True:
+            ev = queue.pop_until(float("inf"))
+            if ev is None:
+                break
+            if not ev.cancelled:
+                events.append(ev)
+        del self.owned_lps[local]
+        del self._queues[local]
+        del self._local_mail[local]
+        self._reindex_owned()
+        return events
+
+    def adopt_lp(self, lp: int, events: Sequence[Event]) -> None:
+        """Take ownership of ``lp`` at a barrier with its pending events.
+
+        The inverse of :meth:`release_lp` on the destination shard.
+        ``owned_lps`` stays sorted, so within-window LP execution order
+        remains ascending — the same order the single-process engine
+        interleaves them in.
+        """
+        if int(self._local_index[lp]) >= 0:
+            raise ParallelBackendError(
+                f"cannot adopt LP {lp}: this shard already owns it"
+            )
+        if self._current_lp is not None or self._phase_setup:
+            raise ParallelBackendError(
+                "LP migration is only legal at a barrier"
+            )
+        pos = int(np.searchsorted(np.asarray(self.owned_lps), lp))
+        self.owned_lps.insert(pos, int(lp))
+        self._queues.insert(pos, make_queue(self._queue_kind))
+        self._local_mail.insert(pos, [])
+        self._reindex_owned()
+        for ev in events:
+            self._queues[pos].push_event(ev)
 
     # -- measured observability ----------------------------------------
     def observe_window_walls(
@@ -643,11 +734,146 @@ def _shard_result(engine: ShardEngine, scenario: ShardScenario) -> dict[str, Any
     }
 
 
+# ----------------------------------------------------------------------
+# LP migration wire helpers (online re-partitioning)
+# ----------------------------------------------------------------------
+def _encode_lp_migration(
+    engine: ShardEngine,
+    scenario: ShardScenario,
+    fn_to_name: dict[Callable, str],
+    lp: int,
+) -> bytes:
+    """Release ``lp`` from ``engine`` and pack it for the control plane.
+
+    The payload carries the LP's still-pending events (re-encoded by
+    handler wire name, keeping their original ``(epoch, lane, counter)``
+    keys) plus the scenario's opaque ``capture_lp`` state blob. It rides
+    the controller pipes via :func:`repro.serialization.encode_migration`
+    — never barrier mail, so mail bytes and mail ordering are untouched.
+    """
+    from .. import serialization as ser  # deferred: serialization -> core -> engine
+
+    events = engine.release_lp(lp)
+    items: list[tuple] = []
+    for ev in events:
+        name = fn_to_name.get(ev.fn)
+        if name is None:
+            raise UnregisteredHandlerError(
+                f"pending event on LP {lp} bound to unregistered handler "
+                f"{ev.fn!r}; the LP cannot migrate"
+            )
+        items.append(
+            (int(lp), int(ev.node), ev.time, ev.seq, name, ev.args)
+        )
+    state = scenario.capture_lp(lp) if scenario.capture_lp is not None else None
+    return ser.encode_migration({"lp": int(lp), "events": items, "state": state})
+
+
+def _install_lp_migration(
+    engine: ShardEngine,
+    scenario: ShardScenario,
+    name_to_fn: dict[str, Callable],
+    payload_bytes: bytes,
+) -> int:
+    """Adopt a migrated LP from its wire payload; returns payload size."""
+    from .. import serialization as ser  # deferred: serialization -> core -> engine
+
+    payload = ser.decode_migration(payload_bytes)
+    lp = int(payload["lp"])
+    events = []
+    for _target_lp, node, time, key, handler, args in payload["events"]:
+        fn = name_to_fn.get(handler)
+        if fn is None:
+            raise UnregisteredHandlerError(
+                f"migration payload references unknown handler {handler!r}; "
+                "sender and receiver scenarios disagree"
+            )
+        events.append(Event(time, tuple(key), fn, tuple(args), node))
+    engine.adopt_lp(lp, events)
+    if scenario.restore_lp is not None and payload.get("state") is not None:
+        scenario.restore_lp(lp, payload["state"])
+    return len(payload_bytes)
+
+
+#: bucket bounds of the blame-concentration histogram — shared between
+#: eager registration and per-migration recording (histograms only
+#: merge across identical bounds)
+_CONCENTRATION_BOUNDS = (0.25, 0.5, 0.75, 0.9, 1.0)
+
+
+def _register_rebalance_instruments(reg) -> None:
+    """Register the ``rebalance.*`` instruments up front.
+
+    Called from the engine constructors when a rebalance config is
+    present, so the instruments exist in snapshots taken *before* the
+    first trigger or migration (and so the names-drift check sees them
+    by constructing an engine, like every other instrumented component).
+    """
+    reg.counter(obs_names.REBALANCE_TRIGGERS)
+    reg.counter(obs_names.REBALANCE_CANDIDATES)
+    reg.counter(obs_names.REBALANCE_MIGRATIONS)
+    reg.counter(obs_names.REBALANCE_STATE_BYTES)
+    reg.histogram(obs_names.REBALANCE_CONCENTRATION, _CONCENTRATION_BOUNDS)
+
+
+def _record_migration_obs(decision, state_bytes: int) -> None:
+    """Controller-side rebalance instruments + trace record (obs-gated)."""
+    reg = get_registry()
+    if not reg.enabled:
+        return
+    reg.counter(obs_names.REBALANCE_MIGRATIONS).inc()
+    reg.counter(obs_names.REBALANCE_STATE_BYTES).inc(float(state_bytes))
+    reg.histogram(
+        obs_names.REBALANCE_CONCENTRATION, _CONCENTRATION_BOUNDS
+    ).observe(float(decision.concentration))
+    get_tracer().migration(
+        decision.window_index,
+        decision.lp,
+        decision.src_shard,
+        decision.dst_shard,
+        decision.concentration,
+        decision.predicted_gain_s,
+        state_bytes,
+    )
+
+
+def _record_rebalance_counters(rebalancer, prev: tuple[int, int]) -> tuple[int, int]:
+    """Flush trigger/candidate-count deltas into registry counters."""
+    reg = get_registry()
+    triggers, scored = rebalancer.triggers, rebalancer.candidates_scored
+    if reg.enabled:
+        if triggers > prev[0]:
+            reg.counter(obs_names.REBALANCE_TRIGGERS).inc(float(triggers - prev[0]))
+        if scored > prev[1]:
+            reg.counter(obs_names.REBALANCE_CANDIDATES).inc(float(scored - prev[1]))
+    return triggers, scored
+
+
+def _build_rebalancer(config, shards, num_lps, spec, until, affinity=None):
+    """Construct the controller-side :class:`Rebalancer` for one run.
+
+    Fault slowdown spans come from the scenario spec's ``faults`` param
+    (the same schedule the injector replays), so the modeled blame
+    source sees straggler slowdowns without measuring anything.
+    """
+    from ..partition.rebalance import Rebalancer, slowdown_spans
+
+    spans = ()
+    params = getattr(spec, "params", None)
+    faults = params.get("faults") if isinstance(params, dict) else None
+    if faults:
+        spans = slowdown_spans(faults, float(until))
+    return Rebalancer(
+        config, shards, num_lps, spans=spans, affinity=affinity
+    )
+
+
 def _worker_main(conn, config_bytes: bytes) -> None:
     """Worker process entry: build, run windows, talk the barrier wire.
 
     Per window the worker sends ``("window", w, payloads, events_col,
-    remote_col)`` and blocks until the controller routes everyone's mail
+    remote_col, xshard_col)`` and blocks until the controller routes
+    everyone's mail
     back as ``("mail", w, payloads)``. Failures surface as ``("error",
     traceback_text)`` so the controller can raise a typed error instead
     of deadlocking at the barrier.
@@ -659,6 +885,20 @@ def _worker_main(conn, config_bytes: bytes) -> None:
     delta as a sixth element of each window tuple). With obs off, none
     of that code runs and every message is byte-identical to a build
     without the observability layer — mail adds zero bytes.
+
+    When the config carries a ``rebalance`` stanza the mail message
+    grows a fourth element — ``None`` or a migration plan ``[(lp, src,
+    dst), ...]`` decided by the controller. On a plan, every worker
+    first delivers its mail (routed by the *old* placement, so inbound
+    events land in the departing LP's queue before extraction), then
+    updates its local ``shard_of``, sends ``("migrate", w, {lp:
+    payload})`` for LPs it releases (empty dict otherwise), and blocks
+    for ``("install", w, {lp: payload})`` carrying LPs it adopts.
+    Payload bytes ride these pipe messages only — never barrier mail.
+    With ``source == "measured"`` the worker additionally appends its
+    measured per-window execute seconds as the *last* element of every
+    window message (measured regardless of obs, since the controller's
+    blame needs it).
     """
     from .. import serialization as ser  # deferred: serialization -> core -> engine
 
@@ -678,8 +918,11 @@ def _worker_main(conn, config_bytes: bytes) -> None:
             num_shards=config["procs"],
         )
         scenario, fn_to_name, name_to_fn = _build_shard(engine, config["spec"])
-        shard_of = config["shard_of"]
+        shard_of = list(config["shard_of"])
         procs = config["procs"]
+        rb_cfg = config.get("rebalance")
+        rb_on = bool(rb_cfg)
+        rb_measured = rb_on and rb_cfg.get("source") == "measured"
         barrier_wait_s = 0.0
         mail_bytes = 0
         obs_bytes = 0
@@ -692,11 +935,12 @@ def _worker_main(conn, config_bytes: bytes) -> None:
             else None
         )
         clock = Stopwatch()
+        measure_exec = obs_on or rb_measured
         for w, _start, end in iter_windows(0.0, engine.lookahead, config["until"]):
-            if obs_on:
+            if measure_exec:
                 clock.restart()
             executed = engine.run_window(w, end)
-            execute_s = clock.elapsed() if obs_on else 0.0
+            execute_s = clock.elapsed() if measure_exec else 0.0
             if obs_on:
                 clock.restart()
             payloads = _encode_outbound(engine, shard_of, fn_to_name, procs)
@@ -709,6 +953,7 @@ def _worker_main(conn, config_bytes: bytes) -> None:
                 payloads,
                 engine.events_this_window.tolist(),
                 engine.remote_this_window.tolist(),
+                engine.xshard_this_window.tolist(),
             )
             if incremental:
                 snap = RegistrySnapshot.capture(shard_id=shard_id, label=label)
@@ -716,6 +961,8 @@ def _worker_main(conn, config_bytes: bytes) -> None:
                 prev_snap = snap
                 obs_bytes += len(delta)
                 message = message + (delta,)
+            if rb_measured:
+                message = message + (execute_s,)
             conn.send(message)
             waiting.restart()
             msg = conn.recv()
@@ -729,6 +976,28 @@ def _worker_main(conn, config_bytes: bytes) -> None:
             if obs_on:
                 clock.restart()
             _deliver_encoded_mail(engine, msg[2], end, name_to_fn)
+            decode_s = clock.elapsed() if obs_on else 0.0
+            plan = msg[3] if rb_on and len(msg) > 3 else None
+            if plan:
+                outgoing: dict[int, bytes] = {}
+                for mig_lp, mig_src, mig_dst in plan:
+                    mig_lp = int(mig_lp)
+                    if int(mig_src) == shard_id:
+                        outgoing[mig_lp] = _encode_lp_migration(
+                            engine, scenario, fn_to_name, mig_lp
+                        )
+                    shard_of[mig_lp] = int(mig_dst)
+                conn.send(("migrate", w, outgoing))
+                inst = conn.recv()
+                if inst[0] != "install" or inst[1] != w:
+                    raise ParallelBackendError(
+                        f"barrier protocol desync: expected install for "
+                        f"window {w}, got {inst[:2]!r}"
+                    )
+                for mig_lp in sorted(inst[2]):
+                    _install_lp_migration(
+                        engine, scenario, name_to_fn, inst[2][mig_lp]
+                    )
             if obs_on:
                 engine.observe_window_walls(
                     w,
@@ -736,7 +1005,7 @@ def _worker_main(conn, config_bytes: bytes) -> None:
                     execute_s,
                     wait_s,
                     encode_s,
-                    clock.elapsed(),
+                    decode_s,
                     window_mail,
                 )
         result = _shard_result(engine, scenario)
@@ -794,6 +1063,10 @@ class ParallelRunResult:
     #: per-worker bytes of incremental obs deltas shipped over the pipe
     #: (always 0 unless ``incremental_obs``; never part of mail bytes)
     obs_bytes: list[int] = field(default_factory=list)
+    #: accepted mid-run LP migrations, in decision order (empty unless
+    #: the run was launched with a rebalance config); ``shards`` above
+    #: reports the *final* placement after these moves
+    migrations: list = field(default_factory=list)
 
     @property
     def total_mail_bytes(self) -> int:
@@ -849,6 +1122,18 @@ class ParallelConservativeEngine:
         registry delta from every worker (``live_snapshot()`` then shows
         mid-run state). Off by default — end-of-run snapshots always
         arrive with the results, and the deltas cost pipe bytes.
+    rebalance:
+        Optional :class:`~repro.partition.rebalance.RebalanceConfig`.
+        When set, the controller watches per-window blame concentration
+        and migrates LPs between shards at barriers (see
+        ``docs/load_balancing.md``). Only the controller decides —
+        workers receive finished plans, so every process agrees on
+        placement without extra synchronization. The simulation result
+        is byte-identical either way.
+    rebalance_affinity:
+        Optional LP x LP affinity matrix (``partition.lp_affinity``)
+        used to break score ties toward migrations that cut fewer
+        cross-shard links.
     """
 
     def __init__(
@@ -862,6 +1147,8 @@ class ParallelConservativeEngine:
         start_method: str = "fork",
         window_timeout_s: float = 120.0,
         incremental_obs: bool = False,
+        rebalance=None,
+        rebalance_affinity=None,
     ) -> None:
         if lookahead <= 0:
             raise ValueError("lookahead must be positive")
@@ -880,6 +1167,8 @@ class ParallelConservativeEngine:
                 self._shard_of[lp] = shard_id
 
         self.incremental_obs = bool(incremental_obs)
+        self.rebalance = rebalance
+        self.rebalance_affinity = rebalance_affinity
         #: per-shard merged incremental registry deltas (incremental_obs)
         self._live_deltas: dict[int, RegistrySnapshot] = {}
 
@@ -895,6 +1184,8 @@ class ParallelConservativeEngine:
         self._obs_window_hist = reg.histogram(
             obs_names.ENGINE_WINDOW_EVENTS_HIST, (1.0, 10.0, 100.0, 1e3, 1e4, 1e5)
         )
+        if rebalance is not None:
+            _register_rebalance_instruments(reg)
 
     @classmethod
     def from_mapping(
@@ -963,6 +1254,11 @@ class ParallelConservativeEngine:
                 "until": float(until),
                 "shard_id": shard_id,
                 "obs": worker_obs_config(incremental=self.incremental_obs),
+                "rebalance": (
+                    {"source": self.rebalance.source}
+                    if self.rebalance is not None
+                    else None
+                ),
             }
         )
 
@@ -999,6 +1295,20 @@ class ParallelConservativeEngine:
             rows: dict[int, list[tuple[list[int], list[int]]]] = {
                 w: [] for w, _s, _e in boundaries
             }
+            rebalancer = None
+            rb_measured = False
+            rb_prev = (0, 0)
+            migrations: list = []
+            if self.rebalance is not None:
+                rebalancer = _build_rebalancer(
+                    self.rebalance,
+                    self.shards,
+                    self.num_lps,
+                    spec,
+                    until,
+                    affinity=self.rebalance_affinity,
+                )
+                rb_measured = self.rebalance.source == "measured"
             for w, _start, _end in boundaries:
                 msgs = []
                 for shard_id in range(self.procs):
@@ -1010,10 +1320,57 @@ class ParallelConservativeEngine:
                         )
                     msgs.append(msg)
                     rows[w].append((msg[3], msg[4]))
+                plan = None
+                decision = None
+                if rebalancer is not None and not rebalancer.retired:
+                    events_sum = np.zeros(self.num_lps, dtype=np.int64)
+                    xshard_sum = np.zeros(self.num_lps, dtype=np.int64)
+                    for msg in msgs:
+                        events_sum += np.asarray(msg[3], dtype=np.int64)
+                        xshard_sum += np.asarray(msg[5], dtype=np.int64)
+                    measured = (
+                        np.asarray([float(m[-1]) for m in msgs])
+                        if rb_measured
+                        else None
+                    )
+                    decision = rebalancer.observe_window(
+                        w, _start, _end, events_sum, xshard_sum, measured
+                    )
+                    rb_prev = _record_rebalance_counters(rebalancer, rb_prev)
+                    if decision is not None:
+                        plan = [
+                            (decision.lp, decision.src_shard, decision.dst_shard)
+                        ]
                 # Route: destination j receives one payload per sender.
                 for shard_id in range(self.procs):
                     inbound = [msgs[src][2][shard_id] for src in range(self.procs)]
-                    conns[shard_id].send(("mail", w, inbound))
+                    if rebalancer is not None:
+                        conns[shard_id].send(("mail", w, inbound, plan))
+                    else:
+                        conns[shard_id].send(("mail", w, inbound))
+                if plan:
+                    # Migration sub-protocol: collect payloads from the
+                    # releasing shards, route each to the adopting shard.
+                    # Payloads ride these control-plane pipes only.
+                    outgoing_all: dict[int, bytes] = {}
+                    for shard_id in range(self.procs):
+                        mig = self._recv(conns, workers, shard_id)
+                        if mig[0] != "migrate" or mig[1] != w:
+                            raise ParallelBackendError(
+                                f"barrier protocol desync: worker {shard_id} "
+                                f"sent {mig[:2]!r}, expected migrate {w}"
+                            )
+                        outgoing_all.update(mig[2])
+                    for shard_id in range(self.procs):
+                        install = {
+                            lp: blob
+                            for lp, blob in outgoing_all.items()
+                            if int(rebalancer.shard_of[lp]) == shard_id
+                        }
+                        conns[shard_id].send(("install", w, install))
+                    state_bytes = sum(len(b) for b in outgoing_all.values())
+                    migrations.append(decision)
+                    _record_migration_obs(decision, state_bytes)
                 if self._obs.enabled:
                     self._obs_windows.inc()
                     self._obs_window_hist.observe(
@@ -1021,8 +1378,8 @@ class ParallelConservativeEngine:
                     )
                 if self.incremental_obs:
                     for shard_id, msg in enumerate(msgs):
-                        if len(msg) > 5 and msg[5]:
-                            delta = ser.decode_snapshot(msg[5])
+                        if len(msg) > 6 and msg[6]:
+                            delta = ser.decode_snapshot(msg[6])
                             prev = self._live_deltas.get(shard_id)
                             self._live_deltas[shard_id] = (
                                 delta
@@ -1058,11 +1415,17 @@ class ParallelConservativeEngine:
         ]
         trace_snapshots = [r["obs"]["trace"] for r in results if "obs" in r]
         obs_bytes = [int(r.get("obs_bytes", 0)) for r in results]
+        if rebalancer is not None and migrations:
+            final_shards: list[list[int]] = [[] for _ in range(self.procs)]
+            for lp in range(self.num_lps):
+                final_shards[int(rebalancer.shard_of[lp])].append(lp)
+        else:
+            final_shards = [list(s) for s in self.shards]
         return ParallelRunResult(
             procs=self.procs,
             until=float(until),
             lookahead=self.lookahead,
-            shards=[list(s) for s in self.shards],
+            shards=final_shards,
             window_stats=window_stats,
             events_executed=int(sum(worker_events)),
             lookahead_violations=int(
@@ -1076,6 +1439,7 @@ class ParallelConservativeEngine:
             registry_snapshots=registry_snapshots,
             trace_snapshots=trace_snapshots,
             obs_bytes=obs_bytes,
+            migrations=migrations,
         )
 
     def live_snapshot(self) -> RegistrySnapshot:
@@ -1119,12 +1483,16 @@ class LocalShardGroup:
         strict: bool = True,
         queue: str = "adaptive",
         shards: list[list[int]] | None = None,
+        rebalance=None,
+        rebalance_affinity=None,
     ) -> None:
         self.assignment = np.asarray(assignment, dtype=np.int64)
         self.num_lps = int(num_lps)
         self.lookahead = float(lookahead)
         self.strict = strict
         self.queue = queue
+        self.rebalance = rebalance
+        self.rebalance_affinity = rebalance_affinity
         self.shards = shards if shards is not None else shard_lps(num_lps, procs)
         self.procs = len(self.shards)
         seen = sorted(lp for part in self.shards for lp in part)
@@ -1145,6 +1513,8 @@ class LocalShardGroup:
         self._obs_window_hist = reg.histogram(
             obs_names.ENGINE_WINDOW_EVENTS_HIST, (1.0, 10.0, 100.0, 1e3, 1e4, 1e5)
         )
+        if rebalance is not None:
+            _register_rebalance_instruments(reg)
 
     def run_scenario(self, spec: ScenarioSpec, until: float) -> ParallelRunResult:
         """Run ``spec`` to ``until`` over the in-process shard group."""
@@ -1166,13 +1536,30 @@ class LocalShardGroup:
         boundaries = list(iter_windows(0.0, self.lookahead, until))
         rows: dict[int, list[tuple[list[int], list[int]]]] = {}
         mail_bytes = [0] * self.procs
-        for w, _start, end in boundaries:
+        # Run-local placement: migrations must not mutate the group's
+        # configured shards, so a rerun starts from the static split.
+        shard_of = self._shard_of.copy()
+        rebalancer = None
+        rb_prev = (0, 0)
+        migrations: list = []
+        if self.rebalance is not None:
+            # In-process shards have no independently measurable walls;
+            # "measured" falls back to the modeled source here.
+            rebalancer = _build_rebalancer(
+                self.rebalance,
+                self.shards,
+                self.num_lps,
+                spec,
+                until,
+                affinity=self.rebalance_affinity,
+            )
+        for w, start, end in boundaries:
             payload_grid = []
             rows[w] = []
             for shard_id, engine in enumerate(engines):
                 engine.run_window(w, end)
                 payloads = _encode_outbound(
-                    engine, self._shard_of, built[shard_id][1], self.procs
+                    engine, shard_of, built[shard_id][1], self.procs
                 )
                 mail_bytes[shard_id] += sum(len(p) for p in payloads)
                 payload_grid.append(payloads)
@@ -1185,6 +1572,29 @@ class LocalShardGroup:
             for shard_id, engine in enumerate(engines):
                 inbound = [payload_grid[src][shard_id] for src in range(self.procs)]
                 _deliver_encoded_mail(engine, inbound, end, built[shard_id][2])
+            if rebalancer is not None and not rebalancer.retired:
+                events_sum = np.zeros(self.num_lps, dtype=np.int64)
+                xshard_sum = np.zeros(self.num_lps, dtype=np.int64)
+                for engine in engines:
+                    events_sum += engine.events_this_window
+                    xshard_sum += engine.xshard_this_window
+                decision = rebalancer.observe_window(
+                    w, start, end, events_sum, xshard_sum
+                )
+                rb_prev = _record_rebalance_counters(rebalancer, rb_prev)
+                if decision is not None:
+                    # Same wire round-trip as the mp backend: the payload
+                    # passes through repro.serialization even in-process.
+                    src, dst = decision.src_shard, decision.dst_shard
+                    blob = _encode_lp_migration(
+                        engines[src], built[src][0], built[src][1], decision.lp
+                    )
+                    _install_lp_migration(
+                        engines[dst], built[dst][0], built[dst][2], blob
+                    )
+                    shard_of[decision.lp] = dst
+                    migrations.append(decision)
+                    _record_migration_obs(decision, len(blob))
             if self._obs.enabled:
                 self._obs_windows.inc()
                 self._obs_window_hist.observe(
@@ -1194,11 +1604,17 @@ class LocalShardGroup:
             _shard_result(engine, built[shard_id][0])
             for shard_id, engine in enumerate(engines)
         ]
+        if migrations:
+            final_shards: list[list[int]] = [[] for _ in range(self.procs)]
+            for lp in range(self.num_lps):
+                final_shards[int(shard_of[lp])].append(lp)
+        else:
+            final_shards = [list(s) for s in self.shards]
         return ParallelRunResult(
             procs=self.procs,
             until=float(until),
             lookahead=self.lookahead,
-            shards=[list(s) for s in self.shards],
+            shards=final_shards,
             window_stats=_merge_window_rows(self.num_lps, rows, boundaries),
             events_executed=int(sum(r["events_executed"] for r in results)),
             lookahead_violations=int(
@@ -1209,4 +1625,5 @@ class LocalShardGroup:
             mail_bytes=mail_bytes,
             worker_events=[r["events_executed"] for r in results],
             collected=[r["collect"] for r in results],
+            migrations=migrations,
         )

@@ -24,7 +24,12 @@ from typing import Iterator
 
 import numpy as np
 
-__all__ = ["WindowStats", "iter_windows", "WINDOW_EPSILON_FRACTION"]
+__all__ = [
+    "WindowStats",
+    "iter_windows",
+    "window_overlap",
+    "WINDOW_EPSILON_FRACTION",
+]
 
 #: Relative tolerance applied to every window-boundary comparison, as a
 #: fraction of the lookahead. An *absolute* epsilon falls below one
@@ -75,3 +80,17 @@ def iter_windows(
         yield index, now, window_end
         index += 1
         now = window_end
+
+
+def window_overlap(
+    span_start: float, span_end: float, window_start: float, window_end: float
+) -> float:
+    """Length of the intersection of a time span with a barrier window.
+
+    Pure float arithmetic with no epsilon: consumers that weight a
+    span's effect by window (the fault injector's slowdown spans, the
+    rebalancer's deterministic straggler model) must all agree on the
+    overlap, and the boundary cases (zero-length span, disjoint
+    intervals) resolve to exactly ``0.0``.
+    """
+    return max(0.0, min(span_end, window_end) - max(span_start, window_start))

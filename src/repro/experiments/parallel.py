@@ -60,6 +60,7 @@ __all__ = [
     "run_traced_workload",
     "run_executed_workload",
     "ExecutedParallelRun",
+    "migration_summary",
     "calibrated_cluster",
     "predict_from_window_stats",
     "predict_from_windows",
@@ -310,6 +311,11 @@ class ExecutedParallelRun:
             "num_windows": len(self.result.window_stats),
             "obs_bytes": sum(self.result.obs_bytes),
             **(
+                {"migrations": len(self.result.migrations)}
+                if self.result.migrations
+                else {}
+            ),
+            **(
                 {"calibration_overall_ratio": self.calibration["overall_ratio"]}
                 if self.calibration
                 else {}
@@ -331,6 +337,10 @@ def run_executed_workload(
     record_deliveries: bool = False,
     window_timeout_s: float = 120.0,
     incremental_obs: bool = False,
+    rebalance=None,
+    faults: list | None = None,
+    hot_fraction: float = 0.0,
+    hot_span: int | None = None,
 ) -> ExecutedParallelRun:
     """Execute UDP background traffic across real worker processes.
 
@@ -346,13 +356,22 @@ def run_executed_workload(
     ``packets`` defaults from ``scale`` (four per HTTP client — enough
     cross-shard traffic to exercise the mail path without drowning the
     run in serialization) or to 2000 when no scale is given.
+
+    ``rebalance`` (a :class:`repro.partition.rebalance.RebalanceConfig`)
+    turns on blame-driven online LP re-partitioning at barriers;
+    ``faults`` injects a fault schedule into the workload (both the
+    reference and the multi-process pass see it, so the byte-identity
+    guarantee still holds); ``hot_fraction``/``hot_span`` skew the
+    traffic onto a hot node prefix (see :func:`repro.experiments.shard
+    .udp_spec`) — the concentrated-load shape re-balancing targets.
     """
     if packets is None:
         packets = 4 * scale.http_clients if scale is not None else 2000
     lookahead = window_for_mapping(mapping.achieved_mll_s, duration_s)
     spec = udp_spec(
         net, duration_s, packets=packets, seed=seed,
-        record_deliveries=record_deliveries,
+        record_deliveries=record_deliveries, faults=faults,
+        hot_fraction=hot_fraction, hot_span=hot_span,
     )
     # The reference pass is a timing baseline, not an observed run: shield
     # the process-global registry and tracer so the merged multi-process
@@ -388,6 +407,7 @@ def run_executed_workload(
         start_method=start_method,
         window_timeout_s=window_timeout_s,
         incremental_obs=incremental_obs,
+        rebalance=rebalance,
     )
     result = engine.run_scenario(spec, until=duration_s)
     collected = merge_collected(result.collected)
@@ -420,3 +440,12 @@ def run_executed_workload(
         merged_trace=merged_trace,
         calibration=calibration,
     )
+
+
+def migration_summary(result: ParallelRunResult) -> dict:
+    """Flat summary of a run's accepted LP migrations (bench/CLI rows)."""
+    return {
+        "migrations": len(result.migrations),
+        "moves": [d.as_dict() for d in result.migrations],
+        "final_shards": [list(s) for s in result.shards],
+    }

@@ -46,6 +46,7 @@ from ..topology.models import Network, NodeKind
 
 __all__ = [
     "DeliveryRecorder",
+    "LpStatePort",
     "ShardCollector",
     "build_chain_scenario",
     "build_udp_scenario",
@@ -82,6 +83,67 @@ class DeliveryRecorder:
             (epoch, lane, round(self.sim.now, 12), node, packet.flow_id, packet.seq)
         )
         self.inner(node, packet)
+
+
+class LpStatePort:
+    """``capture_lp`` / ``restore_lp`` hooks for the packet scenarios.
+
+    An LP's *dynamic* scenario state is the per-direction link busy
+    horizons of the directions it transmits on (direction ``d`` of a
+    link is owned by the LP of the endpoint traffic leaves from), plus
+    the RED/fault RNG bit-generator states of links *both* of whose
+    endpoints live on the LP — those streams are drawn exclusively by
+    the LP's events, so the adopting shard must resume them mid-stream.
+    Counters never migrate: they are partial sums that merge by
+    summation across shards regardless of where the LP finishes the
+    run. Link indices align across shards because construction is
+    replayed identically everywhere.
+    """
+
+    def __init__(self, sim: NetworkSimulator, assignment: Any) -> None:
+        self.sim = sim
+        self.assignment = np.asarray(assignment, dtype=np.int64)
+
+    def _direction_owners(self, lr: Any) -> tuple[int, int]:
+        return (
+            int(self.assignment[lr.link.u]),
+            int(self.assignment[lr.link.v]),
+        )
+
+    def capture(self, lp: int) -> dict[str, Any]:
+        """Picklable blob of LP-owned link state (see class docstring)."""
+        busy: list[tuple[int, int, float]] = []
+        rngs: list[tuple[int, Any, Any]] = []
+        for idx, lr in enumerate(self.sim.links):
+            owners = self._direction_owners(lr)
+            for d in (0, 1):
+                if owners[d] == lp:
+                    busy.append((idx, d, float(lr.busy_until[d])))
+            if owners[0] == lp and owners[1] == lp:
+                fault_state = (
+                    lr._fault_rng.bit_generator.state
+                    if lr._fault_rng is not None
+                    else None
+                )
+                rngs.append((idx, lr._rng.bit_generator.state, fault_state))
+        return {"busy": busy, "rng": rngs}
+
+    def restore(self, lp: int, state: dict[str, Any]) -> None:
+        """Apply a :meth:`capture` blob on the adopting shard."""
+        for idx, d, value in state["busy"]:
+            self.sim.links[idx].busy_until[d] = value
+        for idx, rng_state, fault_state in state["rng"]:
+            lr = self.sim.links[idx]
+            lr._rng.bit_generator.state = rng_state
+            if fault_state is not None:
+                # Vessel generator, never drawn from: its bit-generator
+                # state is overwritten with the migrated stream state on
+                # the next line (no seeded stream is ever created here).
+                gen = np.random.Generator(
+                    type(lr._rng.bit_generator)()
+                )
+                gen.bit_generator.state = fault_state
+                lr._fault_rng = gen
 
 
 class ShardCollector:
@@ -186,8 +248,12 @@ def build_chain_scenario(engine: Any, params: dict) -> ShardScenario:
         )
         engine.schedule_at(t, sim.inject, node=src, args=(packet,))
     collector = ShardCollector(engine, sim, recorder, injector, tracer)
+    port = LpStatePort(sim, getattr(engine, "assignment", np.zeros(1, dtype=np.int64)))
     return ShardScenario(
-        handlers={"handle_at": sim._handle_at}, collect=collector.collect
+        handlers={"handle_at": sim._handle_at, "inject": sim.inject},
+        collect=collector.collect,
+        capture_lp=port.capture,
+        restore_lp=port.restore,
     )
 
 
@@ -198,7 +264,18 @@ def build_udp_scenario(engine: Any, params: dict) -> ShardScenario:
     .network_to_dict` output — workers rebuild the identical topology
     without regenerating it), ``packets``, ``seed``, ``duration_s``,
     optional ``faults`` and ``record_deliveries`` (default True; large
-    runs can drop the log and keep counters only).
+    runs can drop the log and keep counters only). ``hot_fraction`` > 0
+    skews traffic: that fraction of packets is redrawn inside the first
+    ``hot_span`` nodes (default a quarter of the network), producing the
+    concentrated load the online re-balancer exists to fix.
+    ``flow_fraction`` > 0 additionally pins that fraction of packets to
+    the single ``flow_src -> flow_dst`` pair — a point-to-point elephant
+    flow, the knob bench workloads use to put heavy mail on a specific
+    LP boundary. With both knobs at 0.0 the packet stream is
+    draw-for-draw identical to builds that predate them.
+    ``chain_injects`` switches from scheduling the whole trace upfront
+    to per-node streaming (same draws, same traffic) so pending queues
+    — and therefore live-migration payloads — stay O(in-flight).
     """
     net = network_from_dict(params["network_doc"])
     fib = ForwardingPlane(net)
@@ -212,19 +289,70 @@ def build_udp_scenario(engine: Any, params: dict) -> ShardScenario:
     duration_s = float(params["duration_s"])
     times = np.sort(rng.uniform(0.0, 0.8 * duration_s, size=packets))
     pairs = rng.integers(0, net.num_nodes, size=(packets, 2))
-    for i in range(packets):
+    hot = float(params.get("hot_fraction", 0.0))
+    if hot > 0.0:
+        hot_span = int(params.get("hot_span") or max(2, net.num_nodes // 4))
+        flags = rng.random(packets) < hot
+        hot_pairs = rng.integers(0, hot_span, size=(packets, 2))
+        pairs = np.where(flags[:, None], hot_pairs, pairs)
+    flow = float(params.get("flow_fraction", 0.0))
+    if flow > 0.0:
+        flow_pair = np.asarray(
+            [int(params["flow_src"]), int(params["flow_dst"])], dtype=pairs.dtype
+        )
+        flow_flags = rng.random(packets) < flow
+        pairs = np.where(flow_flags[:, None], flow_pair[None, :], pairs)
+    def _packet(i: int) -> Packet:
         src = int(pairs[i, 0])
         dst = int(pairs[i, 1])
         if dst == src:
             dst = (src + 1) % net.num_nodes
-        packet = Packet(
+        return Packet(
             src=src, dst=dst, size_bytes=1000, protocol=Protocol.UDP,
             flow_id=i, seq=i,
         )
-        engine.schedule_at(float(times[i]), sim.inject, node=src, args=(packet,))
+
+    handlers = {"handle_at": sim._handle_at, "inject": sim.inject}
+    if params.get("chain_injects"):
+        # Stream the offered load: each node's inject schedules that
+        # node's next one, so pending queues hold O(in-flight) work
+        # instead of the whole trace. Live LP migration drains the
+        # queue into the payload, so chained injection is what keeps a
+        # mid-run move (and its barrier pause) cheap. The traffic is
+        # draw-for-draw identical to the upfront schedule below — only
+        # the scheduling structure differs.
+        by_node: dict[int, list[int]] = {}
+        for i in range(packets):
+            by_node.setdefault(int(pairs[i, 0]), []).append(i)
+
+        def inject_next(src: int, k: int) -> None:
+            idxs = by_node[src]
+            sim.inject(_packet(idxs[k]))
+            if k + 1 < len(idxs):
+                engine.schedule_at(
+                    float(times[idxs[k + 1]]), inject_next,
+                    node=src, args=(src, k + 1),
+                )
+
+        handlers["inject_next"] = inject_next
+        for src in sorted(by_node):
+            engine.schedule_at(
+                float(times[by_node[src][0]]), inject_next,
+                node=src, args=(src, 0),
+            )
+    else:
+        for i in range(packets):
+            packet = _packet(i)
+            engine.schedule_at(
+                float(times[i]), sim.inject, node=packet.src, args=(packet,)
+            )
     collector = ShardCollector(engine, sim, recorder, injector, tracer)
+    port = LpStatePort(sim, getattr(engine, "assignment", np.zeros(1, dtype=np.int64)))
     return ShardScenario(
-        handlers={"handle_at": sim._handle_at}, collect=collector.collect
+        handlers=handlers,
+        collect=collector.collect,
+        capture_lp=port.capture,
+        restore_lp=port.restore,
     )
 
 
@@ -256,6 +384,12 @@ def udp_spec(
     seed: int = 0,
     record_deliveries: bool = True,
     faults: list | None = None,
+    hot_fraction: float = 0.0,
+    hot_span: int | None = None,
+    flow_fraction: float = 0.0,
+    flow_src: int = 0,
+    flow_dst: int = 1,
+    chain_injects: bool = False,
 ) -> ScenarioSpec:
     """Spec for :func:`build_udp_scenario` over an already-built net."""
     params: dict[str, Any] = {
@@ -267,6 +401,16 @@ def udp_spec(
     }
     if faults:
         params["faults"] = list(faults)
+    if hot_fraction > 0.0:
+        params["hot_fraction"] = float(hot_fraction)
+        if hot_span is not None:
+            params["hot_span"] = int(hot_span)
+    if flow_fraction > 0.0:
+        params["flow_fraction"] = float(flow_fraction)
+        params["flow_src"] = int(flow_src)
+        params["flow_dst"] = int(flow_dst)
+    if chain_injects:
+        params["chain_injects"] = True
     return ScenarioSpec(
         builder="repro.experiments.shard:build_udp_scenario", params=params
     )

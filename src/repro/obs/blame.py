@@ -35,6 +35,7 @@ __all__ = [
     "CriticalStep",
     "BlameReport",
     "analyze",
+    "blame_shares",
     "node_blame",
     "format_blame_table",
     "MeasuredBlameReport",
@@ -86,6 +87,31 @@ class BlameReport:
         if not steps:
             return 0.0
         return sum(s.handoff_from_prev for s in steps) / len(steps)
+
+    @property
+    def shares(self) -> np.ndarray:
+        """Per-LP blame shares in ``[0, 1]`` (:func:`blame_shares`)."""
+        return blame_shares(self.lp_blame_s, self.total_wait_s)
+
+
+def blame_shares(
+    blame_s: np.ndarray, total_wait_s: float | None = None
+) -> np.ndarray:
+    """Per-LP blame shares, exactly zero when there is no wait at all.
+
+    A single-LP shard or an all-idle run records zero barrier wait in
+    every window; dividing by that total would be a ``0/0``. This is the
+    one sanctioned place that turns blame seconds into shares: when
+    ``total_wait_s`` (defaulting to ``blame_s.sum()``) is not strictly
+    positive, every share is exactly ``0.0`` — so the shares still sum
+    to a meaningful number (zero) instead of propagating NaN into
+    tables, concentration triggers, or exported documents.
+    """
+    blame = np.asarray(blame_s, dtype=np.float64)
+    total = float(blame.sum()) if total_wait_s is None else float(total_wait_s)
+    if total <= 0.0:
+        return np.zeros_like(blame)
+    return blame / total
 
 
 def _edges_by_window(
@@ -215,8 +241,9 @@ def format_blame_table(report: BlameReport) -> str:
         f"{'blame %':>9}{'straggler wins':>16}"
     ]
     total = report.total_wait_s
+    shares = report.shares
     for lp in range(report.num_lps):
-        share = 100.0 * report.lp_blame_s[lp] / total if total > 0 else 0.0
+        share = 100.0 * shares[lp]
         lines.append(
             f"{lp:>4}{report.lp_busy_s[lp] * 1e3:>12.3f}"
             f"{report.lp_blame_s[lp] * 1e3:>12.3f}{share:>8.1f}%"
@@ -280,6 +307,21 @@ class MeasuredBlameReport:
             + self.shard_wait_s
             + self.shard_decode_s
         )
+
+    @property
+    def shares(self) -> np.ndarray:
+        """Per-shard measured blame shares (:func:`blame_shares`).
+
+        Blame here is the wait *other* shards spent on each shard's
+        straggler windows, approximated by the shard's straggler-window
+        share of total measured wait; exactly zero everywhere when no
+        shard ever waited (single-shard runs).
+        """
+        wait_total = float(self.shard_wait_s.sum())
+        if wait_total <= 0.0 or self.num_windows == 0:
+            return np.zeros(self.num_shards, dtype=np.float64)
+        wins = self.shard_straggler_windows.astype(np.float64)
+        return blame_shares(wins, float(wins.sum()))
 
 
 def analyze_measured(

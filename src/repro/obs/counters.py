@@ -219,11 +219,27 @@ class Histogram:
         if total == 0:
             raise ValueError("cannot take a quantile of an empty histogram")
         rank = q * total
+        # A rank landing exactly on a cumulative bucket boundary belongs
+        # to the bucket that *completes* it (fraction 1, its upper
+        # bound), not at fraction 0 of the next nonempty bucket — the
+        # difference is a jump across any empty buckets in between. The
+        # product ``q * total`` can overshoot that integer boundary by a
+        # few ulps (0.07 * 100 == 7.000000000000001), so snap ranks
+        # within float tolerance back onto the integer.
+        nearest = round(rank)
+        if abs(rank - nearest) <= 1e-9 * max(1.0, total):
+            rank = float(nearest)
         cumulative = 0
         for i, bound in enumerate(self.bounds):
             in_bucket = int(self._counts[i])
             if in_bucket and cumulative + in_bucket >= rank:
-                lower = self.bounds[i - 1] if i else (0.0 if bound > 0 else bound)
+                if i:
+                    lower = self.bounds[i - 1]
+                else:
+                    # First-bucket lower edge: 0.0 when the bound is
+                    # positive; a non-positive bound has no usable width
+                    # below it, so the bound itself is both edges.
+                    lower = 0.0 if bound > 0 else bound
                 fraction = (rank - cumulative) / in_bucket
                 return lower + (bound - lower) * fraction
             cumulative += in_bucket

@@ -52,6 +52,7 @@ from .trace import (
     EdgeRecord,
     FaultRecord,
     MeasuredWindowRecord,
+    RebalanceRecord,
     SpanRecord,
     TraceBuffer,
     WindowRecord,
@@ -340,6 +341,9 @@ class TraceSnapshot:
     dropped_records: int
     event_cost_s: float
     remote_event_cost_s: float
+    #: accepted mid-run LP migrations (controller-recorded, so merging
+    #: concatenates without deduplication)
+    rebalance: tuple[RebalanceRecord, ...] = ()
 
     @classmethod
     def capture(
@@ -362,6 +366,7 @@ class TraceSnapshot:
             dropped_records=tr.dropped_records,
             event_cost_s=tr.event_cost_s,
             remote_event_cost_s=tr.remote_event_cost_s,
+            rebalance=tuple(tr.rebalance),
         )
 
     @classmethod
@@ -385,6 +390,7 @@ class TraceSnapshot:
         transmissions: list[tuple[float, int, int]] = []
         faults: dict[tuple, FaultRecord] = {}
         measured: list[MeasuredWindowRecord] = []
+        rebalance: list[RebalanceRecord] = []
         dropped = 0
         event_cost_s = 10e-6
         remote_event_cost_s = 25e-6
@@ -423,11 +429,13 @@ class TraceSnapshot:
             for f in snap.faults:
                 faults.setdefault(_fault_key(f), f)
             measured.extend(snap.measured)
+            rebalance.extend(snap.rebalance)
         edges.sort(key=lambda e: (e.send_time, e.src_lp, e.dst_lp, e.deliver_time))
         spans.sort(key=lambda s: (s.start_s, s.end_s, s.kind))
         events.sort()
         transmissions.sort()
         measured.sort(key=lambda m: (m.window_index, m.shard_id))
+        rebalance.sort(key=lambda r: (r.window_index, r.lp))
         return cls(
             provenance=tuple(provenance),
             windows=tuple(
@@ -444,6 +452,7 @@ class TraceSnapshot:
             dropped_records=dropped,
             event_cost_s=event_cost_s,
             remote_event_cost_s=remote_event_cost_s,
+            rebalance=tuple(rebalance),
         )
 
     def restore(self, capacity: int | None = None) -> TraceBuffer:
@@ -456,7 +465,7 @@ class TraceSnapshot:
         cap = capacity if capacity is not None else max(
             len(self.windows), len(self.edges), len(self.spans),
             len(self.events), len(self.transmissions), len(self.faults),
-            len(self.measured), 1,
+            len(self.measured), len(self.rebalance), 1,
         )
         tr = TraceBuffer(
             capacity=cap,
@@ -471,6 +480,7 @@ class TraceSnapshot:
         tr.transmissions.extend(self.transmissions)
         tr.faults.extend(self.faults)
         tr.measured.extend(self.measured)
+        tr.rebalance.extend(self.rebalance)
         tr.dropped_records = self.dropped_records
         return tr
 

@@ -49,6 +49,11 @@ __all__ = [
     "FAULTS_ROUTE_INVALIDATIONS",
     "FAULTS_BGP_SESSION_RESETS",
     "FAULTS_BGP_REESTABLISHED",
+    "REBALANCE_TRIGGERS",
+    "REBALANCE_MIGRATIONS",
+    "REBALANCE_CANDIDATES",
+    "REBALANCE_STATE_BYTES",
+    "REBALANCE_CONCENTRATION",
     "LINT_FILES",
     "LINT_RULES",
     "LINT_FINDINGS_ERROR",
@@ -148,6 +153,20 @@ FAULTS_BGP_SESSION_RESETS = "faults.bgp.session_resets"
 #: BGP sessions re-established after backoff retries (scalar)
 FAULTS_BGP_REESTABLISHED = "faults.bgp.session_reestablished"
 
+# --- online re-partitioning (repro.partition.rebalance) ---------------
+# Recorded on the controller: migration decisions are made centrally so
+# the instruments never disagree across shards.
+#: blame-concentration threshold crossings that produced a decision (scalar)
+REBALANCE_TRIGGERS = "rebalance.triggers"
+#: single-LP migrations executed at barriers (scalar)
+REBALANCE_MIGRATIONS = "rebalance.migrations"
+#: candidate placements scored by the what-if model (scalar)
+REBALANCE_CANDIDATES = "rebalance.candidates.scored"
+#: serialized migration payload bytes shipped over the control plane (scalar)
+REBALANCE_STATE_BYTES = "rebalance.state.bytes"
+#: distribution of blame concentration at each trigger (histogram)
+REBALANCE_CONCENTRATION = "rebalance.blame.concentration"
+
 # --- static analysis (repro.analysis simlint runs) --------------------
 #: python files scanned by one lint invocation (scalar)
 LINT_FILES = "lint.files.scanned"
@@ -204,6 +223,11 @@ HELP: dict[str, str] = {
     FAULTS_ROUTE_INVALIDATIONS: "Forwarding-state invalidations forced by faults.",
     FAULTS_BGP_SESSION_RESETS: "BGP session teardowns (withdrawal propagations).",
     FAULTS_BGP_REESTABLISHED: "BGP sessions re-established after backoff retries.",
+    REBALANCE_TRIGGERS: "Blame-concentration threshold crossings that produced a migration decision.",
+    REBALANCE_MIGRATIONS: "Single-LP migrations executed at barriers.",
+    REBALANCE_CANDIDATES: "Candidate placements scored by the what-if model.",
+    REBALANCE_STATE_BYTES: "Serialized migration payload bytes shipped over the control plane.",
+    REBALANCE_CONCENTRATION: "Distribution of blame concentration at each rebalance trigger.",
     LINT_FILES: "Python files scanned by the simlint pass.",
     LINT_RULES: "Lint rules executed by the simlint pass.",
     LINT_FINDINGS_ERROR: "Error-severity lint findings.",

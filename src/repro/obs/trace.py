@@ -45,6 +45,7 @@ __all__ = [
     "SpanRecord",
     "FaultRecord",
     "MeasuredWindowRecord",
+    "RebalanceRecord",
     "TraceBuffer",
     "get_tracer",
     "traced_run",
@@ -53,7 +54,7 @@ __all__ = [
 
 #: Default per-channel ring capacity. Sized so the laptop-scale demo
 #: scenarios fit without eviction while a runaway trace stays bounded
-#: (six channels of tuples/records, a few tens of MB worst case).
+#: (eight channels of tuples/records, a few tens of MB worst case).
 DEFAULT_TRACE_CAPACITY = 262_144
 
 
@@ -174,6 +175,30 @@ class MeasuredWindowRecord:
 
 
 @dataclass(frozen=True)
+class RebalanceRecord:
+    """One accepted mid-run LP migration decision (``partition.rebalance``).
+
+    Recorded on the controller at the barrier where the migration takes
+    effect, so the trace doubles as the audit log of every placement
+    change: which LP moved, off which blamed shard, at what blame
+    concentration, and what the what-if model predicted the move would
+    save over the trailing history window.
+    """
+
+    #: barrier window index after which the LP executes on ``dst_shard``
+    window_index: int
+    lp: int
+    src_shard: int
+    dst_shard: int
+    #: trailing blame share of ``src_shard`` when the trigger fired
+    concentration: float
+    #: what-if predicted wall saved over the trailing history, seconds
+    predicted_gain_s: float
+    #: serialized migration payload size (0 until the plan is executed)
+    state_bytes: int = 0
+
+
+@dataclass(frozen=True)
 class SpanRecord:
     """A named wall-clock span (BGP convergence runs and the like)."""
 
@@ -230,6 +255,8 @@ class TraceBuffer:
         self.faults: deque[FaultRecord] = deque()
         #: measured per-worker window decompositions (repro.engine.parallel)
         self.measured: deque[MeasuredWindowRecord] = deque()
+        #: accepted mid-run LP migrations (repro.partition.rebalance)
+        self.rebalance: deque[RebalanceRecord] = deque()
         self.dropped_records = 0
 
     # ------------------------------------------------------------------
@@ -265,6 +292,7 @@ class TraceBuffer:
             self.transmissions,
             self.faults,
             self.measured,
+            self.rebalance,
         )
 
     def __len__(self) -> int:
@@ -343,6 +371,27 @@ class TraceBuffer:
                     int(window_index), int(shard_id), float(execute_s),
                     float(barrier_wait_s), float(mail_encode_s),
                     float(mail_decode_s), int(events), int(mail_bytes),
+                ),
+            )
+
+    def migration(
+        self,
+        window_index: int,
+        lp: int,
+        src_shard: int,
+        dst_shard: int,
+        concentration: float,
+        predicted_gain_s: float,
+        state_bytes: int = 0,
+    ) -> None:
+        """Record one accepted LP migration (controller barrier hook)."""
+        if self.enabled:
+            self._append(
+                self.rebalance,
+                RebalanceRecord(
+                    int(window_index), int(lp), int(src_shard), int(dst_shard),
+                    float(concentration), float(predicted_gain_s),
+                    int(state_bytes),
                 ),
             )
 

@@ -34,7 +34,7 @@ from ..engine.costmodel import (
 from .trace import TraceBuffer
 
 __all__ = ["WhatIfScore", "replay_counts", "score_mapping", "score_mappings",
-           "format_whatif_table"]
+           "score_lp_placements", "format_whatif_table"]
 
 
 @dataclass(frozen=True)
@@ -117,6 +117,47 @@ def score_mappings(
         for label, mapping in mappings.items()
     ]
     scores.sort(key=lambda s: s.total_s)
+    return scores
+
+
+def score_lp_placements(
+    busy_per_lp: np.ndarray,
+    layouts: list[np.ndarray],
+    num_shards: int,
+    sync_cost_s: float = 0.0,
+) -> list[float]:
+    """Window-max wall of candidate LP -> shard layouts, no re-simulation.
+
+    The mid-run variant of :func:`score_mapping`: where the offline
+    what-if replay re-bins node samples under a whole candidate
+    *mapping* (its own window length), the online re-balancer keeps the
+    run's window structure and node -> LP assignment fixed and varies
+    only LP -> shard placement. ``busy_per_lp`` is a ``(windows, lps)``
+    modeled busy-time matrix (the trailing history the re-balancer
+    maintains); each layout is an LP -> shard vector. A layout's score
+    is the paper's window-max model over that history::
+
+        sum over windows of ( max over shards of shard busy + sync )
+
+    so candidates are comparable with the cost model the blame report
+    already speaks, and the choice is deterministic given the history.
+    """
+    busy = np.asarray(busy_per_lp, dtype=np.float64)
+    if busy.ndim != 2:
+        raise ValueError("busy_per_lp must be a (windows, lps) matrix")
+    num_windows = busy.shape[0]
+    scores: list[float] = []
+    for layout in layouts:
+        shard_of = np.asarray(layout, dtype=np.int64)
+        if shard_of.shape[0] != busy.shape[1]:
+            raise ValueError("layout length must match the LP count")
+        shard_busy = np.zeros((num_windows, num_shards), dtype=np.float64)
+        for shard in range(num_shards):
+            cols = shard_of == shard
+            if cols.any():
+                shard_busy[:, shard] = busy[:, cols].sum(axis=1)
+        walls = shard_busy.max(axis=1) if num_shards else np.zeros(num_windows)
+        scores.append(float(walls.sum() + sync_cost_s * num_windows))
     return scores
 
 

@@ -29,6 +29,14 @@ from .coarsen import CoarseningLevel, coarsen, coarsen_once, heavy_edge_matching
 from .graph import GraphContraction, WeightedGraph
 from .initial import best_bisection, greedy_graph_growing
 from .kway import PartitionResult, extract_subgraph, multilevel_bisect, partition_kway
+from .rebalance import (
+    MigrationDecision,
+    RebalanceConfig,
+    Rebalancer,
+    lp_affinity,
+    slowdown_spans,
+    span_multipliers,
+)
 from .refine import balance_partition, fm_refine, kway_refine
 from .spectral import spectral_bisect, spectral_partition_kway
 
@@ -55,4 +63,10 @@ __all__ = [
     "coordinate_bisection",
     "spectral_bisect",
     "spectral_partition_kway",
+    "RebalanceConfig",
+    "MigrationDecision",
+    "Rebalancer",
+    "slowdown_spans",
+    "span_multipliers",
+    "lp_affinity",
 ]

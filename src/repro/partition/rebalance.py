@@ -1,0 +1,475 @@
+"""Blame-driven online LP re-partitioning at barrier windows.
+
+The paper's HPROF mapping is *static*: one partition chosen before the
+run. This module closes the observe -> attribute -> repartition loop at
+runtime instead, in the style of game-theoretic iterative partitioning:
+the controller of the multi-process backend watches per-window blame
+concentration, and when one shard's straggler blame stays above a
+threshold, it tries *diffusion-style local moves* — single-LP
+migrations off the blamed shard — scores each candidate placement with
+the what-if cost model over the trailing window history
+(:func:`repro.obs.whatif.score_lp_placements`, no re-simulation), and
+accepts the best move only if the model predicts a real gain. The
+engine then migrates the LP at the next barrier.
+
+Three design rules keep this sound:
+
+1. **Decisions are made once, centrally.** Only the controller runs a
+   :class:`Rebalancer`; workers receive finished migration plans over
+   the control plane. There is no per-shard vote to diverge.
+2. **Decisions are deterministic (by default).** The ``modeled`` blame
+   source derives per-LP busy time from the window's event counters and
+   the fault schedule's slowdown spans — pure functions of simulated
+   quantities — so the same run always migrates the same LPs at the
+   same barriers. The ``measured`` source trades that determinism for
+   real wall-clock blame (PR 8's ``analyze_measured`` view).
+3. **Placement changes execution, never outcomes.** The rebalancer only
+   rewrites LP -> shard placement; the node -> LP assignment, window
+   boundaries, and event keys are untouched, which is what keeps
+   delivery logs and counter fingerprints byte-identical to a
+   non-rebalanced run (the differential-determinism suite enforces it).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable, Sequence
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..faults.schedule import FaultEvent
+
+# NOTE: every repro-internal import in this module is deferred into the
+# function that needs it. The partition package sits at the bottom of
+# the import graph (topology.models pulls partition.graph), so a
+# module-level import of engine/faults/obs here would close a cycle the
+# moment ``import repro.faults`` (or anything reaching topology) runs.
+
+__all__ = [
+    "RebalanceConfig",
+    "MigrationDecision",
+    "Rebalancer",
+    "slowdown_spans",
+    "span_multipliers",
+    "lp_affinity",
+]
+
+#: Blame sources a :class:`RebalanceConfig` may name.
+_SOURCES = ("modeled", "measured")
+
+
+@dataclass(frozen=True)
+class RebalanceConfig:
+    """Tuning knobs of the online re-balancer (all validated).
+
+    ``threshold`` is the trailing blame-concentration share (one shard's
+    fraction of all straggler blame over the last ``history`` windows)
+    that arms the trigger; it must hold for ``patience`` consecutive
+    windows before a migration is attempted, and after an accepted
+    migration the trigger stays disarmed for ``cooldown`` windows so the
+    new placement's history can accumulate. The trigger is also held off
+    until ``history`` windows have been observed at all (warm-up) —
+    early-run windows are injection ramp-up noise. ``min_gain_fraction`` is the
+    what-if predicted improvement (relative to the current placement's
+    score) a candidate must clear — moves the model calls a wash are
+    rejected, which is what makes the loop convergent instead of
+    oscillating.
+    """
+
+    threshold: float = 0.5
+    patience: int = 2
+    cooldown: int = 4
+    history: int = 8
+    max_migrations: int = 4
+    min_gain_fraction: float = 0.02
+    #: ``'modeled'`` (deterministic, from window counters + fault
+    #: schedule) or ``'measured'`` (worker wall-clock, mp backend only)
+    source: str = "modeled"
+    #: cost-model rates for the modeled busy time (match the tracer's);
+    #: the remote premium is charged per cross-shard send only
+    event_cost_s: float = 10e-6
+    remote_event_cost_s: float = 25e-6
+    #: per-window synchronization cost added to every candidate's score
+    sync_cost_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.threshold <= 1.0:
+            raise ValueError("threshold must be in (0, 1]")
+        if self.patience < 1:
+            raise ValueError("patience must be >= 1")
+        if self.cooldown < 0:
+            raise ValueError("cooldown must be >= 0")
+        if self.history < 1:
+            raise ValueError("history must be >= 1")
+        if self.max_migrations < 0:
+            raise ValueError("max_migrations must be >= 0")
+        if self.min_gain_fraction < 0.0:
+            raise ValueError("min_gain_fraction must be >= 0")
+        if self.source not in _SOURCES:
+            raise ValueError(f"source must be one of {_SOURCES}")
+        if self.event_cost_s <= 0 or self.remote_event_cost_s <= 0:
+            raise ValueError("event costs must be positive")
+        if self.sync_cost_s < 0:
+            raise ValueError("sync_cost_s must be >= 0")
+
+
+@dataclass(frozen=True)
+class MigrationDecision:
+    """One accepted single-LP migration, effective at the next barrier."""
+
+    #: barrier window index after which the LP executes on ``dst_shard``
+    window_index: int
+    lp: int
+    src_shard: int
+    dst_shard: int
+    #: trailing blame share of ``src_shard`` when the trigger fired
+    concentration: float
+    #: what-if predicted wall saved over the trailing history, seconds
+    predicted_gain_s: float
+
+    def as_dict(self) -> dict:
+        """Flat JSON-friendly form for summaries and bench documents."""
+        return {
+            "window_index": self.window_index,
+            "lp": self.lp,
+            "src_shard": self.src_shard,
+            "dst_shard": self.dst_shard,
+            "concentration": self.concentration,
+            "predicted_gain_s": self.predicted_gain_s,
+        }
+
+
+def slowdown_spans(
+    events: Iterable[FaultEvent], end_time: float
+) -> list[tuple[int, float, float, float]]:
+    """LP straggler spans ``(lp, start, end, factor)`` from a schedule.
+
+    A *pure* replay of the fault injector's span pairing
+    (:meth:`repro.faults.injector.FaultInjector.busy_multipliers`):
+    ``lp.slow.start``/``lp.slow.end`` events pair up per LP, spans still
+    open at ``end_time`` extend to it. Derived from the schedule alone —
+    before the run even starts — so the modeled blame source sees the
+    same stragglers the injector will create, deterministically.
+    """
+    from ..faults.schedule import FaultKind
+
+    spans: list[tuple[int, float, float, float]] = []
+    open_: dict[int, tuple[float, float]] = {}
+    for fe in sorted(events, key=lambda e: (e.time, e.kind.value, e.target)):
+        if fe.kind is FaultKind.LP_SLOWDOWN_START:
+            lp = int(fe.target[0])
+            open_[lp] = (fe.time, fe.param("factor", 1.0))
+        elif fe.kind is FaultKind.LP_SLOWDOWN_END:
+            lp = int(fe.target[0])
+            opened = open_.pop(lp, None)
+            if opened is not None:
+                spans.append((lp, opened[0], fe.time, opened[1]))
+    spans.extend(
+        (lp, t0, end_time, factor)
+        for lp, (t0, factor) in sorted(open_.items())
+    )
+    return spans
+
+
+def span_multipliers(
+    spans: Sequence[tuple[int, float, float, float]],
+    window_start: float,
+    window_end: float,
+    num_lps: int,
+) -> np.ndarray:
+    """Per-LP busy multipliers for one window (injector semantics).
+
+    Every span overlapping the window raises its LP's multiplier to the
+    span's factor (max-combined when spans overlap), matching
+    ``busy_multipliers``'s whole-window application — the overlap test
+    itself goes through :func:`repro.engine.windows.window_overlap` so
+    boundary windows resolve identically everywhere.
+    """
+    from ..engine.windows import window_overlap
+
+    out = np.ones(num_lps, dtype=np.float64)
+    for lp, t0, t1, factor in spans:
+        if 0 <= lp < num_lps and window_overlap(t0, t1, window_start, window_end) > 0.0:
+            out[lp] = max(out[lp], float(factor))
+    return out
+
+
+def lp_affinity(
+    link_endpoints: Iterable[tuple[int, int]],
+    assignment: np.ndarray,
+    num_lps: int,
+) -> np.ndarray:
+    """Symmetric LP x LP link-count affinity from the network topology.
+
+    The contraction of the node graph under the node -> LP assignment:
+    entry ``(a, b)`` counts links whose endpoints map to LPs ``a`` and
+    ``b``. This is the same structure ``partition.refine`` computes its
+    connectivity gain over, lifted to LP granularity so candidate moves
+    can be tie-broken toward placements that keep chatty LPs together.
+    """
+    assignment = np.asarray(assignment, dtype=np.int64)
+    aff = np.zeros((num_lps, num_lps), dtype=np.float64)
+    for u, v in link_endpoints:
+        a, b = int(assignment[u]), int(assignment[v])
+        if a != b:
+            aff[a, b] += 1.0
+            aff[b, a] += 1.0
+    return aff
+
+
+class Rebalancer:
+    """Controller-side trigger/candidate/score loop over barrier windows.
+
+    One instance lives on the multi-process controller (or the
+    :class:`~repro.engine.parallel.LocalShardGroup` driver). Each
+    barrier, :meth:`observe_window` ingests the window's merged per-LP
+    counters; when the trailing blame concentration crosses the
+    configured threshold it generates single-LP moves off the blamed
+    shard, scores every candidate placement with
+    :func:`repro.obs.whatif.score_lp_placements` over the trailing busy
+    history, and returns an accepted :class:`MigrationDecision` (or
+    ``None``). The caller is responsible for executing the migration at
+    the barrier; ``shard_of`` here tracks the *decided* placement.
+
+    LP 0 never migrates: the control-plane replica schedule is owned by
+    LP 0's shard structurally (see ``engine/parallel.py``), so its
+    placement is part of the protocol, not the load balance.
+    """
+
+    def __init__(
+        self,
+        config: RebalanceConfig,
+        shards: Sequence[Sequence[int]],
+        num_lps: int,
+        spans: Sequence[tuple[int, float, float, float]] = (),
+        affinity: np.ndarray | None = None,
+    ) -> None:
+        self.config = config
+        self.num_lps = int(num_lps)
+        self.num_shards = len(shards)
+        self.shard_of = np.full(self.num_lps, -1, dtype=np.int64)
+        for shard_id, lps in enumerate(shards):
+            for lp in lps:
+                self.shard_of[int(lp)] = shard_id
+        if (self.shard_of < 0).any():
+            raise ValueError("shards must cover every LP")
+        self.spans = list(spans)
+        if affinity is not None:
+            affinity = np.asarray(affinity, dtype=np.float64)
+            if affinity.shape != (self.num_lps, self.num_lps):
+                raise ValueError("affinity must be (num_lps, num_lps)")
+        self.affinity = affinity
+        self._busy_history: deque[np.ndarray] = deque(maxlen=config.history)
+        self._blame_history: deque[np.ndarray] = deque(maxlen=config.history)
+        self._streak = 0
+        self._cooldown = 0
+        self.migrations: list[MigrationDecision] = []
+        self.triggers = 0
+        self.candidates_scored = 0
+
+    @property
+    def retired(self) -> bool:
+        """True once the migration budget is spent.
+
+        Callers on a latency-sensitive path (the barrier controller) can
+        skip assembling per-window counter sums entirely — a retired
+        re-balancer can never decide again.
+        """
+        return len(self.migrations) >= self.config.max_migrations
+
+    # ------------------------------------------------------------------
+    # Per-window ingestion
+    # ------------------------------------------------------------------
+    def observe_window(
+        self,
+        window_index: int,
+        start: float,
+        end: float,
+        events_per_lp: Sequence[int],
+        remote_per_lp: Sequence[int],
+        measured_shard_busy: Sequence[float] | None = None,
+    ) -> MigrationDecision | None:
+        """Ingest one merged window; maybe decide a migration.
+
+        ``remote_per_lp`` must count cross-*shard* sends under the
+        placement that executed the window (the engines' per-window
+        ``xshard_this_window`` column), not all cross-LP sends — the
+        premium prices mail serialization, and mail between shard-mates
+        never touches a pipe. Feeding the placement-independent cross-LP
+        count instead makes every post-migration window look as
+        expensive as before the move and the trigger oscillates.
+
+        ``measured_shard_busy`` (per-shard wall-clock seconds, workers'
+        execute spans) feeds the trigger when the config's source is
+        ``'measured'``; candidate *scoring* always uses the modeled
+        per-LP history, because measured data has shard granularity
+        only. The modeled busy time applies the fault schedule's
+        slowdown multipliers so modeled blame matches what the injector
+        does to the cost model.
+        """
+        cfg = self.config
+        if len(self.migrations) >= cfg.max_migrations:
+            # Retired: the migration budget is spent, so no future window
+            # can produce a decision. Skip the per-window bookkeeping —
+            # the controller calls this on the barrier critical path
+            # (workers sit idle until mail is routed), so dead trigger
+            # arithmetic is pure added wall time.
+            return None
+        events = np.asarray(events_per_lp, dtype=np.float64)
+        remote = np.asarray(remote_per_lp, dtype=np.float64)
+        if events.shape[0] != self.num_lps or remote.shape[0] != self.num_lps:
+            raise ValueError("window counters must have num_lps entries")
+        busy = events * cfg.event_cost_s + remote * cfg.remote_event_cost_s
+        if self.spans:
+            busy *= span_multipliers(self.spans, start, end, self.num_lps)
+        self._busy_history.append(busy)
+
+        if cfg.source == "measured" and measured_shard_busy is not None:
+            shard_busy = np.asarray(measured_shard_busy, dtype=np.float64)
+            if shard_busy.shape[0] != self.num_shards:
+                raise ValueError("measured busy must have num_shards entries")
+        else:
+            shard_busy = self._shard_busy(busy)
+        # Straggler-takes-all at shard granularity: the whole window's
+        # wait is blamed on the slowest shard (obs.blame semantics).
+        blame = np.zeros(self.num_shards, dtype=np.float64)
+        if self.num_shards > 0:
+            wait = float((shard_busy.max() - shard_busy).sum())
+            blame[int(np.argmax(shard_busy))] = wait
+        self._blame_history.append(blame)
+
+        if len(self._busy_history) < cfg.history:
+            # Warm-up: no triggering until a full trailing history
+            # exists. The first windows of a run are injection ramp-up,
+            # and a migration decided on one window of noise tends to be
+            # one the scorer immediately wants to reverse.
+            return None
+        if self._cooldown > 0:
+            self._cooldown -= 1
+            self._streak = 0
+            return None
+        concentration, blamed = self._concentration()
+        if concentration >= cfg.threshold and blamed >= 0:
+            self._streak += 1
+        else:
+            self._streak = 0
+            return None
+        if self._streak < cfg.patience:
+            return None
+        self.triggers += 1
+        decision = self._decide(window_index, blamed, concentration)
+        if decision is not None:
+            self.shard_of[decision.lp] = decision.dst_shard
+            self.migrations.append(decision)
+            self._cooldown = cfg.cooldown
+            self._streak = 0
+            # The trailing history describes the placement that just
+            # died: remote-event weights recorded before the move would
+            # mis-blame the new placement for windows to come. Flush it;
+            # the warm-up gate then forces a full post-move refill
+            # before the next decision can arm.
+            self._busy_history.clear()
+            self._blame_history.clear()
+        return decision
+
+    # ------------------------------------------------------------------
+    # Trigger arithmetic
+    # ------------------------------------------------------------------
+    def _concentration(self) -> tuple[float, int]:
+        """Trailing blame concentration and the blamed shard (or -1).
+
+        Shares go through :func:`repro.obs.blame.blame_shares`, so an
+        all-idle or single-LP-shard history (zero total wait) yields
+        exactly zero concentration and no blamed shard — the trigger
+        can never divide by zero.
+        """
+        from ..obs.blame import blame_shares
+
+        if not self._blame_history:
+            return 0.0, -1
+        totals = np.sum(self._blame_history, axis=0)
+        shares = blame_shares(totals)
+        if not shares.any():
+            return 0.0, -1
+        blamed = int(np.argmax(shares))
+        return float(shares[blamed]), blamed
+
+    def _shard_busy(self, busy: np.ndarray) -> np.ndarray:
+        shard_busy = np.zeros(self.num_shards, dtype=np.float64)
+        np.add.at(shard_busy, self.shard_of, busy)
+        return shard_busy
+
+    # ------------------------------------------------------------------
+    # Candidate generation + what-if scoring
+    # ------------------------------------------------------------------
+    def _connectivity_gain(self, lp: int, dst: int) -> float:
+        """``partition.refine``'s move gain lifted to LP granularity.
+
+        With an affinity matrix: (links to the destination shard) minus
+        (links kept on the home shard) — positive moves pull chatty LPs
+        together, exactly the FM gain ``kway_refine`` ranks by. Without
+        topology information every move ties at zero.
+        """
+        if self.affinity is None:
+            return 0.0
+        row = self.affinity[lp]
+        internal = float(row[self.shard_of == self.shard_of[lp]].sum())
+        toward = float(row[self.shard_of == dst].sum())
+        return toward - internal
+
+    def _decide(
+        self, window_index: int, blamed: int, concentration: float
+    ) -> MigrationDecision | None:
+        # Deferred import: obs.whatif pulls in core.mapping, which
+        # imports back into the partition package at module load.
+        from ..obs.whatif import score_lp_placements
+
+        cfg = self.config
+        on_blamed = [
+            int(lp)
+            for lp in np.flatnonzero(self.shard_of == blamed)
+            if lp != 0
+        ]
+        # A shard must keep at least one LP; moving its only LP would
+        # just relocate the hotspot anyway.
+        if len(on_blamed) == 0 or int((self.shard_of == blamed).sum()) <= 1:
+            return None
+        moves = [
+            (lp, dst)
+            for lp in on_blamed
+            for dst in range(self.num_shards)
+            if dst != blamed
+        ]
+        if not moves:
+            return None
+        history = np.stack(self._busy_history)
+        layouts = [self.shard_of]
+        for lp, dst in moves:
+            layout = self.shard_of.copy()
+            layout[lp] = dst
+            layouts.append(layout)
+        scores = score_lp_placements(
+            history, layouts, self.num_shards, cfg.sync_cost_s
+        )
+        self.candidates_scored += len(moves)
+        current = scores[0]
+        ranked = sorted(
+            (
+                (scores[i + 1], -self._connectivity_gain(lp, dst), lp, dst)
+                for i, (lp, dst) in enumerate(moves)
+            ),
+        )
+        best_score, _, lp, dst = ranked[0]
+        gain = current - best_score
+        if gain <= 0.0 or gain < cfg.min_gain_fraction * current:
+            return None
+        return MigrationDecision(
+            window_index=window_index,
+            lp=int(lp),
+            src_shard=blamed,
+            dst_shard=int(dst),
+            concentration=concentration,
+            predicted_gain_s=float(gain),
+        )

@@ -40,6 +40,8 @@ __all__ = [
     "decode_mail_batch",
     "encode_snapshot",
     "decode_snapshot",
+    "encode_migration",
+    "decode_migration",
     "PayloadFormatError",
 ]
 
@@ -319,3 +321,27 @@ def encode_snapshot(snapshot: Any) -> bytes:
 def decode_snapshot(data: bytes) -> Any:
     """Inverse of :func:`encode_snapshot`."""
     return decode_payload(data)
+
+
+def encode_migration(payload: dict) -> bytes:
+    """Serialize one LP's migration payload for the control plane.
+
+    The payload is ``{"lp": int, "events": [...], "state": Any}`` —
+    the LP's still-pending queue events (mail-item tuples carrying their
+    original ``(epoch, lane, counter)`` keys and handler wire names) plus
+    whatever opaque per-LP dynamics the scenario's ``capture_lp`` hook
+    returned. Like obs snapshots, migrations ride the worker pipes
+    (control plane), never barrier mail — a non-rebalanced run ships
+    zero migration bytes.
+    """
+    if not isinstance(payload, dict) or "lp" not in payload:
+        raise PayloadFormatError("migration payload must be a dict with 'lp'")
+    return encode_payload(payload)
+
+
+def decode_migration(data: bytes) -> dict:
+    """Inverse of :func:`encode_migration`."""
+    payload = decode_payload(data)
+    if not isinstance(payload, dict) or "lp" not in payload:
+        raise PayloadFormatError("migration payload must decode to a dict with 'lp'")
+    return payload

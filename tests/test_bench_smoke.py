@@ -32,6 +32,11 @@ REQUIRED_METRICS = {
     "parallel.obs_wall_s",
     "parallel.obs_mail_delta_bytes",
     "parallel.obs_snapshot_shards",
+    "parallel.rebalance.static_wall_s",
+    "parallel.rebalance.wall_s",
+    "parallel.rebalance.static_mail_bytes",
+    "parallel.rebalance.mail_bytes",
+    "parallel.rebalance.migrations",
 }
 
 #: Metrics whose healthy value is exactly zero: enabling the obs layer
@@ -82,6 +87,7 @@ class TestQuickBenchCli:
             "mp_measured",
             "mp_predicted",
             "obs_overhead",
+            "rebalance_gain",
         }
         assert doc["comparison"] is None  # first point in an empty dir
         out = capsys.readouterr().out

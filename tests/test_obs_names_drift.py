@@ -42,6 +42,7 @@ def registered_names(monkeypatch) -> set[str]:
     from repro.faults import FaultInjector, FaultSchedule
     from repro.netsim.simulator import NetworkSimulator
     from repro.obs.distributed import CalibrationRecorder
+    from repro.partition.rebalance import RebalanceConfig
     from repro.routing.bgp.engine import BgpEngine, BgpSpeaker
 
     net = Network()
@@ -50,11 +51,15 @@ def registered_names(monkeypatch) -> set[str]:
     net.add_link(r0, h0, 1e9, 1e-3)
     engine = ConservativeEngine(np.zeros(net.num_nodes, dtype=np.int64), 1, 1.0)
     # Constructing the controller registers the controller-side
-    # parallel instruments; the worker-side parallel.* set lives in
-    # ShardEngine (per-worker recording with shard labels), and the
-    # calibration.* set in the CalibrationRecorder. No worker processes
-    # start until run_scenario().
-    ParallelConservativeEngine(np.zeros(net.num_nodes, dtype=np.int64), 1, 1.0)
+    # parallel instruments (with a rebalance config, the rebalance.*
+    # set too); the worker-side parallel.* set lives in ShardEngine
+    # (per-worker recording with shard labels), and the calibration.*
+    # set in the CalibrationRecorder. No worker processes start until
+    # run_scenario().
+    ParallelConservativeEngine(
+        np.zeros(net.num_nodes, dtype=np.int64), 1, 1.0,
+        rebalance=RebalanceConfig(),
+    )
     ShardEngine(np.zeros(net.num_nodes, dtype=np.int64), 1, 1.0, owned_lps=[0])
     CalibrationRecorder()
     fib = ForwardingPlane(net)

@@ -292,6 +292,60 @@ class TestHistogramQuantile:
         qs = [h.quantile(q) for q in (0.1, 0.25, 0.5, 0.75, 0.9, 0.99)]
         assert qs == sorted(qs)
 
+    def test_rank_on_cumulative_boundary_does_not_skip_empty_buckets(self):
+        # 7 obs in (0, 1], none in (1, 2], 93 in (2, 3]. quantile(0.07)
+        # asks for rank 7 of 100 — exactly the last observation of the
+        # first bucket, so the answer is its bound, 1.0. In floats
+        # 0.07 * 100 == 7.000000000000001; without the boundary snap the
+        # overshoot skips the completing bucket and lands at fraction
+        # ~0 of the (2, 3] bucket, jumping the estimate to 2.0.
+        h = self._hist((1.0, 2.0, 3.0), [0.5] * 7 + [2.5] * 93)
+        assert h.quantile(0.07) == pytest.approx(1.0)
+
+    def test_non_positive_first_bound_is_its_own_lower_edge(self):
+        # A first bucket bounded at <= 0 has no usable width: every rank
+        # inside it resolves to the bound itself, never below it.
+        h = self._hist((-5.0, 10.0), (-7.0, -6.0))
+        assert h.quantile(0.25) == pytest.approx(-5.0)
+        assert h.quantile(1.0) == pytest.approx(-5.0)
+
+    def test_quantile_matches_sorted_sample_reference(self):
+        hypothesis = pytest.importorskip("hypothesis")
+        st = pytest.importorskip("hypothesis.strategies")
+
+        bounds = (0.5, 1.0, 2.0, 4.0, 8.0)
+
+        def bucket_range(value):
+            """Bucket edges of ``value`` under the quantile convention."""
+            for i, b in enumerate(bounds):
+                if value <= b:
+                    lo = bounds[i - 1] if i else min(0.0, b)
+                    return lo, b
+            return bounds[-1], bounds[-1]  # overflow clamps
+
+        @hypothesis.given(
+            sample=st.lists(
+                st.floats(0.001, 16.0, allow_nan=False), min_size=1, max_size=60
+            ),
+            qs=st.lists(st.floats(0.0, 1.0), min_size=1, max_size=8),
+        )
+        def check(sample, qs):
+            h = self._hist(bounds, sample)
+            ordered = sorted(sample)
+            estimates = [(q, h.quantile(q)) for q in sorted(qs)]
+            for q, est in estimates:
+                # The estimate must land within the bucket bounds of the
+                # true sample quantile: rank ceil(q*n) in 1-indexed
+                # order statistics (rank 0 -> the first observation's
+                # bucket, lower edge side).
+                rank = max(1, int(np.ceil(q * len(ordered) - 1e-9)))
+                lo, hi = bucket_range(ordered[rank - 1])
+                assert lo - 1e-9 <= est <= hi + 1e-9
+            values = [est for _, est in estimates]
+            assert all(a <= b + 1e-12 for a, b in zip(values, values[1:]))
+
+        check()
+
 
 class TestProfileBridge:
     def _simulated_registry(self, num_nodes=4, num_links=3) -> Registry:

@@ -221,6 +221,43 @@ class TestBlame:
         assert "blame sums to it exactly" in table
         assert f"{report.total_wait_s * 1e3:.3f}" in table
 
+    def test_blame_shares_of_zero_wait_are_exactly_zero(self):
+        # A single-LP shard or an all-idle run accumulates zero barrier
+        # wait; shares must be exactly 0.0, not NaN from a 0/0.
+        with np.errstate(divide="raise", invalid="raise"):
+            shares = blame.blame_shares(np.zeros(3))
+            assert shares.tolist() == [0.0, 0.0, 0.0]
+            shares = blame.blame_shares(np.array([1.0, 2.0]), total_wait_s=0.0)
+            assert shares.tolist() == [0.0, 0.0]
+
+    def test_zero_wait_trace_formats_without_dividing(self):
+        # One LP per window: the straggler waits on nobody, so every
+        # window contributes zero wait. The table must render (no NaN,
+        # shares all 0.0%) and the report's invariants must still hold.
+        tr = TraceBuffer(enabled=True)
+        tr.set_costs(1e-6, 1e-6)
+        tr.window(0, 0.0, 1.0, np.array([10]), np.array([0]))
+        tr.window(1, 1.0, 2.0, np.array([20]), np.array([0]))
+        with np.errstate(divide="raise", invalid="raise"):
+            report = blame.analyze(tr)
+            table = blame.format_blame_table(report)
+        assert report.total_wait_s == 0.0
+        assert report.shares.tolist() == [0.0]
+        assert "nan" not in table.lower()
+        assert "0.0%" in table
+
+    def test_measured_shares_zero_when_no_shard_waited(self):
+        # Single-shard measured runs record zero barrier wait everywhere.
+        tr = TraceBuffer(enabled=True)
+        tr.measured_window(0, 0, 1.0, 0.0, 0.1, 0.05, 100, 0)
+        tr.measured_window(1, 0, 2.0, 0.0, 0.2, 0.10, 200, 0)
+        with np.errstate(divide="raise", invalid="raise"):
+            report = blame.analyze_measured(tr, num_shards=1)
+            table = blame.format_measured_table(report)
+        assert report.shares.tolist() == [0.0]
+        assert report.num_windows == 2
+        assert "nan" not in table.lower()
+
 
 # ---------------------------------------------------------------------------
 # Chrome trace-event export
