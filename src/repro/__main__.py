@@ -11,6 +11,7 @@ Usage::
     python -m repro lint src/repro [--format json] [--strict]
     python -m repro bench [--quick] [--out-dir .] [--threshold 0.8] [--seed 0]
     python -m repro chaos multi-as scalapack --scenario chaos-mixed [--seed 0]
+    python -m repro chaos single-as scalapack --kill-workers 2 --procs 2
 
 ``figures`` runs all four (network, application) experiments and prints
 the paper's Figures 6-13 tables; ``sweep`` prints the Tmll sweep behind
@@ -112,6 +113,20 @@ def _cmd_experiment_mp(args, scale) -> int:
     cluster = cluster_for_scale(scale)
     pipeline = MappingPipeline(net, scale.num_engines, cluster, args.seed)
     mapping = pipeline.run_all([Approach.TOP])[Approach.TOP]
+    recovery = None
+    if getattr(args, "checkpoint_every", None):
+        if getattr(args, "rebalance", False):
+            print("error: --checkpoint-every cannot be combined with "
+                  "--rebalance (a checkpoint cut racing a migration plan "
+                  "has no well-defined placement)", file=sys.stderr)
+            return 2
+        from .engine.recovery import RecoveryConfig
+
+        recovery = RecoveryConfig(
+            checkpoint_every_n_windows=args.checkpoint_every,
+            max_respawns=args.max_respawns,
+            on_worker_loss=args.on_worker_loss,
+        )
     rebalance = None
     if getattr(args, "rebalance", False):
         from .partition.rebalance import RebalanceConfig
@@ -132,6 +147,7 @@ def _cmd_experiment_mp(args, scale) -> int:
             scale=scale, seed=args.seed, procs=args.procs,
             incremental_obs=args.incremental_obs,
             rebalance=rebalance,
+            recovery=recovery,
         )
 
     if args.obs_out:
@@ -170,6 +186,16 @@ def _cmd_experiment_mp(args, scale) -> int:
           f"(sync fraction {s['predicted_sync_fraction']:.2f})")
     print(f"  cross-shard mail   {s['mail_bytes']:>12,} bytes over "
           f"{s['num_windows']} windows")
+    if recovery is not None and run.result.recovery is not None:
+        r = run.result.recovery
+        print(f"  checkpoints        {r['checkpoints_taken']:>12} "
+              f"({r['checkpoint_bytes']:,} control-plane bytes, "
+              f"cadence {recovery.checkpoint_every_n_windows} windows, "
+              f"committed window {r['committed_window']})")
+        if r["detections"]:
+            print(f"  recovery           {r['detections']:>12} detection(s), "
+                  f"{r['respawns']} respawn(s), {r['windows_replayed']} "
+                  f"window(s) replayed, {r['adoptions']} adoption(s)")
     if rebalance is not None:
         moves = run.result.migrations
         print(f"  rebalance          {len(moves):>12} migration(s) "
@@ -469,6 +495,22 @@ def cmd_chaos(args) -> int:
     from .experiments import format_chaos_report, run_chaos_experiment
     from .faults import BUILTIN_SCENARIOS, FaultScenario
 
+    if args.kill_workers is not None:
+        from .experiments.chaos import format_process_chaos_report, run_process_chaos
+
+        result = run_process_chaos(
+            args.network,
+            scale=_resolve_scale(args),
+            seed=args.seed,
+            kills=args.kill_workers,
+            procs=args.procs,
+            on_worker_loss=args.on_worker_loss,
+            checkpoint_every=args.checkpoint_every,
+            max_respawns=args.max_respawns,
+            duration_s=args.duration,
+        )
+        print(format_process_chaos_report(result))
+        return 0 if result.recovered else 1
     if args.spec is not None:
         with open(args.spec, encoding="utf-8") as fh:
             scenario = FaultScenario.from_dict(json.load(fh))
@@ -553,6 +595,22 @@ def main(argv: list[str] | None = None) -> int:
                        help="blame source: 'modeled' (window counters x cost "
                        "model; deterministic) or 'measured' (workers' measured "
                        "window walls)")
+    p_exp.add_argument("--checkpoint-every", dest="checkpoint_every",
+                       type=int, default=None, metavar="N",
+                       help="with --backend mp: capture a barrier-aligned "
+                       "shard checkpoint every N windows and recover crashed "
+                       "workers from it (delivery log stays byte-identical; "
+                       "mutually exclusive with --rebalance)")
+    p_exp.add_argument("--max-respawns", dest="max_respawns", type=int,
+                       default=2, metavar="K",
+                       help="respawn a crashed worker at most K times before "
+                       "escalating per --on-worker-loss (default: 2)")
+    p_exp.add_argument("--on-worker-loss", dest="on_worker_loss",
+                       choices=["respawn", "adopt", "fail"], default="respawn",
+                       help="after the respawn budget: 'respawn' raises, "
+                       "'adopt' hands the dead shard's LPs to a survivor "
+                       "(degraded but byte-identical), 'fail' raises on the "
+                       "first loss (default: respawn)")
     _add_scale(p_exp)
     p_exp.set_defaults(fn=cmd_experiment)
 
@@ -648,6 +706,29 @@ def main(argv: list[str] | None = None) -> int:
                          help="simulated seconds (default: the scale's duration)")
     p_chaos.add_argument("--obs-out", dest="obs_out", metavar="PATH", default=None,
                          help="write the run's observability snapshot (JSON)")
+    p_chaos.add_argument("--kill-workers", dest="kill_workers", type=int,
+                         default=None, metavar="N",
+                         help="process-level chaos instead of network faults: "
+                         "SIGKILL N workers of a multi-process run at seeded "
+                         "random windows and verify the recovered delivery "
+                         "log byte-matches an uninterrupted reference (the "
+                         "app argument is ignored: only the packet-mediated "
+                         "UDP workload shards)")
+    p_chaos.add_argument("--procs", type=int, default=2,
+                         help="worker processes for --kill-workers (default: 2)")
+    p_chaos.add_argument("--checkpoint-every", dest="checkpoint_every",
+                         type=int, default=8, metavar="N",
+                         help="checkpoint cadence for --kill-workers "
+                         "(default: 8 windows)")
+    p_chaos.add_argument("--max-respawns", dest="max_respawns", type=int,
+                         default=2, metavar="K",
+                         help="respawn budget per shard for --kill-workers "
+                         "(default: 2)")
+    p_chaos.add_argument("--on-worker-loss", dest="on_worker_loss",
+                         choices=["respawn", "adopt", "fail"],
+                         default="respawn",
+                         help="escalation after the respawn budget for "
+                         "--kill-workers (default: respawn)")
     _add_scale(p_chaos)
     p_chaos.set_defaults(fn=cmd_chaos)
 

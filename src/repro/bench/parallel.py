@@ -22,6 +22,7 @@ import statistics
 import numpy as np
 
 from ..engine.parallel import ParallelConservativeEngine
+from ..engine.recovery import RecoveryConfig
 from ..experiments.parallel import calibrated_cluster, predict_from_windows
 from ..experiments.shard import run_reference, udp_spec
 from ..partition.rebalance import RebalanceConfig
@@ -101,6 +102,18 @@ def bench_parallel(
         reg.clear()
         tracer.reset()
 
+    # Fault-tolerance overhead: the same workload once more with barrier
+    # checkpointing on (no faults injected), so the trajectory tracks
+    # what the capture/encode/commit cycle costs in wall-clock and in
+    # control-plane checkpoint bytes — and holds the zero-delta mail
+    # invariant (checkpoints ride the control plane, never barrier
+    # mail, so the mail-byte delta must stay exactly 0).
+    rec_engine = ParallelConservativeEngine(
+        assignment, num_lps, latency_s, procs=procs, start_method="fork",
+        recovery=RecoveryConfig(checkpoint_every_n_windows=8),
+    )
+    rec_result = rec_engine.run_scenario(spec, until=duration_s)
+
     # Online re-balancing: a deliberately bad static split runs with and
     # without the blame-driven re-balancer. The reversed assignment puts
     # the hot region (nodes 0-7, all on LP 3) and the elephant flow's
@@ -174,6 +187,16 @@ def bench_parallel(
         "parallel.obs_snapshot_shards": float(
             len(obs_result.registry_snapshots)
         ),
+        "parallel.recovery.wall_s": rec_result.wall_s,
+        "parallel.recovery.mail_delta_bytes": float(
+            rec_result.total_mail_bytes - result.total_mail_bytes
+        ),
+        "parallel.recovery.checkpoints": float(
+            rec_result.recovery["checkpoints_taken"]
+        ),
+        "parallel.recovery.checkpoint_bytes": float(
+            rec_result.recovery["checkpoint_bytes"]
+        ),
         "parallel.rebalance.static_wall_s": statistics.median(static_walls),
         "parallel.rebalance.wall_s": statistics.median(rb_walls),
         "parallel.rebalance.static_mail_bytes": float(static_mail),
@@ -193,6 +216,12 @@ def bench_parallel(
         # means the obs layer cost that fraction of throughput.
         "obs_overhead": (
             result.wall_s / obs_result.wall_s if obs_result.wall_s else 0.0
+        ),
+        # checkpointing-off wall over checkpointing-on wall: 1.0 means
+        # the barrier checkpoint cycle is free, lower means it cost that
+        # fraction of throughput.
+        "recovery_overhead": (
+            result.wall_s / rec_result.wall_s if rec_result.wall_s else 0.0
         ),
         # bad static split over the re-balanced run of the same
         # workload: > 1.0 means the mid-run migration paid for itself.

@@ -54,6 +54,9 @@ from __future__ import annotations
 
 import importlib
 import multiprocessing as mp
+import os
+import signal
+import time
 import traceback
 from dataclasses import dataclass, field
 from typing import Any, Callable, Sequence
@@ -73,6 +76,7 @@ from ..obs.trace import get_tracer
 from .calqueue import make_queue
 from .conservative import LookaheadViolation
 from .events import Event
+from .recovery import CheckpointStore, RecoveryExhaustedError, checkpoint_digest
 from .windows import WINDOW_EPSILON_FRACTION, WindowStats, iter_windows
 
 __all__ = [
@@ -81,6 +85,7 @@ __all__ = [
     "ParallelWorkerError",
     "MailOrderError",
     "UnregisteredHandlerError",
+    "RecoveryExhaustedError",
     "ScenarioSpec",
     "ShardScenario",
     "ShardEngine",
@@ -160,12 +165,22 @@ class ShardScenario:
     control-replicated state), and ``restore_lp(lp, blob)`` applies it
     on the adopting shard. Scenarios without the hooks simply cannot be
     rebalanced mid-run.
+
+    ``capture_shard`` / ``restore_shard`` are the optional checkpoint
+    hooks fault-tolerant recovery uses: ``capture_shard()`` returns a
+    picklable blob of the *whole* shard's scenario state at a barrier,
+    and ``restore_shard(blob)`` applies it onto a freshly rebuilt shard.
+    Scenarios without them still checkpoint engine state (pending
+    events, clocks, tiebreak counters) but restore with pristine
+    scenario dynamics.
     """
 
     handlers: dict[str, Callable[..., Any]]
     collect: Callable[[], Any] | None = None
     capture_lp: Callable[[int], Any] | None = None
     restore_lp: Callable[[int, Any], None] | None = None
+    capture_shard: Callable[[], Any] | None = None
+    restore_shard: Callable[[Any], None] | None = None
 
 
 def shard_lps(num_lps: int, procs: int) -> list[list[int]]:
@@ -868,6 +883,318 @@ def _build_rebalancer(config, shards, num_lps, spec, until, affinity=None):
     )
 
 
+# ----------------------------------------------------------------------
+# Checkpoint / recovery helpers (fault-tolerant execution)
+# ----------------------------------------------------------------------
+class _AdoptionNeeded(Exception):
+    """Internal: respawns exhausted, degrade by adopting the dead shard."""
+
+    def __init__(self, shard_id: int):
+        super().__init__(f"shard {shard_id} needs adoption")
+        self.shard_id = int(shard_id)
+
+
+def _snapshot_queue_items(queue, fn_to_name: dict[Any, str]) -> list[tuple]:
+    """Non-destructively list one queue's live events by wire name.
+
+    Entries come back in canonical ``(time, key)`` order so the encoded
+    checkpoint (and therefore its digest) is independent of the queue
+    backend's internal layout.
+    """
+    entries = queue.drain_entries()
+    queue.extend_entries(entries)
+    live = [e for e in entries if not e[2].cancelled]
+    live.sort(key=lambda e: (e[0], e[1]))
+    items: list[tuple] = []
+    for _time, _key, ev in live:
+        name = fn_to_name.get(ev.fn)
+        if name is None:
+            raise UnregisteredHandlerError(
+                f"pending event bound to unregistered handler {ev.fn!r}; "
+                "the shard cannot checkpoint"
+            )
+        items.append((int(ev.node), ev.time, tuple(ev.seq), name, ev.args))
+    return items
+
+
+def _capture_engine_state(
+    engine: ShardEngine, fn_to_name: dict[Any, str]
+) -> dict[str, Any]:
+    """Snapshot the shard engine's dynamic state at an empty barrier."""
+    if engine._outbound or any(engine._local_mail):
+        raise ParallelBackendError(
+            "checkpoint capture requires an empty barrier "
+            "(undelivered mail is pending)"
+        )
+    queues = {
+        int(lp): _snapshot_queue_items(engine._queues[i], fn_to_name)
+        for i, lp in enumerate(engine.owned_lps)
+    }
+    control = (
+        _snapshot_queue_items(engine._control_queue, fn_to_name)
+        if engine._control_queue is not None
+        else None
+    )
+    return {
+        "now": float(engine.now),
+        "kcount": int(engine._kcount),
+        "events_executed": int(engine.events_executed),
+        "lookahead_violations": int(engine.lookahead_violations),
+        "owned_lps": [int(lp) for lp in engine.owned_lps],
+        "queues": queues,
+        "control": control,
+    }
+
+
+def _restore_engine_state(
+    engine: ShardEngine,
+    state: dict[str, Any],
+    name_to_fn: dict[str, Callable[..., Any]],
+) -> None:
+    """Overwrite a freshly built shard engine with checkpointed state."""
+    if [int(lp) for lp in engine.owned_lps] != list(state["owned_lps"]):
+        raise ParallelBackendError(
+            "checkpoint owned-LP set does not match the rebuilt engine"
+        )
+
+    def _reload(queue, items):
+        queue.drain_entries()
+        for node, ev_time, key, handler, args in items:
+            fn = name_to_fn.get(handler)
+            if fn is None:
+                raise UnregisteredHandlerError(
+                    f"checkpoint references unknown handler {handler!r}; "
+                    "the rebuilt scenario disagrees with the captured one"
+                )
+            queue.push_event(Event(ev_time, tuple(key), fn, tuple(args), node))
+
+    for i, lp in enumerate(engine.owned_lps):
+        _reload(engine._queues[i], state["queues"][int(lp)])
+    if engine._control_queue is not None:
+        _reload(engine._control_queue, state["control"] or [])
+    engine.now = float(state["now"])
+    engine._kcount = int(state["kcount"])
+    engine.events_executed = int(state["events_executed"])
+    engine.lookahead_violations = int(state["lookahead_violations"])
+
+
+def _encode_worker_checkpoint(
+    engine: ShardEngine,
+    scenario: ShardScenario,
+    fn_to_name: dict[Any, str],
+    window_index: int,
+    mail_bytes: int,
+) -> bytes:
+    """Pack one shard's full barrier state into a checkpoint blob.
+
+    The whole payload goes through a single pickle so aliasing among
+    events and packets survives the round trip exactly.
+    """
+    from .. import serialization as ser  # deferred: serialization -> core -> engine
+
+    payload = {
+        "shard_id": int(engine.shard_id),
+        "window_index": int(window_index),
+        "owned_lps": [int(lp) for lp in engine.owned_lps],
+        "engine": _capture_engine_state(engine, fn_to_name),
+        "shard_state": (
+            scenario.capture_shard() if scenario.capture_shard is not None else None
+        ),
+        "acc": {"mail_bytes": int(mail_bytes)},
+    }
+    return ser.encode_checkpoint(payload)
+
+
+def _restore_shard_from_blob(
+    blob: bytes,
+    assignment,
+    num_lps: int,
+    lookahead: float,
+    spec: ScenarioSpec,
+    strict: bool,
+    queue: str,
+    procs: int,
+):
+    """Rebuild a shard from a checkpoint: fresh setup replay + restore.
+
+    Returns ``(engine, scenario, fn_to_name, name_to_fn, payload)``.
+    """
+    from .. import serialization as ser  # deferred: serialization -> core -> engine
+
+    payload = ser.decode_checkpoint(blob)
+    engine = ShardEngine(
+        assignment,
+        num_lps,
+        lookahead,
+        payload["owned_lps"],
+        strict=strict,
+        queue=queue,
+        shard_id=int(payload["shard_id"]),
+        num_shards=procs,
+    )
+    scenario, fn_to_name, name_to_fn = _build_shard(engine, spec)
+    _restore_engine_state(engine, payload["engine"], name_to_fn)
+    if scenario.restore_shard is not None and payload.get("shard_state") is not None:
+        scenario.restore_shard(payload["shard_state"])
+    return engine, scenario, fn_to_name, name_to_fn, payload
+
+
+def _adoption_installs(dead_blob: bytes) -> dict[int, bytes]:
+    """Turn a dead shard's checkpoint into per-LP migration payloads.
+
+    Reuses the re-partitioning wire format (`encode_migration`), so the
+    adopting survivor installs the orphaned LPs with the exact same code
+    path a planned migration uses. The dead shard's replica control
+    queue is *not* shipped — every survivor replays the identical
+    control schedule already.
+    """
+    from .. import serialization as ser  # deferred: serialization -> core -> engine
+
+    payload = ser.decode_checkpoint(dead_blob)
+    engine_state = payload["engine"]
+    shard_state = payload.get("shard_state") or {}
+    lp_states = shard_state.get("lp", {})
+    installs: dict[int, bytes] = {}
+    for lp in engine_state["owned_lps"]:
+        lp = int(lp)
+        items = [
+            (lp, node, ev_time, key, handler, args)
+            for node, ev_time, key, handler, args in engine_state["queues"][lp]
+        ]
+        installs[lp] = ser.encode_migration(
+            {"lp": lp, "events": items, "state": lp_states.get(lp)}
+        )
+    return installs
+
+
+def _synthesize_dead_result(blob: bytes | None) -> dict[str, Any]:
+    """Stand-in `done` result for an adopted (dead) shard.
+
+    Its partial sums come from the last committed checkpoint; the
+    adopter re-accumulates everything after the commit point, so the
+    merged totals still match an uninterrupted run. With no commit yet
+    the dead shard contributes nothing (the survivors recompute the
+    whole run from window 0).
+    """
+    from .. import serialization as ser  # deferred: serialization -> core -> engine
+
+    if blob is None:
+        return {
+            "collect": None,
+            "events_executed": 0,
+            "lookahead_violations": 0,
+            "barrier_wait_s": 0.0,
+            "mail_bytes": 0,
+        }
+    payload = ser.decode_checkpoint(blob)
+    engine_state = payload["engine"]
+    shard_state = payload.get("shard_state") or {}
+    return {
+        "collect": shard_state.get("collect"),
+        "events_executed": int(engine_state["events_executed"]),
+        "lookahead_violations": int(engine_state["lookahead_violations"]),
+        "barrier_wait_s": 0.0,
+        "mail_bytes": int(payload["acc"]["mail_bytes"]),
+    }
+
+
+def _register_recovery_instruments(reg) -> None:
+    """Register the ``recovery.*`` instruments up front (see rebalance)."""
+    reg.counter(obs_names.RECOVERY_CHECKPOINTS)
+    reg.counter(obs_names.RECOVERY_CHECKPOINT_BYTES)
+    reg.counter(obs_names.RECOVERY_DETECTIONS)
+    reg.counter(obs_names.RECOVERY_RESPAWNS)
+    reg.counter(obs_names.RECOVERY_REPLAYED)
+    reg.counter(obs_names.RECOVERY_ADOPTIONS)
+
+
+def _record_recovery_obs(kind: str, window_index: int, shard_id: int, **detail) -> None:
+    """Controller-side recovery instruments + trace record (obs-gated)."""
+    reg = get_registry()
+    if reg.enabled:
+        if kind == "checkpoint":
+            reg.counter(obs_names.RECOVERY_CHECKPOINTS).inc()
+            reg.counter(obs_names.RECOVERY_CHECKPOINT_BYTES).inc(
+                float(detail.get("nbytes", 0))
+            )
+        elif kind == "detect":
+            reg.counter(obs_names.RECOVERY_DETECTIONS).inc()
+        elif kind == "respawn":
+            reg.counter(obs_names.RECOVERY_RESPAWNS).inc()
+            reg.counter(obs_names.RECOVERY_REPLAYED).inc(
+                float(detail.get("replayed", 0))
+            )
+        elif kind == "adopt":
+            reg.counter(obs_names.RECOVERY_ADOPTIONS).inc()
+    get_tracer().recovery_step(window_index, shard_id, kind, **detail)
+
+
+def _teardown_worker(conn, proc, grace_s: float = 5.0) -> None:
+    """Always release both pipe ends and escalate join→terminate→kill."""
+    try:
+        conn.close()
+    except OSError:  # pragma: no cover - already closed
+        pass
+    if proc is None:
+        return
+    proc.join(timeout=grace_s)
+    if proc.is_alive():
+        proc.terminate()
+        proc.join(timeout=grace_s)
+    if proc.is_alive():  # pragma: no cover - terminate-resistant worker
+        proc.kill()
+        proc.join(timeout=grace_s)
+
+
+def _crash_error(shard_id: int, proc, what: str, hung: bool = False):
+    """Build a typed `WorkerCrashError` carrying shard/exit diagnostics."""
+    exitcode = getattr(proc, "exitcode", None)
+    if exitcode is None and not hung and hasattr(proc, "join"):
+        # An EOF can surface before the dead child is reaped, in which
+        # case exitcode still reads None; give the reap a moment.
+        proc.join(0.5)
+        exitcode = getattr(proc, "exitcode", None)
+    if hung:
+        err = WorkerCrashError(
+            f"worker {shard_id} {what} (process still alive: hang suspected)"
+        )
+    else:
+        err = WorkerCrashError(f"worker {shard_id} {what} (exitcode {exitcode})")
+    err.shard_id = shard_id
+    err.exitcode = exitcode
+    err.hung = hung
+    return err
+
+
+def _fire_process_fault(conn, kind) -> None:
+    """Execute one injected process-level fault (worker side)."""
+    from ..faults.plan import ProcessFaultKind  # deferred: faults -> engine
+
+    if kind is ProcessFaultKind.SIGKILL or kind == ProcessFaultKind.SIGKILL.value:
+        os.kill(os.getpid(), signal.SIGKILL)
+    elif kind is ProcessFaultKind.HANG or kind == ProcessFaultKind.HANG.value:
+        while True:  # pragma: no cover - reaped by the controller
+            time.sleep(3600.0)
+    else:  # pipe drop: vanish without a goodbye on the wire
+        try:
+            conn.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+        os._exit(1)
+
+
+def _maybe_fire_fault(conn, faults, window_index: int, incarnation: int,
+                      after_send: bool) -> None:
+    """Fire the planned fault matching this (window, incarnation, phase)."""
+    for pf in faults:
+        if (
+            pf.window == window_index
+            and pf.incarnation == incarnation
+            and bool(pf.after_send) == after_send
+        ):
+            _fire_process_fault(conn, pf.kind)
+
+
 def _worker_main(conn, config_bytes: bytes) -> None:
     """Worker process entry: build, run windows, talk the barrier wire.
 
@@ -899,6 +1226,17 @@ def _worker_main(conn, config_bytes: bytes) -> None:
     measured per-window execute seconds as the *last* element of every
     window message (measured regardless of obs, since the controller's
     blame needs it).
+
+    When the config carries a ``recovery`` stanza the worker sends
+    ``("ckpt", w, digest, blob)`` after the mail round of every cadence
+    window, and understands two extra inbound shapes: a config
+    ``resume`` block (restore from a checkpoint blob, then privately
+    replay controller-retained mail up to the crash frontier) and a
+    ``("rollback", c, blob, installs, shard_of)`` message in place of
+    mail (restore to the committed window ``c`` and rejoin at ``c + 1``
+    — the degraded-adoption path). Checkpoint bytes ride these control
+    messages only, never barrier mail, and with the stanza absent every
+    wire message is byte-identical to a build without recovery.
     """
     from .. import serialization as ser  # deferred: serialization -> core -> engine
 
@@ -907,24 +1245,49 @@ def _worker_main(conn, config_bytes: bytes) -> None:
         obs_cfg = config.get("obs")
         obs_on = configure_worker_observability(obs_cfg)
         shard_id = config["shard_id"]
-        engine = ShardEngine(
-            config["assignment"],
-            config["num_lps"],
-            config["lookahead"],
-            config["owned_lps"],
-            strict=config["strict"],
-            queue=config["queue"],
-            shard_id=shard_id,
-            num_shards=config["procs"],
-        )
-        scenario, fn_to_name, name_to_fn = _build_shard(engine, config["spec"])
-        shard_of = list(config["shard_of"])
+        rec_cfg = config.get("recovery")
+        rec_on = bool(rec_cfg)
+        ckpt_every = int(rec_cfg["checkpoint_every_n_windows"]) if rec_on else 0
+        incarnation = int(config.get("incarnation", 0))
+        my_faults: tuple = ()
+        if rec_on and rec_cfg.get("fault_plan") is not None:
+            my_faults = rec_cfg["fault_plan"].for_shard(shard_id)
         procs = config["procs"]
+        mail_bytes = 0
+        resume = config.get("resume")
+        if resume is not None and resume.get("checkpoint") is not None:
+            engine, scenario, fn_to_name, name_to_fn, ckpt_payload = (
+                _restore_shard_from_blob(
+                    resume["checkpoint"],
+                    config["assignment"],
+                    config["num_lps"],
+                    config["lookahead"],
+                    config["spec"],
+                    config["strict"],
+                    config["queue"],
+                    procs,
+                )
+            )
+            next_w = int(ckpt_payload["window_index"]) + 1
+            mail_bytes = int(ckpt_payload["acc"]["mail_bytes"])
+        else:
+            engine = ShardEngine(
+                config["assignment"],
+                config["num_lps"],
+                config["lookahead"],
+                config["owned_lps"],
+                strict=config["strict"],
+                queue=config["queue"],
+                shard_id=shard_id,
+                num_shards=procs,
+            )
+            scenario, fn_to_name, name_to_fn = _build_shard(engine, config["spec"])
+            next_w = 0
+        shard_of = list(config["shard_of"])
         rb_cfg = config.get("rebalance")
         rb_on = bool(rb_cfg)
         rb_measured = rb_on and rb_cfg.get("source") == "measured"
         barrier_wait_s = 0.0
-        mail_bytes = 0
         obs_bytes = 0
         waiting = Stopwatch()
         label = f"worker-{shard_id}"
@@ -936,7 +1299,27 @@ def _worker_main(conn, config_bytes: bytes) -> None:
         )
         clock = Stopwatch()
         measure_exec = obs_on or rb_measured
-        for w, _start, end in iter_windows(0.0, engine.lookahead, config["until"]):
+        boundaries = list(iter_windows(0.0, engine.lookahead, config["until"]))
+        if resume is not None and resume.get("replay"):
+            # Private replay after a respawn: re-run the crashed windows
+            # from controller-retained mail. Regenerated outbound mail is
+            # counted (the totals must match an uninterrupted run) but
+            # discarded — the live recipients consumed the originals.
+            for rw, inbound in ser.decode_replay_buffer(resume["replay"]):
+                rw = int(rw)
+                _maybe_fire_fault(conn, my_faults, rw, incarnation, False)
+                _rw, _rs, rend = boundaries[rw]
+                engine.run_window(rw, rend)
+                payloads = _encode_outbound(engine, shard_of, fn_to_name, procs)
+                mail_bytes += sum(len(p) for p in payloads)
+                _maybe_fire_fault(conn, my_faults, rw, incarnation, True)
+                _deliver_encoded_mail(engine, inbound, rend, name_to_fn)
+                next_w = rw + 1
+        i = next_w
+        while i < len(boundaries):
+            w, _start, end = boundaries[i]
+            if rec_on:
+                _maybe_fire_fault(conn, my_faults, w, incarnation, False)
             if measure_exec:
                 clock.restart()
             executed = engine.run_window(w, end)
@@ -964,10 +1347,64 @@ def _worker_main(conn, config_bytes: bytes) -> None:
             if rb_measured:
                 message = message + (execute_s,)
             conn.send(message)
+            if rec_on:
+                _maybe_fire_fault(conn, my_faults, w, incarnation, True)
             waiting.restart()
             msg = conn.recv()
             wait_s = waiting.elapsed()
             barrier_wait_s += wait_s
+            if rec_on and msg[0] == "rollback":
+                # ("rollback", c, blob, installs, shard_of): a sibling
+                # died and respawns are exhausted — every survivor
+                # rewinds to the committed checkpoint window c, the
+                # adopter additionally installs the dead shard's LPs.
+                blob = msg[2]
+                if blob is not None:
+                    engine, scenario, fn_to_name, name_to_fn, ckpt_payload = (
+                        _restore_shard_from_blob(
+                            blob,
+                            config["assignment"],
+                            config["num_lps"],
+                            config["lookahead"],
+                            config["spec"],
+                            config["strict"],
+                            config["queue"],
+                            procs,
+                        )
+                    )
+                    mail_bytes = int(ckpt_payload["acc"]["mail_bytes"])
+                    i = int(ckpt_payload["window_index"]) + 1
+                else:
+                    # Nothing committed yet: restart from window 0 with
+                    # the post-adoption placement (the adopter owns the
+                    # dead shard's LPs from setup — there is no state
+                    # to install).
+                    owned = [
+                        lp
+                        for lp in range(config["num_lps"])
+                        if int(msg[4][lp]) == shard_id
+                    ]
+                    engine = ShardEngine(
+                        config["assignment"],
+                        config["num_lps"],
+                        config["lookahead"],
+                        owned,
+                        strict=config["strict"],
+                        queue=config["queue"],
+                        shard_id=shard_id,
+                        num_shards=procs,
+                    )
+                    scenario, fn_to_name, name_to_fn = _build_shard(
+                        engine, config["spec"]
+                    )
+                    mail_bytes = 0
+                    i = 0
+                for mig_lp in sorted(msg[3]):
+                    _install_lp_migration(
+                        engine, scenario, name_to_fn, msg[3][mig_lp]
+                    )
+                shard_of = [int(v) for v in msg[4]]
+                continue
             if msg[0] != "mail" or msg[1] != w:
                 raise ParallelBackendError(
                     f"barrier protocol desync: expected mail for window {w}, "
@@ -998,6 +1435,11 @@ def _worker_main(conn, config_bytes: bytes) -> None:
                     _install_lp_migration(
                         engine, scenario, name_to_fn, inst[2][mig_lp]
                     )
+            if rec_on and ckpt_every and (w + 1) % ckpt_every == 0:
+                blob = _encode_worker_checkpoint(
+                    engine, scenario, fn_to_name, w, mail_bytes
+                )
+                conn.send(("ckpt", w, checkpoint_digest(blob), blob))
             if obs_on:
                 engine.observe_window_walls(
                     w,
@@ -1008,6 +1450,7 @@ def _worker_main(conn, config_bytes: bytes) -> None:
                     decode_s,
                     window_mail,
                 )
+            i += 1
         result = _shard_result(engine, scenario)
         result["barrier_wait_s"] = barrier_wait_s
         result["mail_bytes"] = mail_bytes
@@ -1067,6 +1510,11 @@ class ParallelRunResult:
     #: the run was launched with a rebalance config); ``shards`` above
     #: reports the *final* placement after these moves
     migrations: list = field(default_factory=list)
+    #: recovery summary (``None`` unless the run was launched with a
+    #: recovery config): checkpoints taken/bytes, detections, respawns,
+    #: windows replayed, degraded adoptions, last committed checkpoint
+    #: window, and the shards that finished the run dead
+    recovery: dict | None = None
 
     @property
     def total_mail_bytes(self) -> int:
@@ -1134,6 +1582,15 @@ class ParallelConservativeEngine:
         Optional LP x LP affinity matrix (``partition.lp_affinity``)
         used to break score ties toward migrations that cut fewer
         cross-shard links.
+    recovery:
+        Optional :class:`~repro.engine.recovery.RecoveryConfig`. When
+        set, workers checkpoint their shard at the configured cadence,
+        the controller supervises liveness, and a crashed or hung
+        worker is respawned from its last checkpoint (degrading to
+        survivor adoption when respawns run out — see
+        ``docs/robustness.md``). Mutually exclusive with ``rebalance``:
+        a checkpoint cut racing an in-flight migration plan has no
+        well-defined placement.
     """
 
     def __init__(
@@ -1149,9 +1606,16 @@ class ParallelConservativeEngine:
         incremental_obs: bool = False,
         rebalance=None,
         rebalance_affinity=None,
+        recovery=None,
     ) -> None:
         if lookahead <= 0:
             raise ValueError("lookahead must be positive")
+        if rebalance is not None and recovery is not None:
+            raise ValueError(
+                "online rebalancing and fault-tolerant recovery cannot be "
+                "combined: a checkpoint cut racing a migration plan has no "
+                "well-defined placement"
+            )
         self.assignment = np.asarray(assignment, dtype=np.int64)
         self.num_lps = int(num_lps)
         self.lookahead = float(lookahead)
@@ -1169,6 +1633,7 @@ class ParallelConservativeEngine:
         self.incremental_obs = bool(incremental_obs)
         self.rebalance = rebalance
         self.rebalance_affinity = rebalance_affinity
+        self.recovery = recovery
         #: per-shard merged incremental registry deltas (incremental_obs)
         self._live_deltas: dict[int, RegistrySnapshot] = {}
 
@@ -1186,6 +1651,8 @@ class ParallelConservativeEngine:
         )
         if rebalance is not None:
             _register_rebalance_instruments(reg)
+        if recovery is not None:
+            _register_recovery_instruments(reg)
 
     @classmethod
     def from_mapping(
@@ -1211,56 +1678,86 @@ class ParallelConservativeEngine:
 
     # -- controller-side wire helpers ---------------------------------
     def _recv(self, conns, procs, shard_id):
+        """Receive one message; crashes and hangs become typed errors.
+
+        The raised :class:`WorkerCrashError` carries ``shard_id``,
+        ``exitcode`` and ``hung`` attributes so the recovery layer can
+        tell a dead process (detected on the next 50 ms liveness tick,
+        long before the window timeout) from one that is alive but
+        silent past ``window_timeout_s``.
+        """
         conn = conns[shard_id]
         proc = procs[shard_id]
         waited = Stopwatch()
         while True:
-            if conn.poll(0.05):
+            try:
+                ready = conn.poll(0.05)
+            except (OSError, EOFError):
+                # A worker killed with unread mail in its receive buffer
+                # resets the socket pair (Linux AF_UNIX semantics).
+                raise _crash_error(
+                    shard_id, proc, "reset its pipe mid-protocol"
+                ) from None
+            if ready:
                 try:
                     msg = conn.recv()
-                except EOFError:
-                    raise WorkerCrashError(
-                        f"worker {shard_id} closed its pipe mid-protocol "
-                        f"(exitcode {proc.exitcode})"
+                except (EOFError, OSError):
+                    raise _crash_error(
+                        shard_id, proc, "closed its pipe mid-protocol"
                     ) from None
                 if msg[0] == "error":
                     raise ParallelWorkerError(shard_id, msg[1])
                 return msg
             if not proc.is_alive() and not conn.poll(0.0):
-                raise WorkerCrashError(
-                    f"worker {shard_id} died at a barrier without reporting "
-                    f"(exitcode {proc.exitcode})"
+                raise _crash_error(
+                    shard_id, proc, "died at a barrier without reporting"
                 )
             if waited.elapsed() > self.window_timeout_s:
-                raise WorkerCrashError(
-                    f"worker {shard_id} unresponsive for more than "
-                    f"{self.window_timeout_s:.0f}s at a barrier"
+                raise _crash_error(
+                    shard_id,
+                    proc,
+                    f"unresponsive for more than "
+                    f"{self.window_timeout_s:.0f}s at a barrier",
+                    hung=proc.is_alive(),
                 )
 
-    def _worker_config(self, shard_id: int, spec: ScenarioSpec, until: float) -> bytes:
+    def _worker_config(
+        self,
+        shard_id: int,
+        spec: ScenarioSpec,
+        until: float,
+        incarnation: int = 0,
+        resume: dict | None = None,
+    ) -> bytes:
         from .. import serialization as ser  # deferred: serialization -> core -> engine
 
-        return ser.encode_payload(
-            {
-                "assignment": self.assignment,
-                "num_lps": self.num_lps,
-                "lookahead": self.lookahead,
-                "owned_lps": self.shards[shard_id],
-                "strict": self.strict,
-                "queue": self.queue,
-                "spec": spec,
-                "shard_of": self._shard_of.tolist(),
-                "procs": self.procs,
-                "until": float(until),
-                "shard_id": shard_id,
-                "obs": worker_obs_config(incremental=self.incremental_obs),
-                "rebalance": (
-                    {"source": self.rebalance.source}
-                    if self.rebalance is not None
-                    else None
-                ),
-            }
-        )
+        config = {
+            "assignment": self.assignment,
+            "num_lps": self.num_lps,
+            "lookahead": self.lookahead,
+            "owned_lps": self.shards[shard_id],
+            "strict": self.strict,
+            "queue": self.queue,
+            "spec": spec,
+            "shard_of": self._shard_of.tolist(),
+            "procs": self.procs,
+            "until": float(until),
+            "shard_id": shard_id,
+            "obs": worker_obs_config(incremental=self.incremental_obs),
+            "rebalance": (
+                {"source": self.rebalance.source}
+                if self.rebalance is not None
+                else None
+            ),
+            "recovery": (
+                self.recovery.stanza() if self.recovery is not None else None
+            ),
+        }
+        if incarnation:
+            config["incarnation"] = incarnation
+        if resume is not None:
+            config["resume"] = resume
+        return ser.encode_payload(config)
 
     def run_scenario(self, spec: ScenarioSpec, until: float) -> ParallelRunResult:
         """Run ``spec`` to simulated time ``until`` across the workers.
@@ -1270,28 +1767,198 @@ class ParallelConservativeEngine:
         :class:`WorkerCrashError`). Returns the merged result; per-LP
         window stats are summed across shards into the same
         :class:`WindowStats` rows the single-process engine records.
+
+        With a recovery config, worker loss does not end the run:
+        the controller respawns the worker from the last committed
+        checkpoint (replaying retained mail forward), and when respawns
+        are exhausted with ``on_worker_loss="adopt"`` it rolls every
+        survivor back to the commit cut and hands the dead shard's LPs
+        to the least-loaded survivor. Only when the degradation ladder
+        runs out does the run fail, with
+        :class:`RecoveryExhaustedError`.
         """
         from .. import serialization as ser  # deferred: serialization -> core -> engine
 
+        rec = self.recovery
+        rec_on = rec is not None
+        mode = rec.on_worker_loss if rec_on else "fail"
         ctx = mp.get_context(self.start_method)
-        conns = []
-        workers = []
+        conns: list = []
+        workers: list = []
         wall = Stopwatch()
+        store = CheckpointStore(rec.spill_dir) if rec_on else None
+        # Mail retained since the last committed checkpoint: window ->
+        # {dest shard -> per-sender payload list}. Replayed into a
+        # respawned worker; pruned at every commit, so the buffer is
+        # bounded by the checkpoint cadence.
+        retained: dict[int, dict[int, list[bytes]]] = {}
+        committed = -1
+        attempts = [0] * self.procs
+        incarnations = [0] * self.procs
+        dead = [False] * self.procs
+        wins_consumed = [0] * self.procs
+        mails_sent = [0] * self.procs
+        stats = {"detections": 0, "respawns": 0, "windows_replayed": 0,
+                 "adoptions": 0}
+        adoption_window: int | None = None
+        dead_blob: bytes | None = None
+        cur_shards = [list(s) for s in self.shards]
+        max_obs_window = -1
+
+        def _live():
+            return [s for s in range(self.procs) if not dead[s]]
+
+        def _spawn(shard_id, incarnation=0, resume=None):
+            parent_conn, child_conn = ctx.Pipe(duplex=True)
+            proc = ctx.Process(
+                target=_worker_main,
+                args=(
+                    child_conn,
+                    self._worker_config(
+                        shard_id, spec, until,
+                        incarnation=incarnation, resume=resume,
+                    ),
+                ),
+                name=f"repro-shard-{shard_id}",
+                daemon=True,
+            )
+            proc.start()
+            child_conn.close()
+            return parent_conn, proc
+
+        def _handle_loss(shard_id, exc, replay_hi):
+            """Respawn ``shard_id`` or escalate up the degradation ladder.
+
+            ``replay_hi`` is the last window whose retained mail the
+            respawned worker must privately replay before rejoining.
+            """
+            if not rec_on or mode == "fail":
+                raise exc
+            stats["detections"] += 1
+            _record_recovery_obs(
+                "detect", replay_hi + 1, shard_id,
+                hung=bool(getattr(exc, "hung", False)),
+                exitcode=getattr(exc, "exitcode", None),
+            )
+            _teardown_worker(conns[shard_id], workers[shard_id], grace_s=0.2)
+            wins_consumed[shard_id] = 0
+            mails_sent[shard_id] = 0
+            attempts[shard_id] += 1
+            if attempts[shard_id] > rec.max_respawns:
+                if mode == "adopt":
+                    raise _AdoptionNeeded(shard_id) from exc
+                raise RecoveryExhaustedError(
+                    f"worker {shard_id} lost {attempts[shard_id]} times, "
+                    f"exceeding max_respawns={rec.max_respawns}; "
+                    "on_worker_loss='respawn' has no further rung"
+                ) from exc
+            if adoption_window is not None and committed <= adoption_window:
+                raise RecoveryExhaustedError(
+                    f"worker {shard_id} lost after a degraded adoption and "
+                    "before the next checkpoint commit; the dead shard's "
+                    "pre-adoption checkpoint is stale"
+                ) from exc
+            time.sleep(rec.backoff_s(attempts[shard_id]))
+            incarnations[shard_id] += 1
+            ckpt_blob = store.get(shard_id)
+            base = store.latest_window(shard_id)
+            entries = [
+                (rw, retained[rw][shard_id])
+                for rw in sorted(retained)
+                if base < rw <= replay_hi
+            ]
+            resume = {
+                "checkpoint": ckpt_blob,
+                "replay": ser.encode_replay_buffer(entries),
+            }
+            conns[shard_id], workers[shard_id] = _spawn(
+                shard_id, incarnation=incarnations[shard_id], resume=resume
+            )
+            stats["respawns"] += 1
+            stats["windows_replayed"] += len(entries)
+            _record_recovery_obs(
+                "respawn", replay_hi + 1, shard_id,
+                attempt=attempts[shard_id], replayed=len(entries),
+            )
+
+        def _adopt(dead_shard):
+            """Global rollback to the commit cut + survivor adoption."""
+            nonlocal adoption_window, dead_blob
+            if 0 in cur_shards[dead_shard]:
+                raise RecoveryExhaustedError(
+                    f"worker {dead_shard} owns LP 0 (the control lane); the "
+                    "control shard cannot be adopted by a survivor"
+                )
+            c = committed
+            blob = store.get(dead_shard) if c >= 0 else None
+            if c >= 0 and blob is None:  # pragma: no cover - store invariant
+                raise RecoveryExhaustedError(
+                    f"no checkpoint for shard {dead_shard} at the committed "
+                    f"window {c}"
+                )
+            dead[dead_shard] = True
+            survivors = _live()
+            if not survivors:  # pragma: no cover - shard 0 never adopted
+                raise RecoveryExhaustedError("no survivors left to adopt")
+            # Every survivor is either computing or blocked at a mail
+            # recv; consume its in-flight messages until it owes us
+            # exactly one unanswered window message, at which point a
+            # rollback lands where it expects mail.
+            for s in survivors:
+                while wins_consumed[s] <= mails_sent[s]:
+                    m = self._recv(conns, workers, s)
+                    if m[0] == "window":
+                        wins_consumed[s] += 1
+                    elif m[0] == "ckpt":
+                        pass  # abandoned: this round can no longer commit
+                    else:
+                        raise ParallelBackendError(
+                            f"barrier protocol desync: worker {s} sent "
+                            f"{m[0]!r} while draining for rollback"
+                        )
+            adopter = min(survivors, key=lambda s: (len(cur_shards[s]), s))
+            cur_shards[adopter] = sorted(
+                cur_shards[adopter] + cur_shards[dead_shard]
+            )
+            cur_shards[dead_shard] = []
+            new_shard_of = [0] * self.num_lps
+            for s, lps in enumerate(cur_shards):
+                for lp in lps:
+                    new_shard_of[lp] = s
+            installs = _adoption_installs(blob) if blob is not None else {}
+            for s in survivors:
+                conns[s].send(
+                    (
+                        "rollback",
+                        c,
+                        store.get(s) if c >= 0 else None,
+                        installs if s == adopter else {},
+                        new_shard_of,
+                    )
+                )
+                wins_consumed[s] = 0
+                mails_sent[s] = 0
+            for bw in rows:
+                if bw > c:
+                    rows[bw] = []
+            retained.clear()
+            dead_blob = blob
+            adoption_window = c
+            stats["adoptions"] += 1
+            _record_recovery_obs(
+                "adopt", c + 1, dead_shard, adopter=adopter,
+                committed_window=c,
+            )
+            return c
+
         try:
             for shard_id in range(self.procs):
-                parent_conn, child_conn = ctx.Pipe(duplex=True)
-                proc = ctx.Process(
-                    target=_worker_main,
-                    args=(child_conn, self._worker_config(shard_id, spec, until)),
-                    name=f"repro-shard-{shard_id}",
-                    daemon=True,
-                )
-                proc.start()
-                child_conn.close()
+                parent_conn, proc = _spawn(shard_id)
                 conns.append(parent_conn)
                 workers.append(proc)
 
             boundaries = list(iter_windows(0.0, self.lookahead, until))
+            last_w = boundaries[-1][0] if boundaries else -1
             rows: dict[int, list[tuple[list[int], list[int]]]] = {
                 w: [] for w, _s, _e in boundaries
             }
@@ -1309,101 +1976,206 @@ class ParallelConservativeEngine:
                     affinity=self.rebalance_affinity,
                 )
                 rb_measured = self.rebalance.source == "measured"
-            for w, _start, _end in boundaries:
-                msgs = []
-                for shard_id in range(self.procs):
-                    msg = self._recv(conns, workers, shard_id)
-                    if msg[0] != "window" or msg[1] != w:
-                        raise ParallelBackendError(
-                            f"barrier protocol desync: worker {shard_id} sent "
-                            f"{msg[:2]!r}, expected window {w}"
-                        )
-                    msgs.append(msg)
-                    rows[w].append((msg[3], msg[4]))
-                plan = None
-                decision = None
-                if rebalancer is not None and not rebalancer.retired:
-                    events_sum = np.zeros(self.num_lps, dtype=np.int64)
-                    xshard_sum = np.zeros(self.num_lps, dtype=np.int64)
-                    for msg in msgs:
-                        events_sum += np.asarray(msg[3], dtype=np.int64)
-                        xshard_sum += np.asarray(msg[5], dtype=np.int64)
-                    measured = (
-                        np.asarray([float(m[-1]) for m in msgs])
-                        if rb_measured
-                        else None
-                    )
-                    decision = rebalancer.observe_window(
-                        w, _start, _end, events_sum, xshard_sum, measured
-                    )
-                    rb_prev = _record_rebalance_counters(rebalancer, rb_prev)
-                    if decision is not None:
-                        plan = [
-                            (decision.lp, decision.src_shard, decision.dst_shard)
-                        ]
-                # Route: destination j receives one payload per sender.
-                for shard_id in range(self.procs):
-                    inbound = [msgs[src][2][shard_id] for src in range(self.procs)]
-                    if rebalancer is not None:
-                        conns[shard_id].send(("mail", w, inbound, plan))
-                    else:
-                        conns[shard_id].send(("mail", w, inbound))
-                if plan:
-                    # Migration sub-protocol: collect payloads from the
-                    # releasing shards, route each to the adopting shard.
-                    # Payloads ride these control-plane pipes only.
-                    outgoing_all: dict[int, bytes] = {}
-                    for shard_id in range(self.procs):
-                        mig = self._recv(conns, workers, shard_id)
-                        if mig[0] != "migrate" or mig[1] != w:
+            wi = 0
+            while wi < len(boundaries):
+                w, _start, _end = boundaries[wi]
+                try:
+                    msgs: dict[int, tuple] = {}
+                    pending = _live()
+                    while pending:
+                        shard_id = pending.pop(0)
+                        try:
+                            msg = self._recv(conns, workers, shard_id)
+                        except WorkerCrashError as exc:
+                            _handle_loss(shard_id, exc, replay_hi=w - 1)
+                            pending.append(shard_id)
+                            continue
+                        if msg[0] != "window" or msg[1] != w:
                             raise ParallelBackendError(
                                 f"barrier protocol desync: worker {shard_id} "
-                                f"sent {mig[:2]!r}, expected migrate {w}"
+                                f"sent {msg[:2]!r}, expected window {w}"
                             )
-                        outgoing_all.update(mig[2])
-                    for shard_id in range(self.procs):
-                        install = {
-                            lp: blob
-                            for lp, blob in outgoing_all.items()
-                            if int(rebalancer.shard_of[lp]) == shard_id
-                        }
-                        conns[shard_id].send(("install", w, install))
-                    state_bytes = sum(len(b) for b in outgoing_all.values())
-                    migrations.append(decision)
-                    _record_migration_obs(decision, state_bytes)
-                if self._obs.enabled:
-                    self._obs_windows.inc()
-                    self._obs_window_hist.observe(
-                        float(sum(sum(cols) for cols, _remote in rows[w]))
-                    )
-                if self.incremental_obs:
-                    for shard_id, msg in enumerate(msgs):
-                        if len(msg) > 6 and msg[6]:
-                            delta = ser.decode_snapshot(msg[6])
-                            prev = self._live_deltas.get(shard_id)
-                            self._live_deltas[shard_id] = (
-                                delta
-                                if prev is None
-                                else RegistrySnapshot.merge([prev, delta])
+                        wins_consumed[shard_id] += 1
+                        msgs[shard_id] = msg
+                        rows[w].append((msg[3], msg[4]))
+                    plan = None
+                    decision = None
+                    if rebalancer is not None and not rebalancer.retired:
+                        ordered = [msgs[s] for s in range(self.procs)]
+                        events_sum = np.zeros(self.num_lps, dtype=np.int64)
+                        xshard_sum = np.zeros(self.num_lps, dtype=np.int64)
+                        for msg in ordered:
+                            events_sum += np.asarray(msg[3], dtype=np.int64)
+                            xshard_sum += np.asarray(msg[5], dtype=np.int64)
+                        measured = (
+                            np.asarray([float(m[-1]) for m in ordered])
+                            if rb_measured
+                            else None
+                        )
+                        decision = rebalancer.observe_window(
+                            w, _start, _end, events_sum, xshard_sum, measured
+                        )
+                        rb_prev = _record_rebalance_counters(rebalancer, rb_prev)
+                        if decision is not None:
+                            plan = [
+                                (decision.lp, decision.src_shard,
+                                 decision.dst_shard)
+                            ]
+                    # Route: destination j receives one payload per
+                    # sender (dead senders contribute empty payloads
+                    # after an adoption — their LPs now send from the
+                    # adopter's lanes).
+                    live_now = _live()
+                    inbound_by = {
+                        s: [
+                            msgs[src][2][s] if src in msgs else b""
+                            for src in range(self.procs)
+                        ]
+                        for s in live_now
+                    }
+                    if rec_on:
+                        retained[w] = inbound_by
+                    skip_ckpt: set[int] = set()
+                    for shard_id in live_now:
+                        try:
+                            if rebalancer is not None:
+                                conns[shard_id].send(
+                                    ("mail", w, inbound_by[shard_id], plan)
+                                )
+                            else:
+                                conns[shard_id].send(
+                                    ("mail", w, inbound_by[shard_id])
+                                )
+                            mails_sent[shard_id] += 1
+                        except (BrokenPipeError, OSError):
+                            if plan:
+                                raise ParallelBackendError(
+                                    f"worker {shard_id} lost while a "
+                                    "migration plan is in flight"
+                                )
+                            exc = _crash_error(
+                                shard_id, workers[shard_id],
+                                "dropped its pipe at mail delivery",
                             )
-            results = []
-            for shard_id in range(self.procs):
-                msg = self._recv(conns, workers, shard_id)
+                            # The worker had already sent window w, so
+                            # the respawn replays through w and rejoins
+                            # at w + 1 without checkpointing w.
+                            _handle_loss(shard_id, exc, replay_hi=w)
+                            skip_ckpt.add(shard_id)
+                    if plan:
+                        # Migration sub-protocol: collect payloads from
+                        # the releasing shards, route each to the
+                        # adopting shard. Payloads ride these
+                        # control-plane pipes only.
+                        outgoing_all: dict[int, bytes] = {}
+                        for shard_id in range(self.procs):
+                            mig = self._recv(conns, workers, shard_id)
+                            if mig[0] != "migrate" or mig[1] != w:
+                                raise ParallelBackendError(
+                                    f"barrier protocol desync: worker "
+                                    f"{shard_id} sent {mig[:2]!r}, expected "
+                                    f"migrate {w}"
+                                )
+                            outgoing_all.update(mig[2])
+                        for shard_id in range(self.procs):
+                            install = {
+                                lp: blob
+                                for lp, blob in outgoing_all.items()
+                                if int(rebalancer.shard_of[lp]) == shard_id
+                            }
+                            conns[shard_id].send(("install", w, install))
+                        state_bytes = sum(
+                            len(b) for b in outgoing_all.values()
+                        )
+                        migrations.append(decision)
+                        _record_migration_obs(decision, state_bytes)
+                    if rec_on and rec.is_checkpoint_window(w):
+                        # Transactional commit: the store only advances
+                        # when every live shard checkpoints this window;
+                        # a partial set is discarded (but still drained,
+                        # to keep the pipes aligned).
+                        got: dict[int, tuple[str, bytes]] = {}
+                        for shard_id in [
+                            s for s in _live() if s not in skip_ckpt
+                        ]:
+                            try:
+                                cmsg = self._recv(conns, workers, shard_id)
+                            except WorkerCrashError as exc:
+                                _handle_loss(shard_id, exc, replay_hi=w)
+                                continue
+                            if cmsg[0] != "ckpt" or cmsg[1] != w:
+                                raise ParallelBackendError(
+                                    f"barrier protocol desync: worker "
+                                    f"{shard_id} sent {cmsg[:2]!r}, expected "
+                                    f"ckpt {w}"
+                                )
+                            got[shard_id] = (cmsg[2], cmsg[3])
+                        if sorted(got) == _live():
+                            for shard_id in sorted(got):
+                                digest, blob = got[shard_id]
+                                store.put(shard_id, w, digest, blob)
+                                _record_recovery_obs(
+                                    "checkpoint", w, shard_id,
+                                    nbytes=len(blob),
+                                )
+                            committed = w
+                            for rw in [x for x in retained if x <= w]:
+                                del retained[rw]
+                    if self._obs.enabled and w > max_obs_window:
+                        self._obs_windows.inc()
+                        self._obs_window_hist.observe(
+                            float(sum(sum(cols) for cols, _remote in rows[w]))
+                        )
+                    max_obs_window = max(max_obs_window, w)
+                    if self.incremental_obs:
+                        for shard_id in sorted(msgs):
+                            msg = msgs[shard_id]
+                            if len(msg) > 6 and msg[6]:
+                                delta = ser.decode_snapshot(msg[6])
+                                prev = self._live_deltas.get(shard_id)
+                                self._live_deltas[shard_id] = (
+                                    delta
+                                    if prev is None
+                                    else RegistrySnapshot.merge([prev, delta])
+                                )
+                except _AdoptionNeeded as need:
+                    wi = _adopt(need.shard_id) + 1
+                    continue
+                wi += 1
+            results_by: dict[int, dict] = {}
+            for shard_id in _live():
+                while True:
+                    try:
+                        msg = self._recv(conns, workers, shard_id)
+                    except WorkerCrashError as exc:
+                        try:
+                            _handle_loss(shard_id, exc, replay_hi=last_w)
+                        except _AdoptionNeeded:
+                            raise RecoveryExhaustedError(
+                                f"worker {shard_id} exhausted its respawns "
+                                "at the final barrier; survivors have "
+                                "already collected — adoption would need a "
+                                "rollback past the end of the run"
+                            ) from exc
+                        continue
+                    break
                 if msg[0] != "done":
                     raise ParallelBackendError(
                         f"barrier protocol desync: worker {shard_id} sent "
                         f"{msg[0]!r}, expected done"
                     )
-                results.append(ser.decode_payload(msg[1]))
-            for proc in workers:
-                proc.join(timeout=self.window_timeout_s)
+                results_by[shard_id] = ser.decode_payload(msg[1])
+            results = [
+                results_by[s] if not dead[s] else _synthesize_dead_result(
+                    dead_blob
+                )
+                for s in range(self.procs)
+            ]
         finally:
-            for conn in conns:
-                conn.close()
-            for proc in workers:
-                if proc.is_alive():  # pragma: no cover - crash cleanup
-                    proc.terminate()
-                    proc.join(timeout=5.0)
+            for conn, proc in zip(conns, workers):
+                _teardown_worker(conn, proc)
+            if store is not None:
+                store.close()
 
         wall_s = wall.elapsed()
         window_stats = _merge_window_rows(self.num_lps, rows, boundaries)
@@ -1419,8 +2191,22 @@ class ParallelConservativeEngine:
             final_shards: list[list[int]] = [[] for _ in range(self.procs)]
             for lp in range(self.num_lps):
                 final_shards[int(rebalancer.shard_of[lp])].append(lp)
+        elif rec_on and stats["adoptions"]:
+            final_shards = [list(s) for s in cur_shards]
         else:
             final_shards = [list(s) for s in self.shards]
+        recovery_summary = None
+        if rec_on:
+            recovery_summary = {
+                "checkpoints_taken": int(store.checkpoints_taken),
+                "checkpoint_bytes": int(store.checkpoint_bytes),
+                "detections": stats["detections"],
+                "respawns": stats["respawns"],
+                "windows_replayed": stats["windows_replayed"],
+                "adoptions": stats["adoptions"],
+                "committed_window": committed,
+                "dead_shards": [s for s in range(self.procs) if dead[s]],
+            }
         return ParallelRunResult(
             procs=self.procs,
             until=float(until),
@@ -1440,6 +2226,7 @@ class ParallelConservativeEngine:
             trace_snapshots=trace_snapshots,
             obs_bytes=obs_bytes,
             migrations=migrations,
+            recovery=recovery_summary,
         )
 
     def live_snapshot(self) -> RegistrySnapshot:
@@ -1485,7 +2272,14 @@ class LocalShardGroup:
         shards: list[list[int]] | None = None,
         rebalance=None,
         rebalance_affinity=None,
+        recovery=None,
     ) -> None:
+        if rebalance is not None and recovery is not None:
+            raise ValueError(
+                "online rebalancing and fault-tolerant recovery cannot be "
+                "combined: a checkpoint cut racing a migration plan has no "
+                "well-defined placement"
+            )
         self.assignment = np.asarray(assignment, dtype=np.int64)
         self.num_lps = int(num_lps)
         self.lookahead = float(lookahead)
@@ -1493,6 +2287,7 @@ class LocalShardGroup:
         self.queue = queue
         self.rebalance = rebalance
         self.rebalance_affinity = rebalance_affinity
+        self.recovery = recovery
         self.shards = shards if shards is not None else shard_lps(num_lps, procs)
         self.procs = len(self.shards)
         seen = sorted(lp for part in self.shards for lp in part)
@@ -1515,10 +2310,42 @@ class LocalShardGroup:
         )
         if rebalance is not None:
             _register_rebalance_instruments(reg)
+        if recovery is not None:
+            _register_recovery_instruments(reg)
 
     def run_scenario(self, spec: ScenarioSpec, until: float) -> ParallelRunResult:
-        """Run ``spec`` to ``until`` over the in-process shard group."""
+        """Run ``spec`` to ``until`` over the in-process shard group.
+
+        With a recovery config, the group mirrors the multi-process
+        supervision logic synchronously: every planned process fault —
+        whatever its kind — collapses to a synthetic worker death at the
+        start of its window (there is no real process to SIGKILL or
+        hang), after which the shard is rebuilt from its last committed
+        checkpoint and replayed from retained mail, with the same
+        respawn → adopt → :class:`RecoveryExhaustedError` ladder.
+        """
         wall = Stopwatch()
+        rec = self.recovery
+        rec_on = rec is not None
+        store = CheckpointStore(rec.spill_dir) if rec_on else None
+        plan_faults = (
+            tuple(rec.fault_plan)
+            if rec_on and rec.fault_plan is not None
+            else ()
+        )
+        committed = -1
+        attempts = [0] * self.procs
+        incarnations = [0] * self.procs
+        dead = [False] * self.procs
+        fired: set = set()
+        stats = {"detections": 0, "respawns": 0, "windows_replayed": 0,
+                 "adoptions": 0}
+        adoption_window: int | None = None
+        dead_blob: bytes | None = None
+        cur_shards = [list(s) for s in self.shards]
+        max_obs_window = -1
+        retained: dict[int, list[list[bytes]]] = {}
+
         engines = [
             ShardEngine(
                 self.assignment,
@@ -1553,63 +2380,287 @@ class LocalShardGroup:
                 until,
                 affinity=self.rebalance_affinity,
             )
-        for w, start, end in boundaries:
-            payload_grid = []
-            rows[w] = []
-            for shard_id, engine in enumerate(engines):
-                engine.run_window(w, end)
+
+        def fresh_shard(shard_id, owned):
+            engine = ShardEngine(
+                self.assignment,
+                self.num_lps,
+                self.lookahead,
+                owned,
+                strict=self.strict,
+                queue=self.queue,
+                shard_id=shard_id,
+                num_shards=self.procs,
+            )
+            scenario, f2n, n2f = _build_shard(engine, spec)
+            return engine, (scenario, f2n, n2f)
+
+        def replay_windows(s, lo, hi):
+            replayed = 0
+            for rw in sorted(retained):
+                if rw < lo or rw > hi:
+                    continue
+                _rw, _rs, rend = boundaries[rw]
+                engines[s].run_window(rw, rend)
                 payloads = _encode_outbound(
-                    engine, shard_of, built[shard_id][1], self.procs
+                    engines[s], shard_of, built[s][1], self.procs
                 )
-                mail_bytes[shard_id] += sum(len(p) for p in payloads)
-                payload_grid.append(payloads)
-                rows[w].append(
-                    (
-                        engine.events_this_window.tolist(),
-                        engine.remote_this_window.tolist(),
+                mail_bytes[s] += sum(len(p) for p in payloads)
+                inbound = [retained[rw][src][s] for src in range(self.procs)]
+                _deliver_encoded_mail(engines[s], inbound, rend, built[s][2])
+                replayed += 1
+            return replayed
+
+        def respawn_shard(s, upto_w):
+            blob = store.get(s)
+            if blob is not None:
+                engine, scenario, f2n, n2f, payload = _restore_shard_from_blob(
+                    blob, self.assignment, self.num_lps, self.lookahead,
+                    spec, self.strict, self.queue, self.procs,
+                )
+                engines[s] = engine
+                built[s] = (scenario, f2n, n2f)
+                base = int(payload["window_index"])
+                mail_bytes[s] = int(payload["acc"]["mail_bytes"])
+            else:
+                engines[s], built[s] = fresh_shard(s, cur_shards[s])
+                base = -1
+                mail_bytes[s] = 0
+            return replay_windows(s, base + 1, upto_w)
+
+        def adopt_shard(dead_shard):
+            nonlocal adoption_window, dead_blob
+            if 0 in cur_shards[dead_shard]:
+                raise RecoveryExhaustedError(
+                    f"shard {dead_shard} owns LP 0 (the control lane); the "
+                    "control shard cannot be adopted by a survivor"
+                )
+            c = committed
+            blob = store.get(dead_shard) if c >= 0 else None
+            dead[dead_shard] = True
+            survivors = [x for x in range(self.procs) if not dead[x]]
+            if not survivors:  # pragma: no cover - shard 0 never adopted
+                raise RecoveryExhaustedError("no survivors left to adopt")
+            adopter = min(survivors, key=lambda x: (len(cur_shards[x]), x))
+            installs = _adoption_installs(blob) if blob is not None else {}
+            cur_shards[adopter] = sorted(
+                cur_shards[adopter] + cur_shards[dead_shard]
+            )
+            cur_shards[dead_shard] = []
+            for s, lps in enumerate(cur_shards):
+                for lp in lps:
+                    shard_of[lp] = s
+            for x in survivors:
+                sblob = store.get(x) if c >= 0 else None
+                if sblob is not None:
+                    engine, scenario, f2n, n2f, payload = (
+                        _restore_shard_from_blob(
+                            sblob, self.assignment, self.num_lps,
+                            self.lookahead, spec, self.strict, self.queue,
+                            self.procs,
+                        )
                     )
+                    engines[x] = engine
+                    built[x] = (scenario, f2n, n2f)
+                    mail_bytes[x] = int(payload["acc"]["mail_bytes"])
+                else:
+                    engines[x], built[x] = fresh_shard(x, cur_shards[x])
+                    mail_bytes[x] = 0
+            for lp in sorted(installs):
+                _install_lp_migration(
+                    engines[adopter], built[adopter][0], built[adopter][2],
+                    installs[lp],
                 )
-            for shard_id, engine in enumerate(engines):
-                inbound = [payload_grid[src][shard_id] for src in range(self.procs)]
-                _deliver_encoded_mail(engine, inbound, end, built[shard_id][2])
-            if rebalancer is not None and not rebalancer.retired:
-                events_sum = np.zeros(self.num_lps, dtype=np.int64)
-                xshard_sum = np.zeros(self.num_lps, dtype=np.int64)
-                for engine in engines:
-                    events_sum += engine.events_this_window
-                    xshard_sum += engine.xshard_this_window
-                decision = rebalancer.observe_window(
-                    w, start, end, events_sum, xshard_sum
-                )
-                rb_prev = _record_rebalance_counters(rebalancer, rb_prev)
-                if decision is not None:
-                    # Same wire round-trip as the mp backend: the payload
-                    # passes through repro.serialization even in-process.
-                    src, dst = decision.src_shard, decision.dst_shard
-                    blob = _encode_lp_migration(
-                        engines[src], built[src][0], built[src][1], decision.lp
+            mail_bytes[dead_shard] = _synthesize_dead_result(blob)["mail_bytes"]
+            retained.clear()
+            dead_blob = blob
+            adoption_window = c
+            stats["adoptions"] += 1
+            _record_recovery_obs(
+                "adopt", c + 1, dead_shard, adopter=adopter,
+                committed_window=c,
+            )
+            return c
+
+        try:
+            wi = 0
+            while wi < len(boundaries):
+                w, start, end = boundaries[wi]
+                roll_to = None
+                for s in range(self.procs):
+                    if dead[s] or not plan_faults:
+                        continue
+                    while True:
+                        hit = next(
+                            (
+                                pf
+                                for pf in plan_faults
+                                if pf not in fired
+                                and pf.shard == s
+                                and pf.incarnation == incarnations[s]
+                                and pf.window <= w
+                            ),
+                            None,
+                        )
+                        if hit is None:
+                            break
+                        fired.add(hit)
+                        stats["detections"] += 1
+                        _record_recovery_obs(
+                            "detect", w, s, fault=hit.kind.value
+                        )
+                        attempts[s] += 1
+                        if rec.on_worker_loss == "fail":
+                            raise WorkerCrashError(
+                                f"shard {s} lost at window {w} with "
+                                "on_worker_loss='fail'"
+                            )
+                        if attempts[s] > rec.max_respawns:
+                            if rec.on_worker_loss == "adopt":
+                                roll_to = adopt_shard(s)
+                                break
+                            raise RecoveryExhaustedError(
+                                f"shard {s} lost {attempts[s]} times, "
+                                f"exceeding max_respawns={rec.max_respawns}; "
+                                "on_worker_loss='respawn' has no further rung"
+                            )
+                        if (
+                            adoption_window is not None
+                            and committed <= adoption_window
+                        ):
+                            raise RecoveryExhaustedError(
+                                f"shard {s} lost after a degraded adoption "
+                                "and before the next checkpoint commit; the "
+                                "dead shard's pre-adoption checkpoint is "
+                                "stale"
+                            )
+                        time.sleep(rec.backoff_s(attempts[s]))
+                        incarnations[s] += 1
+                        replayed = respawn_shard(s, w - 1)
+                        stats["respawns"] += 1
+                        stats["windows_replayed"] += replayed
+                        _record_recovery_obs(
+                            "respawn", w, s,
+                            attempt=attempts[s], replayed=replayed,
+                        )
+                    if roll_to is not None:
+                        break
+                if roll_to is not None:
+                    wi = roll_to + 1
+                    continue
+                payload_grid = []
+                rows[w] = []
+                for shard_id, engine in enumerate(engines):
+                    if dead[shard_id]:
+                        payload_grid.append([b""] * self.procs)
+                        continue
+                    engine.run_window(w, end)
+                    payloads = _encode_outbound(
+                        engine, shard_of, built[shard_id][1], self.procs
                     )
-                    _install_lp_migration(
-                        engines[dst], built[dst][0], built[dst][2], blob
+                    mail_bytes[shard_id] += sum(len(p) for p in payloads)
+                    payload_grid.append(payloads)
+                    rows[w].append(
+                        (
+                            engine.events_this_window.tolist(),
+                            engine.remote_this_window.tolist(),
+                        )
                     )
-                    shard_of[decision.lp] = dst
-                    migrations.append(decision)
-                    _record_migration_obs(decision, len(blob))
-            if self._obs.enabled:
-                self._obs_windows.inc()
-                self._obs_window_hist.observe(
-                    float(sum(sum(cols) for cols, _remote in rows[w]))
-                )
-        results = [
-            _shard_result(engine, built[shard_id][0])
-            for shard_id, engine in enumerate(engines)
-        ]
+                for shard_id, engine in enumerate(engines):
+                    if dead[shard_id]:
+                        continue
+                    inbound = [
+                        payload_grid[src][shard_id]
+                        for src in range(self.procs)
+                    ]
+                    _deliver_encoded_mail(
+                        engine, inbound, end, built[shard_id][2]
+                    )
+                if rebalancer is not None and not rebalancer.retired:
+                    events_sum = np.zeros(self.num_lps, dtype=np.int64)
+                    xshard_sum = np.zeros(self.num_lps, dtype=np.int64)
+                    for engine in engines:
+                        events_sum += engine.events_this_window
+                        xshard_sum += engine.xshard_this_window
+                    decision = rebalancer.observe_window(
+                        w, start, end, events_sum, xshard_sum
+                    )
+                    rb_prev = _record_rebalance_counters(rebalancer, rb_prev)
+                    if decision is not None:
+                        # Same wire round-trip as the mp backend: the
+                        # payload passes through repro.serialization
+                        # even in-process.
+                        src, dst = decision.src_shard, decision.dst_shard
+                        blob = _encode_lp_migration(
+                            engines[src], built[src][0], built[src][1],
+                            decision.lp,
+                        )
+                        _install_lp_migration(
+                            engines[dst], built[dst][0], built[dst][2], blob
+                        )
+                        shard_of[decision.lp] = dst
+                        migrations.append(decision)
+                        _record_migration_obs(decision, len(blob))
+                if rec_on:
+                    retained[w] = payload_grid
+                    if rec.is_checkpoint_window(w):
+                        for shard_id in range(self.procs):
+                            if dead[shard_id]:
+                                continue
+                            blob = _encode_worker_checkpoint(
+                                engines[shard_id],
+                                built[shard_id][0],
+                                built[shard_id][1],
+                                w,
+                                mail_bytes[shard_id],
+                            )
+                            store.put(
+                                shard_id, w, checkpoint_digest(blob), blob
+                            )
+                            _record_recovery_obs(
+                                "checkpoint", w, shard_id, nbytes=len(blob)
+                            )
+                        committed = w
+                        for rw in [x for x in retained if x <= w]:
+                            del retained[rw]
+                if self._obs.enabled and w > max_obs_window:
+                    self._obs_windows.inc()
+                    self._obs_window_hist.observe(
+                        float(sum(sum(cols) for cols, _remote in rows[w]))
+                    )
+                max_obs_window = max(max_obs_window, w)
+                wi += 1
+            results = [
+                _shard_result(engine, built[shard_id][0])
+                if not dead[shard_id]
+                else _synthesize_dead_result(dead_blob)
+                for shard_id, engine in enumerate(engines)
+            ]
+        finally:
+            if store is not None:
+                store.close()
         if migrations:
             final_shards: list[list[int]] = [[] for _ in range(self.procs)]
             for lp in range(self.num_lps):
                 final_shards[int(shard_of[lp])].append(lp)
+        elif rec_on and stats["adoptions"]:
+            final_shards = [list(s) for s in cur_shards]
         else:
             final_shards = [list(s) for s in self.shards]
+        recovery_summary = None
+        if rec_on:
+            recovery_summary = {
+                "checkpoints_taken": int(store.checkpoints_taken),
+                "checkpoint_bytes": int(store.checkpoint_bytes),
+                "detections": stats["detections"],
+                "respawns": stats["respawns"],
+                "windows_replayed": stats["windows_replayed"],
+                "adoptions": stats["adoptions"],
+                "committed_window": committed,
+                "dead_shards": [
+                    s for s in range(self.procs) if dead[s]
+                ],
+            }
         return ParallelRunResult(
             procs=self.procs,
             until=float(until),
@@ -1626,4 +2677,5 @@ class LocalShardGroup:
             worker_events=[r["events_executed"] for r in results],
             collected=[r["collect"] for r in results],
             migrations=migrations,
+            recovery=recovery_summary,
         )

@@ -1,0 +1,268 @@
+"""Barrier-aligned checkpointing and crash recovery for the mp backend.
+
+The multi-process conservative backend (:mod:`repro.engine.parallel`)
+already proves that shard state is *portable* at barriers — LP
+migration captures pending events and per-LP dynamics and reinstalls
+them on another worker with byte-identical outcomes. This module closes
+that capability into a fault-tolerance loop:
+
+``checkpoint -> detect -> respawn -> replay -> resume``
+
+with the same cardinal invariant as rebalancing: **recovery changes
+execution, never outcomes**. A run whose workers are SIGKILLed at
+arbitrary barrier windows must produce delivery logs, counter
+fingerprints, and fault traces byte-identical to an uninterrupted run.
+
+Protocol sketch (details in docs/robustness.md):
+
+* At a configurable cadence (``checkpoint_every_n_windows``) each
+  worker captures its whole shard at the barrier *after* mail delivery
+  — pending event queues, tiebreak counters, scenario dynamics via the
+  ``LpStatePort`` path, fault-injector position — encodes it through
+  :func:`repro.serialization.encode_checkpoint`, and ships it on the
+  control plane (never barrier mail: checkpointing off is bit-identical
+  to the pre-recovery wire protocol, zero extra mail bytes).
+* The controller verifies a sha256 digest, stores the blob in a
+  :class:`CheckpointStore` (in memory, or spilled to disk), and retains
+  every cross-shard mail batch *since* the last checkpoint.
+* Worker liveness rides the window acks. On a detected crash or hang
+  the controller respawns the worker with exponential backoff, hands it
+  the last checkpoint plus the retained mail (a *replay buffer*), and
+  the worker replays forward privately to the crash window before
+  rejoining the live barrier protocol.
+* When respawn is exhausted the degradation ladder continues to
+  *adoption*: every surviving worker rolls back to the common
+  checkpoint and one survivor adopts the dead shard's LPs through the
+  migration wire format; only after that fails does the run abort with
+  :class:`RecoveryExhaustedError`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+__all__ = [
+    "RecoveryConfig",
+    "RecoveryExhaustedError",
+    "CheckpointDigestError",
+    "CheckpointStore",
+    "ON_WORKER_LOSS_MODES",
+]
+
+#: Valid degradation policies when a worker dies.
+#:
+#: ``"respawn"`` — checkpoint + respawn with backoff; abort when retries
+#: are exhausted. ``"adopt"`` — like respawn, but when retries are
+#: exhausted survivors roll back to the common checkpoint and one of
+#: them adopts the dead shard's LPs. ``"fail"`` — no recovery at all:
+#: checkpoints are still taken (so the cadence can be benchmarked) but
+#: any worker loss re-raises immediately, matching the pre-recovery
+#: behavior.
+ON_WORKER_LOSS_MODES = ("respawn", "adopt", "fail")
+
+
+class RecoveryExhaustedError(RuntimeError):
+    """Every rung of the degradation ladder failed for a dead worker.
+
+    Raised by the controller when a worker could not be respawned within
+    ``max_respawns`` attempts and (under ``on_worker_loss="adopt"``) its
+    shard could not be adopted by a survivor either. Subclasses
+    ``RuntimeError`` directly rather than ``ParallelBackendError`` to
+    avoid a circular import; :mod:`repro.engine.parallel` re-exports it
+    next to the other typed backend failures.
+    """
+
+
+class CheckpointDigestError(RuntimeError):
+    """A checkpoint blob did not match its recorded sha256 digest."""
+
+
+def checkpoint_digest(blob: bytes) -> str:
+    """The sha256 hex digest identifying a checkpoint blob.
+
+    Digests serve two purposes: corruption detection on the control
+    plane (and on disk, for spilled checkpoints), and the *digest
+    stability* proof — the same shard state captured twice, or captured
+    in different processes, must encode to identical bytes and therefore
+    identical digests (tests/test_checkpoint_roundtrip.py).
+    """
+    return hashlib.sha256(blob).hexdigest()
+
+
+@dataclass(frozen=True)
+class RecoveryConfig:
+    """Controller-side configuration for checkpointing and recovery.
+
+    Passing ``recovery=None`` to the backend (the default) disables the
+    whole subsystem: no checkpoint messages, no retained mail, wire
+    traffic bit-identical to a build without this module.
+    """
+
+    #: Capture a checkpoint every N barrier windows (after the window's
+    #: mail has been delivered). Smaller = less replay on recovery,
+    #: more capture/encode overhead.
+    checkpoint_every_n_windows: int = 4
+    #: Bounded respawn retries per worker incarnation chain.
+    max_respawns: int = 2
+    #: Degradation policy once a worker is declared dead; see
+    #: :data:`ON_WORKER_LOSS_MODES`.
+    on_worker_loss: str = "respawn"
+    #: First respawn backoff; attempt *k* sleeps ``base * 2**(k-1)``
+    #: seconds, capped at :attr:`backoff_cap_s`. Tests set this near
+    #: zero so exhaustion scenarios stay fast.
+    backoff_base_s: float = 0.05
+    #: Upper bound on a single backoff sleep.
+    backoff_cap_s: float = 2.0
+    #: When set, checkpoint blobs spill to files under this directory
+    #: instead of living in controller memory.
+    spill_dir: str | None = None
+    #: Optional deterministic process-level fault plan
+    #: (:class:`repro.faults.plan.FaultPlan`) handed to workers for
+    #: chaos testing; ``None`` injects nothing.
+    fault_plan: Any = None
+
+    def __post_init__(self) -> None:
+        if self.checkpoint_every_n_windows < 1:
+            raise ValueError("checkpoint_every_n_windows must be >= 1")
+        if self.max_respawns < 0:
+            raise ValueError("max_respawns must be >= 0")
+        if self.on_worker_loss not in ON_WORKER_LOSS_MODES:
+            raise ValueError(
+                f"on_worker_loss must be one of {ON_WORKER_LOSS_MODES}, "
+                f"got {self.on_worker_loss!r}"
+            )
+        if self.backoff_base_s < 0:
+            raise ValueError("backoff_base_s must be >= 0")
+        if self.backoff_cap_s < 0:
+            raise ValueError("backoff_cap_s must be >= 0")
+
+    def is_checkpoint_window(self, window_index: int) -> bool:
+        """Whether a checkpoint is captured after window ``window_index``.
+
+        Both controller and every worker call this with the same index,
+        so the cadence needs no negotiation on the wire.
+        """
+        return (window_index + 1) % self.checkpoint_every_n_windows == 0
+
+    def backoff_s(self, attempt: int) -> float:
+        """Backoff before respawn ``attempt`` (1-based), capped."""
+        if attempt <= 0:
+            return 0.0
+        return min(self.backoff_base_s * (2.0 ** (attempt - 1)), self.backoff_cap_s)
+
+    def stanza(self) -> dict[str, Any]:
+        """The worker-config stanza describing the cadence and fault plan.
+
+        Workers only need the cadence (to know when to capture) and
+        their slice of the fault plan; respawn policy is purely a
+        controller concern and stays out of the wire config.
+        """
+        return {
+            "checkpoint_every_n_windows": self.checkpoint_every_n_windows,
+            "fault_plan": self.fault_plan,
+        }
+
+
+@dataclass
+class _StoredCheckpoint:
+    window_index: int
+    digest: str
+    blob: bytes | None  # None when spilled to disk
+    path: Path | None = None
+    nbytes: int = 0
+
+
+@dataclass
+class CheckpointStore:
+    """Controller-held store of the latest checkpoint per shard.
+
+    Only the *most recent* checkpoint per shard is retained — recovery
+    always restores the last consistent cut, so older blobs (and the
+    mail retained to replay past them) are pruned as soon as a newer
+    checkpoint for every live shard lands. With ``spill_dir`` set,
+    blobs live on disk under ``ckpt-shard<k>-w<window>.bin`` and only
+    digests stay in memory.
+    """
+
+    spill_dir: str | None = None
+    _latest: dict[int, _StoredCheckpoint] = field(default_factory=dict)
+    #: running totals for the recovery.* instruments
+    checkpoints_taken: int = 0
+    checkpoint_bytes: int = 0
+
+    def put(self, shard_id: int, window_index: int, digest: str, blob: bytes) -> None:
+        """Record shard ``shard_id``'s checkpoint after ``window_index``."""
+        if checkpoint_digest(blob) != digest:
+            raise CheckpointDigestError(
+                f"checkpoint for shard {shard_id} at window {window_index} "
+                "does not match its digest"
+            )
+        prev = self._latest.get(shard_id)
+        if prev is not None and prev.path is not None:
+            prev.path.unlink(missing_ok=True)
+        stored = _StoredCheckpoint(
+            window_index=window_index, digest=digest, blob=blob, nbytes=len(blob)
+        )
+        if self.spill_dir is not None:
+            root = Path(self.spill_dir)
+            root.mkdir(parents=True, exist_ok=True)
+            path = root / f"ckpt-shard{shard_id}-w{window_index}.bin"
+            path.write_bytes(blob)
+            stored = _StoredCheckpoint(
+                window_index=window_index,
+                digest=digest,
+                blob=None,
+                path=path,
+                nbytes=len(blob),
+            )
+        self._latest[shard_id] = stored
+        self.checkpoints_taken += 1
+        self.checkpoint_bytes += len(blob)
+
+    def latest_window(self, shard_id: int) -> int:
+        """Window index of the shard's latest checkpoint, or ``-1``."""
+        stored = self._latest.get(shard_id)
+        return -1 if stored is None else stored.window_index
+
+    def get(self, shard_id: int) -> bytes | None:
+        """The shard's latest checkpoint blob (digest-verified), or None."""
+        stored = self._latest.get(shard_id)
+        if stored is None:
+            return None
+        blob = stored.blob
+        if blob is None:
+            assert stored.path is not None
+            blob = stored.path.read_bytes()
+        if checkpoint_digest(blob) != stored.digest:
+            raise CheckpointDigestError(
+                f"stored checkpoint for shard {shard_id} failed digest "
+                "verification on read-back"
+            )
+        return blob
+
+    def common_window(self, shard_ids: list[int]) -> int:
+        """The newest window checkpointed by *every* listed shard.
+
+        The consistent cut a global rollback (degraded adoption) can
+        restore to; ``-1`` when some shard has no checkpoint yet, in
+        which case rollback means a fresh rebuild from window 0.
+        """
+        if not shard_ids:
+            return -1
+        windows = [self.latest_window(s) for s in shard_ids]
+        low = min(windows)
+        return low
+
+    def drop(self, shard_id: int) -> None:
+        """Forget a shard's checkpoint (after its LPs were adopted)."""
+        stored = self._latest.pop(shard_id, None)
+        if stored is not None and stored.path is not None:
+            stored.path.unlink(missing_ok=True)
+
+    def close(self) -> None:
+        """Remove any spilled checkpoint files."""
+        for shard_id in list(self._latest):
+            self.drop(shard_id)

@@ -32,7 +32,14 @@ from .config import ExperimentScale, default_scale
 from .runner import build_network
 from .workloads import install_workload
 
-__all__ = ["ChaosResult", "run_chaos_experiment", "format_chaos_report"]
+__all__ = [
+    "ChaosResult",
+    "ProcessChaosResult",
+    "run_chaos_experiment",
+    "run_process_chaos",
+    "format_chaos_report",
+    "format_process_chaos_report",
+]
 
 
 @dataclass
@@ -158,6 +165,190 @@ def run_chaos_experiment(
         ),
         routes_recomputed=(not had_topology_faults) or recompute["invalidations"] > 0,
     )
+
+
+@dataclass
+class ProcessChaosResult:
+    """A process-level chaos run: kill workers, demand byte-identity.
+
+    Where :class:`ChaosResult` reports whether the *simulated network*
+    healed, this reports whether the *simulator* healed: a seeded
+    :class:`~repro.faults.plan.FaultPlan` SIGKILLs worker processes at
+    random barrier windows, the recovery ladder (checkpoint restore +
+    respawn, then survivor adoption) masks the crashes, and the verdict
+    compares the multi-process delivery log byte-for-byte against an
+    uninterrupted single-process reference of the same seeded workload.
+    """
+
+    network: str
+    procs: int
+    seed: int
+    duration_s: float
+    kills: int
+    on_worker_loss: str
+    plan_digest: str
+    #: canonical one-line forms of the planned faults, in plan order
+    fault_lines: list[str]
+    #: the run's recovery summary (None when the run aborted)
+    recovery: dict | None
+    byte_identical: bool
+    counters_match: bool
+    error: str | None = None
+
+    @property
+    def degraded(self) -> bool:
+        """True when a survivor had to adopt a dead shard's LPs."""
+        return bool(self.recovery and self.recovery["adoptions"])
+
+    @property
+    def recovered(self) -> bool:
+        """Fully healed: byte-identical output with every shard respawned."""
+        return (
+            self.error is None
+            and self.byte_identical
+            and self.counters_match
+            and not self.degraded
+        )
+
+
+def run_process_chaos(
+    network_kind: str,
+    scale: ExperimentScale | None = None,
+    seed: int = 0,
+    kills: int = 2,
+    procs: int = 2,
+    on_worker_loss: str = "respawn",
+    checkpoint_every: int = 8,
+    max_respawns: int = 2,
+    duration_s: float | None = None,
+    start_method: str = "fork",
+) -> ProcessChaosResult:
+    """Kill ``kills`` workers at seeded random windows; verify recovery.
+
+    The packet-mediated UDP workload (the only workload that shards —
+    see :mod:`repro.experiments.shard`) runs once on the single-process
+    engine (ground truth) and once on the multi-process backend with a
+    seeded :meth:`FaultPlan.random_kills` plan plus barrier
+    checkpointing. The verdict is RECOVERED when the crashed run's
+    delivery log and traffic counters byte-match the uninterrupted
+    reference with every shard respawned, DEGRADED when a survivor had
+    to adopt a dead shard (output still byte-identical), FAILED on
+    divergence or an exhausted recovery ladder.
+    """
+    from ..core.approaches import Approach
+    from ..engine.costmodel import window_for_mapping
+    from ..engine.parallel import ParallelConservativeEngine, RecoveryExhaustedError
+    from ..engine.recovery import RecoveryConfig
+    from ..engine.windows import iter_windows
+    from ..faults.plan import FaultPlan
+    from .runner import MappingPipeline, cluster_for_scale
+    from .shard import delivery_log_bytes, merge_collected, run_reference, udp_spec
+
+    scale = scale if scale is not None else default_scale()
+    duration = duration_s if duration_s is not None else scale.profile_duration_s
+    net, _fib = build_network(network_kind, scale, seed)
+    cluster = cluster_for_scale(scale)
+    pipeline = MappingPipeline(net, scale.num_engines, cluster, seed)
+    mapping = pipeline.run_all([Approach.TOP])[Approach.TOP]
+    lookahead = window_for_mapping(mapping.achieved_mll_s, duration)
+    num_windows = sum(1 for _ in iter_windows(0.0, lookahead, duration))
+    plan = FaultPlan.random_kills(num_windows, procs, kills=kills, seed=seed)
+    spec = udp_spec(
+        net, duration, packets=4 * scale.http_clients, seed=seed,
+        record_deliveries=True,
+    )
+    _ref_engine, ref_collected = run_reference(
+        spec, mapping.assignment, mapping.num_engines, lookahead, duration
+    )
+    recovery = RecoveryConfig(
+        checkpoint_every_n_windows=checkpoint_every,
+        max_respawns=max_respawns,
+        on_worker_loss=on_worker_loss,
+        fault_plan=plan,
+    )
+    engine = ParallelConservativeEngine(
+        mapping.assignment,
+        mapping.num_engines,
+        lookahead,
+        procs=procs,
+        start_method=start_method,
+        recovery=recovery,
+    )
+    base = dict(
+        network=network_kind,
+        procs=procs,
+        seed=seed,
+        duration_s=duration,
+        kills=len(plan),
+        on_worker_loss=on_worker_loss,
+        plan_digest=plan.digest(),
+        fault_lines=[pf.canonical() for pf in plan],
+    )
+    try:
+        result = engine.run_scenario(spec, until=duration)
+    except RecoveryExhaustedError as exc:
+        return ProcessChaosResult(
+            **base, recovery=None, byte_identical=False,
+            counters_match=False, error=str(exc),
+        )
+    mp_collected = merge_collected(result.collected)
+    return ProcessChaosResult(
+        **base,
+        recovery=result.recovery,
+        byte_identical=(
+            delivery_log_bytes(ref_collected) == delivery_log_bytes(mp_collected)
+        ),
+        counters_match=ref_collected["counters"] == mp_collected["counters"],
+    )
+
+
+def format_process_chaos_report(result: ProcessChaosResult) -> str:
+    """Human-readable process-chaos report (``repro chaos --kill-workers``)."""
+    lines = [
+        f"process chaos  : {result.kills} worker kill(s) over {result.procs} "
+        f"procs on {result.network} (seed {result.seed}, "
+        f"{result.duration_s:g}s horizon, on-loss={result.on_worker_loss})",
+        f"fault plan     : digest {result.plan_digest[:16]}",
+    ]
+    for line in result.fault_lines:
+        window, shard, kind, incarnation, after = line.split("|")
+        lines.append(
+            f"  window {window} shard {shard} {kind} "
+            f"(incarnation {incarnation}"
+            + (", after send)" if after == "1" else ")")
+        )
+    if result.recovery is not None:
+        r = result.recovery
+        lines.append(
+            f"recovery       : {r['detections']} detection(s), "
+            f"{r['respawns']} respawn(s), {r['windows_replayed']} window(s) "
+            f"replayed, {r['adoptions']} adoption(s); "
+            f"{r['checkpoints_taken']} checkpoint(s), "
+            f"{r['checkpoint_bytes']:,} bytes"
+        )
+        lines.append(
+            "delivery log   : "
+            + ("byte-identical to the 1-process reference"
+               if result.byte_identical else "DIVERGED from the reference")
+        )
+    if result.recovered:
+        verdict = "RECOVERED"
+        detail = []
+    elif result.error is not None:
+        verdict = "FAILED"
+        detail = [result.error]
+    elif not result.byte_identical or not result.counters_match:
+        verdict = "FAILED"
+        detail = ["multi-process output diverged from the reference"]
+    else:
+        verdict = "DEGRADED"
+        dead = result.recovery["dead_shards"]
+        detail = [f"shard(s) {dead} adopted by survivors; "
+                  f"output still byte-identical"]
+    lines.append(
+        f"verdict        : {verdict}" + (f" ({'; '.join(detail)})" if detail else "")
+    )
+    return "\n".join(lines)
 
 
 def format_chaos_report(result: ChaosResult) -> str:

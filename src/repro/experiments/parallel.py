@@ -316,6 +316,16 @@ class ExecutedParallelRun:
                 else {}
             ),
             **(
+                {
+                    "checkpoints_taken": self.result.recovery["checkpoints_taken"],
+                    "checkpoint_bytes": self.result.recovery["checkpoint_bytes"],
+                    "respawns": self.result.recovery["respawns"],
+                    "adoptions": self.result.recovery["adoptions"],
+                }
+                if self.result.recovery is not None
+                else {}
+            ),
+            **(
                 {"calibration_overall_ratio": self.calibration["overall_ratio"]}
                 if self.calibration
                 else {}
@@ -338,6 +348,7 @@ def run_executed_workload(
     window_timeout_s: float = 120.0,
     incremental_obs: bool = False,
     rebalance=None,
+    recovery=None,
     faults: list | None = None,
     hot_fraction: float = 0.0,
     hot_span: int | None = None,
@@ -359,7 +370,11 @@ def run_executed_workload(
 
     ``rebalance`` (a :class:`repro.partition.rebalance.RebalanceConfig`)
     turns on blame-driven online LP re-partitioning at barriers;
-    ``faults`` injects a fault schedule into the workload (both the
+    ``recovery`` (a :class:`repro.engine.recovery.RecoveryConfig`) turns
+    on barrier-aligned checkpointing plus worker respawn/adoption — the
+    two are mutually exclusive (the engine constructor refuses the
+    combination); ``faults`` injects a fault schedule into the workload
+    (both the
     reference and the multi-process pass see it, so the byte-identity
     guarantee still holds); ``hot_fraction``/``hot_span`` skew the
     traffic onto a hot node prefix (see :func:`repro.experiments.shard
@@ -408,6 +423,7 @@ def run_executed_workload(
         window_timeout_s=window_timeout_s,
         incremental_obs=incremental_obs,
         rebalance=rebalance,
+        recovery=recovery,
     )
     result = engine.run_scenario(spec, until=duration_s)
     collected = merge_collected(result.collected)

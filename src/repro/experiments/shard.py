@@ -47,6 +47,7 @@ from ..topology.models import Network, NodeKind
 __all__ = [
     "DeliveryRecorder",
     "LpStatePort",
+    "ShardCheckpointPort",
     "ShardCollector",
     "build_chain_scenario",
     "build_udp_scenario",
@@ -144,6 +145,187 @@ class LpStatePort:
                 )
                 gen.bit_generator.state = fault_state
                 lr._fault_rng = gen
+
+
+class ShardCheckpointPort:
+    """``capture_shard`` / ``restore_shard`` hooks for barrier checkpoints.
+
+    Where :class:`LpStatePort` captures the *migratable* slice of one
+    LP's state (busy horizons and exclusively-owned RNG streams — never
+    counters), a checkpoint must restore a shard to *exactly* its own
+    partial view at a barrier: per-link dynamics **including** the
+    partial traffic/loss counters this shard accumulated, the replica
+    RNG streams of boundary links, the simulator's global counters and
+    fault state, the delivery log, and the fault injector's position.
+    Restore happens over a freshly rebuilt scenario (setup replayed from
+    the spec), so the forwarding plane starts all-up and is re-derived
+    from the captured down sets — routing is a pure function of the
+    up/down topology, so re-applying the surviving state transitions
+    reconverges to the identical tables.
+
+    The ``lp`` section reuses :meth:`LpStatePort.capture` per owned LP.
+    It is *not* read by the shard's own restore (the link section
+    supersedes it); the controller uses it to build adoption payloads in
+    the migration wire format when a dead shard's LPs move to a
+    survivor — adopted links then resume with restored busy/RNG state
+    but pristine counters, so the dead shard's checkpointed partial
+    sums and the adopter's re-accumulated remainder still sum to the
+    reference totals.
+    """
+
+    def __init__(
+        self,
+        engine: Any,
+        sim: NetworkSimulator,
+        fib: ForwardingPlane,
+        recorder: DeliveryRecorder,
+        port: LpStatePort,
+        collector: "ShardCollector",
+        injector: FaultInjector | None = None,
+        tracer: TraceBuffer | None = None,
+    ) -> None:
+        self.engine = engine
+        self.sim = sim
+        self.fib = fib
+        self.recorder = recorder
+        self.port = port
+        self.collector = collector
+        self.injector = injector
+        self.tracer = tracer
+
+    def capture(self) -> dict[str, Any]:
+        """Picklable blob of the whole shard's dynamic scenario state.
+
+        Deterministic by construction — fixed key order, sets emitted as
+        sorted lists — so the same shard state always encodes to the
+        same bytes (the digest-stability contract of
+        ``tests/test_checkpoint_roundtrip.py``).
+        """
+        links: list[dict[str, Any]] = []
+        for lr in self.sim.links:
+            links.append(
+                {
+                    "busy_until": [float(v) for v in lr.busy_until],
+                    "bytes_carried": [int(v) for v in lr.bytes_carried],
+                    "packets_carried": [int(v) for v in lr.packets_carried],
+                    "packets_dropped": [int(v) for v in lr.packets_dropped],
+                    "packets_lost": [int(v) for v in lr.packets_lost],
+                    "packets_corrupted": [int(v) for v in lr.packets_corrupted],
+                    "failed": bool(lr.failed),
+                    "loss_prob": float(lr.loss_prob),
+                    "corrupt_prob": float(lr.corrupt_prob),
+                    "rng": lr._rng.bit_generator.state,
+                    "fault_rng": (
+                        lr._fault_rng.bit_generator.state
+                        if lr._fault_rng is not None
+                        else None
+                    ),
+                }
+            )
+        sim_state = {
+            "counters": self.sim.counters.as_dict(),
+            "node_packets": self.sim.node_packets.tolist(),
+            "down_nodes": sorted(self.sim._down_nodes),
+            "dropped_fault": int(self.sim.dropped_fault),
+        }
+        inj = None
+        if self.injector is not None:
+            inj = {
+                "counts": self.injector.counts.as_dict(),
+                "links_down": sorted(self.injector.links_down),
+                "nodes_down": sorted(self.injector.nodes_down),
+                "slowdown_spans": [
+                    list(span) for span in self.injector.slowdown_spans
+                ],
+                "open_slowdowns": sorted(
+                    (lp, t0, factor)
+                    for lp, (t0, factor) in self.injector._open_slowdowns.items()
+                ),
+                "faults": (
+                    list(self.tracer.faults) if self.tracer is not None else []
+                ),
+            }
+        lp_blobs = {
+            int(lp): self.port.capture(int(lp))
+            for lp in getattr(self.engine, "owned_lps", [])
+        }
+        return {
+            "links": links,
+            "sim": sim_state,
+            "injector": inj,
+            "lp": lp_blobs,
+            "collect": self.collector.collect(),
+        }
+
+    def restore(self, state: dict[str, Any]) -> None:
+        """Apply a :meth:`capture` blob over a freshly rebuilt scenario."""
+        for lr, ls in zip(self.sim.links, state["links"]):
+            lr.busy_until[:] = [float(v) for v in ls["busy_until"]]
+            lr.bytes_carried[:] = [int(v) for v in ls["bytes_carried"]]
+            lr.packets_carried[:] = [int(v) for v in ls["packets_carried"]]
+            lr.packets_dropped[:] = [int(v) for v in ls["packets_dropped"]]
+            lr.packets_lost[:] = [int(v) for v in ls["packets_lost"]]
+            lr.packets_corrupted[:] = [int(v) for v in ls["packets_corrupted"]]
+            lr.failed = bool(ls["failed"])
+            lr.loss_prob = float(ls["loss_prob"])
+            lr.corrupt_prob = float(ls["corrupt_prob"])
+            lr._rng.bit_generator.state = ls["rng"]
+            if ls["fault_rng"] is not None:
+                # Vessel generator, never drawn from: its state is
+                # overwritten on the next line (no new seeded stream).
+                gen = np.random.Generator(type(lr._rng.bit_generator)())
+                gen.bit_generator.state = ls["fault_rng"]
+                lr._fault_rng = gen
+            else:
+                lr._fault_rng = None
+        sim_state = state["sim"]
+        counters = self.sim.counters
+        values = sim_state["counters"]
+        counters.packets_sent = int(values["sent"])
+        counters.packets_delivered = int(values["delivered"])
+        counters.packets_dropped_queue = int(values["dropped_queue"])
+        counters.packets_dropped_ttl = int(values["dropped_ttl"])
+        counters.packets_unroutable = int(values["unroutable"])
+        self.sim.node_packets[:] = np.asarray(
+            sim_state["node_packets"], dtype=np.int64
+        )
+        self.sim._down_nodes = set(int(n) for n in sim_state["down_nodes"])
+        self.sim.dropped_fault = int(sim_state["dropped_fault"])
+        self.recorder.records[:] = [
+            tuple(rec) for rec in state["collect"]["log"]
+        ]
+        # Re-derive the forwarding plane from the captured down sets:
+        # the fresh build starts all-up, and routing state is a pure
+        # function of the up/down topology.
+        for link_id, lr in enumerate(self.sim.links):
+            if lr.failed:
+                self.fib.set_link_state(link_id, False)
+        for node in sorted(self.sim._down_nodes):
+            self.fib.set_node_state(int(node), False)
+        inj = state["injector"]
+        if inj is not None and self.injector is not None:
+            counts = self.injector.counts
+            values = inj["counts"]
+            counts.injected = int(values["injected"])
+            counts.link_transitions = int(values["link_transitions"])
+            counts.router_transitions = int(values["router_transitions"])
+            counts.loss_transitions = int(values["loss_transitions"])
+            counts.lp_transitions = int(values["lp_transitions"])
+            counts.bgp_resets = int(values["bgp_resets"])
+            counts.bgp_reestablished = int(values["bgp_reestablished"])
+            counts.bgp_gave_up = int(values["bgp_gave_up"])
+            self.injector.links_down = set(int(v) for v in inj["links_down"])
+            self.injector.nodes_down = set(int(v) for v in inj["nodes_down"])
+            self.injector.slowdown_spans = [
+                tuple(span) for span in inj["slowdown_spans"]
+            ]
+            self.injector._open_slowdowns = {
+                int(lp): (float(t0), float(factor))
+                for lp, t0, factor in inj["open_slowdowns"]
+            }
+            if self.tracer is not None:
+                self.tracer.faults.clear()
+                self.tracer.faults.extend(inj["faults"])
 
 
 class ShardCollector:
@@ -249,11 +431,21 @@ def build_chain_scenario(engine: Any, params: dict) -> ShardScenario:
         engine.schedule_at(t, sim.inject, node=src, args=(packet,))
     collector = ShardCollector(engine, sim, recorder, injector, tracer)
     port = LpStatePort(sim, getattr(engine, "assignment", np.zeros(1, dtype=np.int64)))
+    ckpt = ShardCheckpointPort(
+        engine, sim, fib, recorder, port, collector, injector, tracer
+    )
+    handlers = {"handle_at": sim._handle_at, "inject": sim.inject}
+    if injector is not None:
+        # Pending fault applications must survive a checkpoint round
+        # trip, so the injector's apply method needs a wire name.
+        handlers["fault_apply"] = injector._apply
     return ShardScenario(
-        handlers={"handle_at": sim._handle_at, "inject": sim.inject},
+        handlers=handlers,
         collect=collector.collect,
         capture_lp=port.capture,
         restore_lp=port.restore,
+        capture_shard=ckpt.capture,
+        restore_shard=ckpt.restore,
     )
 
 
@@ -348,11 +540,18 @@ def build_udp_scenario(engine: Any, params: dict) -> ShardScenario:
             )
     collector = ShardCollector(engine, sim, recorder, injector, tracer)
     port = LpStatePort(sim, getattr(engine, "assignment", np.zeros(1, dtype=np.int64)))
+    ckpt = ShardCheckpointPort(
+        engine, sim, fib, recorder, port, collector, injector, tracer
+    )
+    if injector is not None:
+        handlers["fault_apply"] = injector._apply
     return ShardScenario(
         handlers=handlers,
         collect=collector.collect,
         capture_lp=port.capture,
         restore_lp=port.restore,
+        capture_shard=ckpt.capture,
+        restore_shard=ckpt.restore,
     )
 
 

@@ -10,6 +10,7 @@ this package existed.
 """
 
 from .injector import FaultCounts, FaultInjector
+from .plan import FaultPlan, ProcessFault, ProcessFaultKind
 from .schedule import (
     BUILTIN_SCENARIOS,
     FaultEvent,
@@ -24,6 +25,9 @@ __all__ = [
     "FaultEvent",
     "FaultInjector",
     "FaultKind",
+    "FaultPlan",
     "FaultScenario",
     "FaultSchedule",
+    "ProcessFault",
+    "ProcessFaultKind",
 ]

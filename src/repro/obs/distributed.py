@@ -53,6 +53,7 @@ from .trace import (
     FaultRecord,
     MeasuredWindowRecord,
     RebalanceRecord,
+    RecoveryRecord,
     SpanRecord,
     TraceBuffer,
     WindowRecord,
@@ -344,6 +345,8 @@ class TraceSnapshot:
     #: accepted mid-run LP migrations (controller-recorded, so merging
     #: concatenates without deduplication)
     rebalance: tuple[RebalanceRecord, ...] = ()
+    #: fault-tolerance actions (controller-recorded, like rebalance)
+    recovery: tuple[RecoveryRecord, ...] = ()
 
     @classmethod
     def capture(
@@ -367,6 +370,7 @@ class TraceSnapshot:
             event_cost_s=tr.event_cost_s,
             remote_event_cost_s=tr.remote_event_cost_s,
             rebalance=tuple(tr.rebalance),
+            recovery=tuple(tr.recovery),
         )
 
     @classmethod
@@ -391,6 +395,7 @@ class TraceSnapshot:
         faults: dict[tuple, FaultRecord] = {}
         measured: list[MeasuredWindowRecord] = []
         rebalance: list[RebalanceRecord] = []
+        recovery: list[RecoveryRecord] = []
         dropped = 0
         event_cost_s = 10e-6
         remote_event_cost_s = 25e-6
@@ -430,12 +435,14 @@ class TraceSnapshot:
                 faults.setdefault(_fault_key(f), f)
             measured.extend(snap.measured)
             rebalance.extend(snap.rebalance)
+            recovery.extend(snap.recovery)
         edges.sort(key=lambda e: (e.send_time, e.src_lp, e.dst_lp, e.deliver_time))
         spans.sort(key=lambda s: (s.start_s, s.end_s, s.kind))
         events.sort()
         transmissions.sort()
         measured.sort(key=lambda m: (m.window_index, m.shard_id))
         rebalance.sort(key=lambda r: (r.window_index, r.lp))
+        recovery.sort(key=lambda r: (r.window_index, r.shard_id, r.kind))
         return cls(
             provenance=tuple(provenance),
             windows=tuple(
@@ -453,6 +460,7 @@ class TraceSnapshot:
             event_cost_s=event_cost_s,
             remote_event_cost_s=remote_event_cost_s,
             rebalance=tuple(rebalance),
+            recovery=tuple(recovery),
         )
 
     def restore(self, capacity: int | None = None) -> TraceBuffer:
@@ -465,7 +473,7 @@ class TraceSnapshot:
         cap = capacity if capacity is not None else max(
             len(self.windows), len(self.edges), len(self.spans),
             len(self.events), len(self.transmissions), len(self.faults),
-            len(self.measured), len(self.rebalance), 1,
+            len(self.measured), len(self.rebalance), len(self.recovery), 1,
         )
         tr = TraceBuffer(
             capacity=cap,
@@ -481,6 +489,7 @@ class TraceSnapshot:
         tr.faults.extend(self.faults)
         tr.measured.extend(self.measured)
         tr.rebalance.extend(self.rebalance)
+        tr.recovery.extend(self.recovery)
         tr.dropped_records = self.dropped_records
         return tr
 

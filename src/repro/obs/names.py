@@ -54,6 +54,12 @@ __all__ = [
     "REBALANCE_CANDIDATES",
     "REBALANCE_STATE_BYTES",
     "REBALANCE_CONCENTRATION",
+    "RECOVERY_CHECKPOINTS",
+    "RECOVERY_CHECKPOINT_BYTES",
+    "RECOVERY_DETECTIONS",
+    "RECOVERY_RESPAWNS",
+    "RECOVERY_REPLAYED",
+    "RECOVERY_ADOPTIONS",
     "LINT_FILES",
     "LINT_RULES",
     "LINT_FINDINGS_ERROR",
@@ -167,6 +173,23 @@ REBALANCE_STATE_BYTES = "rebalance.state.bytes"
 #: distribution of blame concentration at each trigger (histogram)
 REBALANCE_CONCENTRATION = "rebalance.blame.concentration"
 
+# --- fault tolerance (repro.engine.recovery) ---------------------------
+# Recorded on the controller: checkpoints are committed and worker
+# deaths declared centrally, so the instruments never disagree across
+# shards (and survive the death of the worker they describe).
+#: barrier checkpoints committed across all shards (scalar)
+RECOVERY_CHECKPOINTS = "recovery.checkpoints.taken"
+#: serialized checkpoint blob bytes shipped over the control plane (scalar)
+RECOVERY_CHECKPOINT_BYTES = "recovery.checkpoint.bytes"
+#: worker crashes/hangs detected by liveness supervision (scalar)
+RECOVERY_DETECTIONS = "recovery.detections"
+#: worker respawn attempts launched after a detection (scalar)
+RECOVERY_RESPAWNS = "recovery.respawns"
+#: barrier windows re-executed from retained mail during recovery (scalar)
+RECOVERY_REPLAYED = "recovery.windows.replayed"
+#: degraded adoptions: dead shards folded onto a survivor (scalar)
+RECOVERY_ADOPTIONS = "recovery.adoptions.degraded"
+
 # --- static analysis (repro.analysis simlint runs) --------------------
 #: python files scanned by one lint invocation (scalar)
 LINT_FILES = "lint.files.scanned"
@@ -228,6 +251,12 @@ HELP: dict[str, str] = {
     REBALANCE_CANDIDATES: "Candidate placements scored by the what-if model.",
     REBALANCE_STATE_BYTES: "Serialized migration payload bytes shipped over the control plane.",
     REBALANCE_CONCENTRATION: "Distribution of blame concentration at each rebalance trigger.",
+    RECOVERY_CHECKPOINTS: "Barrier checkpoints committed across all shards.",
+    RECOVERY_CHECKPOINT_BYTES: "Serialized checkpoint blob bytes shipped over the control plane.",
+    RECOVERY_DETECTIONS: "Worker crashes and hangs detected by liveness supervision.",
+    RECOVERY_RESPAWNS: "Worker respawn attempts launched after a detection.",
+    RECOVERY_REPLAYED: "Barrier windows re-executed from retained mail during recovery.",
+    RECOVERY_ADOPTIONS: "Degraded adoptions of a dead shard's LPs by a survivor.",
     LINT_FILES: "Python files scanned by the simlint pass.",
     LINT_RULES: "Lint rules executed by the simlint pass.",
     LINT_FINDINGS_ERROR: "Error-severity lint findings.",

@@ -46,6 +46,7 @@ __all__ = [
     "FaultRecord",
     "MeasuredWindowRecord",
     "RebalanceRecord",
+    "RecoveryRecord",
     "TraceBuffer",
     "get_tracer",
     "traced_run",
@@ -199,6 +200,28 @@ class RebalanceRecord:
 
 
 @dataclass(frozen=True)
+class RecoveryRecord:
+    """One fault-tolerance action of the mp backend (``engine.recovery``).
+
+    Recorded on the controller, where checkpoints are committed and
+    worker deaths declared, so the trace survives the worker it
+    describes. ``kind`` is one of ``'checkpoint'`` (a consistent cut
+    committed across all shards), ``'detect'`` (a worker declared
+    crashed or hung), ``'respawn'`` (a replacement incarnation
+    launched), ``'replay'`` (retained-mail windows re-executed), or
+    ``'adopt'`` (a dead shard's LPs folded onto a survivor). ``detail``
+    carries kind-specific context — digests, exit codes, replay extents.
+    """
+
+    #: barrier window index the action is anchored to
+    window_index: int
+    #: shard the action applies to (the checkpointed/dead/adopting shard)
+    shard_id: int
+    kind: str
+    detail: dict = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
 class SpanRecord:
     """A named wall-clock span (BGP convergence runs and the like)."""
 
@@ -257,6 +280,8 @@ class TraceBuffer:
         self.measured: deque[MeasuredWindowRecord] = deque()
         #: accepted mid-run LP migrations (repro.partition.rebalance)
         self.rebalance: deque[RebalanceRecord] = deque()
+        #: fault-tolerance actions (repro.engine.recovery)
+        self.recovery: deque[RecoveryRecord] = deque()
         self.dropped_records = 0
 
     # ------------------------------------------------------------------
@@ -293,6 +318,7 @@ class TraceBuffer:
             self.faults,
             self.measured,
             self.rebalance,
+            self.recovery,
         )
 
     def __len__(self) -> int:
@@ -393,6 +419,16 @@ class TraceBuffer:
                     float(concentration), float(predicted_gain_s),
                     int(state_bytes),
                 ),
+            )
+
+    def recovery_step(
+        self, window_index: int, shard_id: int, kind: str, **detail
+    ) -> None:
+        """Record one fault-tolerance action (controller recovery hook)."""
+        if self.enabled:
+            self._append(
+                self.recovery,
+                RecoveryRecord(int(window_index), int(shard_id), kind, detail),
             )
 
     def span_begin(self) -> float:

@@ -42,6 +42,10 @@ __all__ = [
     "decode_snapshot",
     "encode_migration",
     "decode_migration",
+    "encode_checkpoint",
+    "decode_checkpoint",
+    "encode_replay_buffer",
+    "decode_replay_buffer",
     "PayloadFormatError",
 ]
 
@@ -345,3 +349,60 @@ def decode_migration(data: bytes) -> dict:
     if not isinstance(payload, dict) or "lp" not in payload:
         raise PayloadFormatError("migration payload must decode to a dict with 'lp'")
     return payload
+
+
+#: Keys every checkpoint envelope must carry. ``engine`` holds the shard
+#: engine's replayable core (queues, clocks, tiebreak counters);
+#: ``shard_state`` whatever the scenario's ``capture_shard`` hook returns.
+_CHECKPOINT_KEYS = ("shard_id", "window_index", "engine")
+
+
+def encode_checkpoint(payload: dict) -> bytes:
+    """Serialize one shard's barrier checkpoint for the control plane.
+
+    The payload is a plain dict with at least ``shard_id``,
+    ``window_index``, and ``engine`` (see
+    :mod:`repro.engine.recovery` for the full structure). Checkpoints
+    ride the worker pipes — control plane, never barrier mail — so a
+    run with checkpointing disabled ships zero extra mail bytes, and the
+    encoding is deterministic: the same shard state captured twice must
+    produce byte-identical blobs (the digest-stability proof).
+    """
+    if not isinstance(payload, dict) or any(k not in payload for k in _CHECKPOINT_KEYS):
+        raise PayloadFormatError(
+            f"checkpoint payload must be a dict with keys {_CHECKPOINT_KEYS}"
+        )
+    return encode_payload(payload)
+
+
+def decode_checkpoint(data: bytes) -> dict:
+    """Inverse of :func:`encode_checkpoint`."""
+    payload = decode_payload(data)
+    if not isinstance(payload, dict) or any(k not in payload for k in _CHECKPOINT_KEYS):
+        raise PayloadFormatError(
+            f"checkpoint payload must decode to a dict with keys {_CHECKPOINT_KEYS}"
+        )
+    return payload
+
+
+def encode_replay_buffer(entries: list[tuple]) -> bytes:
+    """Serialize the retained-mail replay buffer for a respawned worker.
+
+    Each entry is ``(window_index, inbound_payloads)`` — exactly the
+    mail the controller sent (or would have sent) the dead worker at
+    that barrier, so the respawned incarnation can re-execute the
+    missed windows privately before rejoining the live protocol.
+    Migration plans never appear here: recovery and online rebalancing
+    are mutually exclusive by construction.
+    """
+    if not isinstance(entries, list):
+        raise PayloadFormatError("replay buffer payload must be a list")
+    return encode_payload(list(entries))
+
+
+def decode_replay_buffer(data: bytes) -> list[tuple]:
+    """Inverse of :func:`encode_replay_buffer`."""
+    entries = decode_payload(data)
+    if not isinstance(entries, list):
+        raise PayloadFormatError("replay buffer payload must decode to a list")
+    return entries

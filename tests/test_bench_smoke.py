@@ -37,11 +37,19 @@ REQUIRED_METRICS = {
     "parallel.rebalance.static_mail_bytes",
     "parallel.rebalance.mail_bytes",
     "parallel.rebalance.migrations",
+    "parallel.recovery.wall_s",
+    "parallel.recovery.mail_delta_bytes",
+    "parallel.recovery.checkpoints",
+    "parallel.recovery.checkpoint_bytes",
 }
 
 #: Metrics whose healthy value is exactly zero: enabling the obs layer
-#: must add no mail bytes (snapshots ride the control plane).
-ZERO_BY_DESIGN = {"parallel.obs_mail_delta_bytes"}
+#: must add no mail bytes (snapshots ride the control plane), and
+#: checkpoints must ride the control plane too (zero barrier-mail delta).
+ZERO_BY_DESIGN = {
+    "parallel.obs_mail_delta_bytes",
+    "parallel.recovery.mail_delta_bytes",
+}
 
 
 def _doc(results: dict, date: str, quick: bool = True) -> dict:
@@ -88,6 +96,7 @@ class TestQuickBenchCli:
             "mp_predicted",
             "obs_overhead",
             "rebalance_gain",
+            "recovery_overhead",
         }
         assert doc["comparison"] is None  # first point in an empty dir
         out = capsys.readouterr().out

@@ -100,3 +100,23 @@ class TestChaosSmoke:
         assert again.traffic == result.traffic
         assert again.dropped_fault == result.dropped_fault
         assert again.counts.as_dict() == result.counts.as_dict()
+
+
+class TestProcessChaosSmoke:
+    """``repro chaos --kill-workers``: SIGKILLed workers, byte-identity."""
+
+    def test_kill_workers_cli_recovers_and_exits_zero(self, capsys):
+        from repro.__main__ import main
+
+        code = main([
+            "chaos", "single-as", "scalapack",
+            "--kill-workers", "2", "--procs", "2",
+            "--duration", "1.0", "--checkpoint-every", "32",
+            "--scale", "small",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "verdict        : RECOVERED" in out
+        assert "byte-identical to the 1-process reference" in out
+        assert "proc.sigkill" in out
+        assert "respawn(s)" in out

@@ -41,6 +41,7 @@ def registered_names(monkeypatch) -> set[str]:
     from repro.engine.parallel import ParallelConservativeEngine, ShardEngine
     from repro.faults import FaultInjector, FaultSchedule
     from repro.netsim.simulator import NetworkSimulator
+    from repro.engine.recovery import RecoveryConfig
     from repro.obs.distributed import CalibrationRecorder
     from repro.partition.rebalance import RebalanceConfig
     from repro.routing.bgp.engine import BgpEngine, BgpSpeaker
@@ -59,6 +60,12 @@ def registered_names(monkeypatch) -> set[str]:
     ParallelConservativeEngine(
         np.zeros(net.num_nodes, dtype=np.int64), 1, 1.0,
         rebalance=RebalanceConfig(),
+    )
+    # Recovery is mutually exclusive with rebalance, so the recovery.*
+    # instrument set needs its own controller construction.
+    ParallelConservativeEngine(
+        np.zeros(net.num_nodes, dtype=np.int64), 1, 1.0,
+        recovery=RecoveryConfig(),
     )
     ShardEngine(np.zeros(net.num_nodes, dtype=np.int64), 1, 1.0, owned_lps=[0])
     CalibrationRecorder()

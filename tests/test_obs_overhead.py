@@ -199,8 +199,8 @@ class TestDistributedDisabledMeansNoObs:
         # the wire a build without the observability layer would speak.
         orig = ParallelConservativeEngine._worker_config
 
-        def stripped(self, shard_id, spec, until):
-            cfg = ser.decode_payload(orig(self, shard_id, spec, until))
+        def stripped(self, shard_id, spec, until, **kwargs):
+            cfg = ser.decode_payload(orig(self, shard_id, spec, until, **kwargs))
             cfg.pop("obs", None)
             return ser.encode_payload(cfg)
 

@@ -10,7 +10,9 @@ handlers on both the sending and receiving side.
 
 from __future__ import annotations
 
+import multiprocessing
 import os
+import time
 
 import numpy as np
 import pytest
@@ -53,6 +55,17 @@ def crash_builder(engine, params):
         os._exit(3)
 
     engine.schedule_at(0.25, die, node=0)
+    return ShardScenario(handlers={}, collect=None)
+
+
+def hang_builder(engine, params):
+    """Schedules a handler that stops responding but stays alive."""
+
+    def stall():
+        while True:
+            time.sleep(3600.0)
+
+    engine.schedule_at(0.25, stall, node=0)
     return ShardScenario(handlers={}, collect=None)
 
 
@@ -229,6 +242,45 @@ class TestWorkerFailureModes:
         spec = ScenarioSpec(builder=f"{__name__}:crash_builder")
         with pytest.raises(WorkerCrashError):
             engine.run_scenario(spec, until=1.0)
+
+    def test_dead_worker_detected_early_with_exit_code(self):
+        # A dead process surfaces on the next liveness tick — with its
+        # exit code — not after the full window timeout.
+        engine = ParallelConservativeEngine(
+            ASSIGNMENT, 2, LOOKAHEAD, procs=2, window_timeout_s=30.0
+        )
+        spec = ScenarioSpec(builder=f"{__name__}:crash_builder")
+        watch = time.monotonic()
+        with pytest.raises(WorkerCrashError) as err:
+            engine.run_scenario(spec, until=1.0)
+        assert time.monotonic() - watch < 25.0
+        assert err.value.exitcode == 3
+        assert err.value.hung is False
+        assert "exitcode 3" in str(err.value)
+
+    def test_hung_worker_detected_as_hang_not_crash(self):
+        engine = ParallelConservativeEngine(
+            ASSIGNMENT, 2, LOOKAHEAD, procs=2, window_timeout_s=1.5
+        )
+        spec = ScenarioSpec(builder=f"{__name__}:hang_builder")
+        with pytest.raises(WorkerCrashError) as err:
+            engine.run_scenario(spec, until=1.0)
+        assert err.value.hung is True
+        assert "hang suspected" in str(err.value)
+
+    def test_failed_run_leaves_no_live_workers(self):
+        # The teardown path must close both pipe ends and escalate
+        # join -> terminate -> kill even when the run aborts.
+        engine = ParallelConservativeEngine(
+            ASSIGNMENT, 2, LOOKAHEAD, procs=2, window_timeout_s=30.0
+        )
+        spec = ScenarioSpec(builder=f"{__name__}:crash_builder")
+        with pytest.raises(WorkerCrashError):
+            engine.run_scenario(spec, until=1.0)
+        deadline = time.monotonic() + 5.0
+        while multiprocessing.active_children() and time.monotonic() < deadline:
+            time.sleep(0.05)
+        assert not multiprocessing.active_children()
 
     def test_worker_exception_carries_remote_traceback(self):
         engine = ParallelConservativeEngine(
